@@ -1,0 +1,274 @@
+// Package astrea is a from-scratch Go reproduction of "Astrea: Accurate
+// Quantum Error-Decoding via Practical Minimum-Weight Perfect-Matching"
+// (Vittal, Das, Qureshi — ISCA 2023).
+//
+// It bundles every system the paper builds on: a rotated-surface-code
+// circuit generator, a Pauli-frame stabilizer simulator (the Stim
+// replacement), detector-error-model extraction, the weighted decoding
+// graph with its Global Weight Table, an exact blossom MWPM baseline, the
+// Astrea and Astrea-G real-time decoders, and the Union-Find, LILLIPUT and
+// Clique baselines — plus a Monte Carlo harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// The quickest path through the API:
+//
+//	sys, _ := astrea.New(5, 1e-3)        // distance-5 code at p = 10⁻³
+//	dec := sys.Astrea()                  // the paper's real-time decoder
+//	src := sys.NewShotSource(42)         // reproducible noisy shots
+//	syndrome, obs := src.Next()
+//	res := dec.Decode(syndrome)
+//	logicalError := res.ObsPrediction != obs
+//
+// For full experiments, see the internal/experiments package via the
+// cmd/astrea binary, or use EstimateLER / EstimateLERStratified here.
+package astrea
+
+import (
+	"astrea/internal/astrea"
+	"astrea/internal/astreag"
+	"astrea/internal/bitvec"
+	"astrea/internal/clique"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/dem"
+	"astrea/internal/experiments"
+	"astrea/internal/hwmodel"
+	"astrea/internal/lilliput"
+	"astrea/internal/montecarlo"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+	"astrea/internal/surface"
+	"astrea/internal/unionfind"
+)
+
+// Decoder is the interface every decoder implements; see Result for how
+// decodes are scored.
+type Decoder = decoder.Decoder
+
+// Result is the outcome of decoding one syndrome.
+type Result = decoder.Result
+
+// Syndrome is a detector-event bit vector (one bit per detector).
+type Syndrome = bitvec.Vec
+
+// Budget scales experiment effort; see the presets QuickBudget,
+// StandardBudget and FullBudget.
+type Budget = experiments.Budget
+
+// AstreaGConfig configures the Astrea-G pipeline (fetch width F, queue
+// entries E, weight threshold W_th, cycle budget).
+type AstreaGConfig = hwmodel.AstreaGConfig
+
+// Stats aggregates a decoder's Monte Carlo results.
+type Stats = montecarlo.DecoderStats
+
+// Experiment budgets.
+var (
+	QuickBudget    = experiments.Quick
+	StandardBudget = experiments.Standard
+	FullBudget     = experiments.Full
+)
+
+// Boundary is the partner index used in Result.Pairs for boundary matches.
+const Boundary = decoder.Boundary
+
+// System is a fully built decoding stack for one operating point: the
+// distance-d rotated surface code, its d-round memory-Z experiment circuit
+// under the paper's noise model at physical error rate p, the extracted
+// detector error model, and the Global Weight Table. Systems are immutable
+// and safe to share; the decoders they mint are single-goroutine objects.
+type System struct {
+	env *montecarlo.Env
+}
+
+// New builds the decoding stack for a distance-d code (d odd, ≥ 3) at
+// physical error rate p, using d syndrome rounds as the paper does.
+func New(distance int, p float64) (*System, error) {
+	env, err := montecarlo.NewEnv(distance, distance, p)
+	if err != nil {
+		return nil, err
+	}
+	return &System{env: env}, nil
+}
+
+// Basis selects a memory experiment type for NewCustom.
+type Basis = surface.Basis
+
+// Memory experiment bases.
+const (
+	BasisZ = surface.BasisZ
+	BasisX = surface.BasisX
+)
+
+// NoiseMap assigns per-qubit (and optionally per-round) error strengths;
+// see the surface package for field semantics. Decoders built from a
+// custom system use a Global Weight Table programmed from the map's true
+// rates — the §8.2 reprogramming flow.
+type NoiseMap = surface.NoiseMap
+
+// NewCustom builds a decoding stack for an arbitrary memory experiment:
+// either basis, any round count, and a (possibly non-uniform, possibly
+// drifting) noise map. The reported physical error rate is nm.Base.
+func NewCustom(distance, rounds int, basis Basis, nm NoiseMap) (*System, error) {
+	code, err := surface.New(distance)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := code.Memory(basis, rounds, nm)
+	if err != nil {
+		return nil, err
+	}
+	env, err := montecarlo.NewEnvFromCircuit(code, cc, rounds, nm.Base)
+	if err != nil {
+		return nil, err
+	}
+	return &System{env: env}, nil
+}
+
+// Distance returns the code distance.
+func (s *System) Distance() int { return s.env.Distance }
+
+// PhysicalErrorRate returns the operating point's p.
+func (s *System) PhysicalErrorRate() float64 { return s.env.P }
+
+// NumDetectors returns the syndrome length (one bit per Z-type detector).
+func (s *System) NumDetectors() int { return s.env.Model.NumDetectors }
+
+// MWPM returns a software exact minimum-weight perfect-matching decoder —
+// the paper's BlossomV baseline.
+func (s *System) MWPM() Decoder { return mwpm.New(s.env.GWT) }
+
+// Astrea returns the paper's exhaustive real-time decoder (§5): exact MWPM
+// for syndromes of Hamming weight ≤ 10, with the 250 MHz FPGA cycle model.
+func (s *System) Astrea() Decoder { return astrea.New(s.env.GWT) }
+
+// AstreaG returns Astrea-G (§7) at the paper's default design point (F=2,
+// E=8, W_th derived from the operating point, 1 µs budget).
+func (s *System) AstreaG() (Decoder, error) {
+	cfg := hwmodel.DefaultAstreaG(experiments.DefaultWth(s.env.Distance, s.env.P))
+	return astreag.New(s.env.GWT, cfg)
+}
+
+// AstreaGWith returns Astrea-G with an explicit configuration.
+func (s *System) AstreaGWith(cfg AstreaGConfig) (Decoder, error) {
+	return astreag.New(s.env.GWT, cfg)
+}
+
+// UnionFind returns the Union-Find decoder; weighted=false is the AFS
+// baseline configuration.
+func (s *System) UnionFind(weighted bool) Decoder {
+	return unionfind.New(s.env.Graph, weighted)
+}
+
+// Clique returns the hierarchical Clique+MWPM decoder.
+func (s *System) Clique() Decoder { return clique.New(s.env.Graph, s.env.GWT) }
+
+// Lilliput programs a LILLIPUT lookup table; it fails beyond distance 3,
+// reproducing the paper's scalability wall (§5.6).
+func (s *System) Lilliput() (Decoder, error) { return lilliput.Build(s.env.GWT, 0) }
+
+// ShotSource produces reproducible noisy memory-experiment shots.
+type ShotSource struct {
+	rng *prng.Source
+	smp *dem.Sampler
+	buf Syndrome
+}
+
+// NewShotSource returns a deterministic shot stream for the given seed.
+// Not safe for concurrent use.
+func (s *System) NewShotSource(seed uint64) *ShotSource {
+	return &ShotSource{
+		rng: prng.New(seed),
+		smp: dem.NewSampler(s.env.Model),
+		buf: bitvec.New(s.env.Model.NumDetectors),
+	}
+}
+
+// Next samples one shot: the syndrome (valid until the next call) and the
+// true logical-observable flip mask a perfect decoder would predict.
+func (src *ShotSource) Next() (Syndrome, uint64) {
+	obs := src.smp.Sample(src.rng, src.buf)
+	return src.buf, obs
+}
+
+// DecoderFactory builds one decoder per Monte Carlo worker.
+type DecoderFactory func(*System) (Decoder, error)
+
+// Named decoder factories for EstimateLER.
+var (
+	MWPMDecoder    DecoderFactory = func(s *System) (Decoder, error) { return s.MWPM(), nil }
+	AstreaDecoder  DecoderFactory = func(s *System) (Decoder, error) { return s.Astrea(), nil }
+	AstreaGDecoder DecoderFactory = func(s *System) (Decoder, error) { return s.AstreaG() }
+	AFSDecoder     DecoderFactory = func(s *System) (Decoder, error) { return s.UnionFind(false), nil }
+	CliqueDecoder  DecoderFactory = func(s *System) (Decoder, error) { return s.Clique(), nil }
+)
+
+func (s *System) wrap(fs []DecoderFactory) []montecarlo.Factory {
+	out := make([]montecarlo.Factory, len(fs))
+	for i, f := range fs {
+		f := f
+		out[i] = func(*montecarlo.Env) (decoder.Decoder, error) { return f(s) }
+	}
+	return out
+}
+
+// EstimateLER runs a direct Monte Carlo memory experiment with the given
+// shot budget and returns per-decoder statistics (logical error rate,
+// Wilson interval, hardware-latency aggregates).
+func (s *System) EstimateLER(shots int64, seed uint64, factories ...DecoderFactory) ([]Stats, error) {
+	res, err := montecarlo.Run(s.env, montecarlo.RunConfig{Shots: shots, Seed: seed}, s.wrap(factories)...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Stats, nil
+}
+
+// EstimateLERStratified runs the paper's Appendix A.1 estimator (Equation
+// 3): per-stratum failure probabilities with exactly k injected faults,
+// combined with binomial occurrence weights. It reaches logical error rates
+// far below what direct sampling can resolve. Returns one LER per factory.
+func (s *System) EstimateLERStratified(maxK int, shotsPerK int64, seed uint64, factories ...DecoderFactory) ([]float64, error) {
+	res, err := montecarlo.RunStratified(s.env, montecarlo.StratifiedConfig{
+		MaxK: maxK, ShotsPerK: shotsPerK, Seed: seed,
+	}, s.wrap(factories)...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(factories))
+	for i := range factories {
+		out[i] = res.LER(i)
+	}
+	return out, nil
+}
+
+// LatencyNs converts a Result's cycle count to nanoseconds at the paper's
+// 250 MHz FPGA clock.
+func LatencyNs(r Result) float64 { return hwmodel.LatencyNs(r.Cycles) }
+
+// ChainStep is one error mechanism of a physical correction chain.
+type ChainStep = decodegraph.ChainStep
+
+// CorrectionChains reconstructs the physical correction behind a decode
+// result: for each matched pair, the most probable chain of error
+// mechanisms (graph edges) connecting the two detectors — or a detector and
+// the lattice boundary — whose reversal implements the correction (§2.2).
+// Returns one chain per pair of r.Pairs; nil for table decoders that carry
+// no explicit matching.
+func (s *System) CorrectionChains(r Result) ([][]ChainStep, error) {
+	if r.Pairs == nil {
+		return nil, nil
+	}
+	out := make([][]ChainStep, 0, len(r.Pairs))
+	for _, p := range r.Pairs {
+		j := p[1]
+		if j == Boundary {
+			j = s.env.Graph.Boundary()
+		}
+		chain, err := s.env.Graph.ChainBetween(p[0], j)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chain)
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package astrea
+
+import (
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := New(3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Distance() != 3 || sys.PhysicalErrorRate() != 1e-3 {
+		t.Fatal("accessors broken")
+	}
+	if sys.NumDetectors() != 16 {
+		t.Fatalf("NumDetectors = %d, want 16", sys.NumDetectors())
+	}
+	dec := sys.Astrea()
+	src := sys.NewShotSource(7)
+	decoded, errors := 0, 0
+	for i := 0; i < 5000; i++ {
+		syn, obs := src.Next()
+		r := dec.Decode(syn)
+		decoded++
+		if r.ObsPrediction != obs {
+			errors++
+		}
+	}
+	if decoded != 5000 {
+		t.Fatal("shot source stalled")
+	}
+	if errors > 200 {
+		t.Fatalf("%d logical errors in 5000 shots at d=3 p=1e-3", errors)
+	}
+}
+
+func TestAllDecodersConstructible(t *testing.T) {
+	sys, err := New(3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs := []Decoder{sys.MWPM(), sys.Astrea(), sys.UnionFind(false), sys.UnionFind(true), sys.Clique()}
+	ag, err := sys.AstreaG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs = append(decs, ag)
+	lut, err := sys.Lilliput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs = append(decs, lut)
+	src := sys.NewShotSource(1)
+	syn, _ := src.Next()
+	for _, d := range decs {
+		if d.Name() == "" {
+			t.Fatal("empty decoder name")
+		}
+		_ = d.Decode(syn)
+	}
+}
+
+func TestLilliputWallSurfaces(t *testing.T) {
+	sys, err := New(5, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Lilliput(); err == nil {
+		t.Fatal("LILLIPUT at d=5 must fail (2^72-entry table)")
+	}
+}
+
+func TestEstimateLER(t *testing.T) {
+	sys, err := New(3, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.EstimateLER(30000, 9, MWPMDecoder, AstreaDecoder, AFSDecoder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats for %d decoders", len(stats))
+	}
+	if stats[0].LER() <= 0 {
+		t.Fatal("MWPM LER zero at d=3 p=2e-3")
+	}
+	if stats[2].LER() <= stats[0].LER() {
+		t.Fatalf("AFS %v should be worse than MWPM %v", stats[2].LER(), stats[0].LER())
+	}
+}
+
+func TestEstimateLERStratified(t *testing.T) {
+	sys, err := New(3, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lers, err := sys.EstimateLERStratified(8, 2000, 3, MWPMDecoder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 4: d=3, p=1e-4 -> 8.1e-5.
+	if lers[0] < 8e-6 || lers[0] > 8e-4 {
+		t.Fatalf("stratified LER %v, want near 8.1e-5", lers[0])
+	}
+}
+
+func TestLatencyNs(t *testing.T) {
+	if got := LatencyNs(Result{Cycles: 114}); got != 456 {
+		t.Fatalf("LatencyNs(114 cycles) = %v, want 456", got)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(2, 1e-3); err == nil {
+		t.Fatal("even distance accepted")
+	}
+	if _, err := New(3, -1); err == nil {
+		t.Fatal("negative p accepted")
+	}
+}
+
+func TestCorrectionChains(t *testing.T) {
+	sys, err := New(3, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := sys.Astrea()
+	src := sys.NewShotSource(3)
+	checked := 0
+	for i := 0; i < 20000 && checked < 50; i++ {
+		syn, _ := src.Next()
+		if !syn.Any() {
+			continue
+		}
+		r := dec.Decode(syn)
+		if r.Skipped {
+			continue
+		}
+		chains, err := sys.CorrectionChains(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chains) != len(r.Pairs) {
+			t.Fatalf("%d chains for %d pairs", len(chains), len(r.Pairs))
+		}
+		// The chains' combined logical effect must equal the decoder's
+		// prediction (the chains realise the correction the result scored).
+		var obs uint64
+		for _, ch := range chains {
+			for _, step := range ch {
+				obs ^= step.Obs
+			}
+		}
+		if obs != r.ObsPrediction {
+			t.Fatalf("chain obs %#x != prediction %#x", obs, r.ObsPrediction)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d decodes checked", checked)
+	}
+}
+
+func TestNewCustomMemoryX(t *testing.T) {
+	sys, err := NewCustom(3, 3, BasisX, NoiseMap{Base: 2e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := sys.MWPM()
+	src := sys.NewShotSource(5)
+	errs, shots := 0, 8000
+	for i := 0; i < shots; i++ {
+		syn, obs := src.Next()
+		if dec.Decode(syn).ObsPrediction != obs {
+			errs++
+		}
+	}
+	if errs == 0 || errs > shots/10 {
+		t.Fatalf("memory-X LER implausible: %d/%d", errs, shots)
+	}
+}
+
+func TestNewCustomNonUniform(t *testing.T) {
+	code := 17 // d=3 total qubits
+	scale := make([]float64, code)
+	for i := range scale {
+		scale[i] = 1
+	}
+	scale[0] = 10
+	sys, err := NewCustom(3, 3, BasisZ, NoiseMap{Base: 1e-3, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumDetectors() != 16 {
+		t.Fatalf("detectors = %d", sys.NumDetectors())
+	}
+	if _, err := NewCustom(3, 3, BasisZ, NoiseMap{Base: 1e-3, Scale: []float64{1}}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"astrea/internal/experiments"
+)
+
+func TestBudgetSelection(t *testing.T) {
+	for name, want := range map[string]experiments.Budget{
+		"quick": experiments.Quick, "standard": experiments.Standard, "full": experiments.Full,
+	} {
+		got, err := budget(name)
+		if err != nil || got != want {
+			t.Fatalf("budget(%q) = %+v, %v", name, got, err)
+		}
+	}
+	if _, err := budget("bogus"); err == nil {
+		t.Fatal("unknown budget accepted")
+	}
+}
+
+func TestDispatchRejectsUnknown(t *testing.T) {
+	if _, err := dispatch("99", nil, experiments.Quick); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := dispatch("3", []string{"notanumber"}, experiments.Quick); err == nil {
+		t.Fatal("bad argument accepted")
+	}
+}
+
+func TestDispatchStaticExperiment(t *testing.T) {
+	rs, err := dispatch("0", nil, experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("experiment 0 produced %d renderers", len(rs))
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.txt")
+	err := run([]string{"-budget", "quick", "-shots", "20000", "-shotsperk", "200",
+		"-seed", "5", out, "6", "3", "1e-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{"Figure 6", "Table 2", "logical error rate"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if err := run([]string{"-budget", "bogus", "x", "0"}); err == nil {
+		t.Fatal("bad budget accepted")
+	}
+	if err := run([]string{"/nonexistent-dir/x.txt", "0"}); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}

@@ -1,0 +1,23 @@
+#!/bin/bash
+# Reproduction runs backing EXPERIMENTS.md. Budgets sized for a 2-core box.
+set -x
+cd /root/repo
+BIN=/tmp/astreabin
+go build -o $BIN ./cmd/astrea
+D=/root/repo/data
+$BIN -budget quick $D/exp0_static.txt 0
+$BIN -shots 3000000 -shotsperk 100000 $D/exp6_table2_fig6.txt 6 3 1e-4
+$BIN -shots 3000000 -shotsperk 100000 $D/exp6_d5.txt 6 5 1e-4
+$BIN -shots 3000000 -shotsperk 60000  $D/exp6_d7.txt 6 7 1e-4
+$BIN -shots 200000  -shotsperk 100    $D/exp3_fig3.txt 3 7 1e-3
+$BIN -shots 1000000 -shotsperk 60000  $D/exp4_fig4.txt 4
+$BIN -shots 3000000 -shotsperk 60000  $D/exp5_table5.txt 5
+$BIN -shotsperk 60000 $D/exp2_table4.txt 2 3 5 7
+$BIN -shots 5000000 -shotsperk 100 $D/exp9_fig9.txt 9
+$BIN -shots 1000000 -shotsperk 100 $D/exp10_fig10.txt 10 7 1e-3
+$BIN -shotsperk 20000 $D/exp1_fig12_d7.txt 1 7
+$BIN -shotsperk 8000  $D/exp1_fig14_d9.txt 1 9
+$BIN -shotsperk 15000 $D/exp13_fig13.txt 13
+$BIN -shotsperk 8000  $D/exp12_table7.txt 12 9 500 1000 100
+$BIN -shotsperk 60000 $D/exp14_table9.txt 14
+echo ALL_DONE

@@ -1,0 +1,14 @@
+#!/bin/bash
+set -x
+cd /root/repo
+BIN=/tmp/astreabin
+go build -o $BIN ./cmd/astrea
+D=/root/repo/data
+$BIN -shotsperk 40000 $D/exp14_table9_p3e4.txt 14 3e-4
+$BIN -budget quick $D/exp15_streaming.txt 15 7 1e-3
+$BIN -budget standard -shots 2000000 $D/exp16_compress.txt 16 9 1e-3
+$BIN -shots 3000000 $D/exp17_nonuniform.txt 17 5
+$BIN -shots 3000000 $D/exp18_xz.txt 18 5 2e-3
+$BIN -shotsperk 150 $D/exp19_ablation.txt 19 7 5e-3
+$BIN -shots 2000000 $D/exp20_quant.txt 20 5 1e-3
+echo EXT_DONE

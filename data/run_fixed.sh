@@ -1,0 +1,14 @@
+#!/bin/bash
+set -x
+cd /root/repo
+BIN=/tmp/astreabin
+go build -o $BIN ./cmd/astrea
+D=/root/repo/data
+$BIN -shotsperk 60000 $D/exp2_table4.txt 2 3 5 7
+$BIN -shotsperk 60000 $D/exp4_fig4.txt 4
+$BIN -shotsperk 20000 $D/exp1_fig12_d7.txt 1 7
+$BIN -shotsperk 8000  $D/exp1_fig14_d9.txt 1 9
+$BIN -shotsperk 15000 $D/exp13_fig13.txt 13
+$BIN -shotsperk 8000  $D/exp12_table7.txt 12 9 500 1000 100
+$BIN -shotsperk 60000 $D/exp14_table9.txt 14
+echo FIXED_DONE

@@ -1,0 +1,61 @@
+package astrea_test
+
+import (
+	"fmt"
+
+	"astrea"
+)
+
+// Example demonstrates the core decode loop: build a system, sample noisy
+// shots, decode with Astrea, and score logical errors against the exact
+// software MWPM baseline.
+func Example() {
+	sys, err := astrea.New(3, 1e-3)
+	if err != nil {
+		panic(err)
+	}
+	fast := sys.Astrea()
+	gold := sys.MWPM()
+	src := sys.NewShotSource(2023)
+
+	shots, agreements := 0, 0
+	for shots < 2000 {
+		syndrome, _ := src.Next()
+		shots++
+		if fast.Decode(syndrome).ObsPrediction == gold.Decode(syndrome).ObsPrediction {
+			agreements++
+		}
+	}
+	fmt.Printf("distance %d, %d detectors\n", sys.Distance(), sys.NumDetectors())
+	fmt.Printf("Astrea agreed with exact MWPM on %d of %d shots\n", agreements, shots)
+	// Output:
+	// distance 3, 16 detectors
+	// Astrea agreed with exact MWPM on 2000 of 2000 shots
+}
+
+// ExampleLatencyNs shows the paper's worst-case decode: Hamming weight 10
+// costs 11 fetch + 103 decode cycles at 250 MHz.
+func ExampleLatencyNs() {
+	r := astrea.Result{Cycles: 114}
+	fmt.Printf("%.0f ns\n", astrea.LatencyNs(r))
+	// Output:
+	// 456 ns
+}
+
+// ExampleSystem_EstimateLERStratified reaches logical error rates far below
+// direct-sampling resolution using the paper's Equation 3 estimator.
+func ExampleSystem_EstimateLERStratified() {
+	sys, err := astrea.New(3, 1e-4)
+	if err != nil {
+		panic(err)
+	}
+	lers, err := sys.EstimateLERStratified(6, 4000, 1, astrea.MWPMDecoder)
+	if err != nil {
+		panic(err)
+	}
+	// The paper's Table 4 reports 8.1e-5 at this operating point; this
+	// reproduction's noise substrate lands near 1e-5.
+	fmt.Println(lers[0] > 1e-6 && lers[0] < 1e-4)
+	// Output:
+	// true
+}

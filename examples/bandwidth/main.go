@@ -1,0 +1,65 @@
+// Bandwidth provisioning: the Table 7 study. Syndrome bits must be
+// transmitted to the decoder inside the same 1 µs window used for decoding,
+// so transmission time eats decode budget. This example sweeps the
+// transmission time, shrinks Astrea-G's cycle budget accordingly, and
+// reports the relative logical error rate — showing how little bandwidth a
+// d=9 code actually needs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"astrea"
+	"astrea/internal/experiments"
+	"astrea/internal/hwmodel"
+	"astrea/internal/report"
+)
+
+func main() {
+	d := flag.Int("d", 9, "code distance")
+	p := flag.Float64("p", 1e-3, "physical error rate")
+	shotsPerK := flag.Int64("shotsperk", 2000, "stratified shots per fault count")
+	flag.Parse()
+
+	sys, err := astrea.New(*d, *p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wth := experiments.DefaultWth(*d, *p)
+	points := hwmodel.BandwidthTable(*d, []float64{0, 100, 200, 300, 400, 500})
+
+	t := report.Table{
+		Title: fmt.Sprintf("syndrome bandwidth vs accuracy (d=%d, p=%g, W_th=%.1f)", *d, *p, wth),
+		Headers: []string{"transmission (ns)", "bandwidth (MBps)", "decode budget (ns)",
+			"Astrea-G LER", "relative"},
+	}
+	var base float64
+	for _, pt := range points {
+		cfg := hwmodel.DefaultAstreaG(wth)
+		cfg.BudgetCycles = int(pt.DecodeBudgetNs / hwmodel.CycleNs)
+		lers, err := sys.EstimateLERStratified(24, *shotsPerK, 11,
+			func(s *astrea.System) (astrea.Decoder, error) { return s.AstreaGWith(cfg) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = lers[0]
+		}
+		bw := "unlimited"
+		if pt.TransmissionNs > 0 {
+			bw = fmt.Sprintf("%.0f", pt.BandwidthMBps)
+		}
+		rel := "1.00x"
+		if base > 0 {
+			rel = fmt.Sprintf("%.2fx", lers[0]/base)
+		}
+		t.AddRow(fmt.Sprintf("%.0f", pt.TransmissionNs), bw,
+			fmt.Sprintf("%.0f", pt.DecodeBudgetNs), lers[0], rel)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Memory experiment: the paper's headline workload. Runs a state-
+// preservation (memory-Z) experiment at one operating point and compares
+// the logical error rate of every decoder in the repository — software
+// MWPM, Astrea, Astrea-G, Clique+MWPM and the AFS-style Union-Find — the
+// Table 4 study at example scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"astrea"
+	"astrea/internal/report"
+)
+
+func main() {
+	distance := flag.Int("d", 5, "code distance (odd, >= 3)")
+	p := flag.Float64("p", 2e-3, "physical error rate")
+	shots := flag.Int64("shots", 500000, "Monte Carlo shots")
+	seed := flag.Uint64("seed", 1, "PRNG seed")
+	flag.Parse()
+
+	sys, err := astrea.New(*distance, *p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("memory-Z experiment: d=%d, %d rounds, p=%g, %d shots\n\n",
+		*distance, *distance, *p, *shots)
+
+	stats, err := sys.EstimateLER(*shots, *seed,
+		astrea.MWPMDecoder, astrea.AstreaDecoder, astrea.AstreaGDecoder,
+		astrea.CliqueDecoder, astrea.AFSDecoder)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.Table{
+		Title: "logical error rate by decoder",
+		Headers: []string{"decoder", "LER", "95% CI", "vs MWPM",
+			"mean lat (ns)", "max lat (ns)", "skipped", "not real-time"},
+	}
+	base := stats[0].LER()
+	for _, st := range stats {
+		lo, hi := st.LERInterval()
+		rel := "1.00x"
+		if base > 0 {
+			rel = fmt.Sprintf("%.2fx", st.LER()/base)
+		}
+		t.AddRow(st.Name, st.LER(), fmt.Sprintf("[%s, %s]", report.Sci(lo), report.Sci(hi)), rel,
+			fmt.Sprintf("%.2f", st.MeanLatencyNs()), fmt.Sprintf("%.0f", st.MaxLatencyNs()),
+			st.Skipped, st.NotRealTime)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

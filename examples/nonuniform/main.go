@@ -1,0 +1,84 @@
+// Non-uniform devices: real hardware has hot spots and drifting error
+// rates. This example builds a distance-5 device where some data qubits are
+// 10x noisier, then decodes it two ways — with a Global Weight Table still
+// programmed for the naive uniform assumption, and with the GWT
+// reprogrammed from the true rates — demonstrating the paper's §8.2 claim
+// that Astrea's GWT natively absorbs non-uniform error rates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"astrea/internal/decoder"
+	"astrea/internal/montecarlo"
+	"astrea/internal/mwpm"
+	"astrea/internal/report"
+	"astrea/internal/surface"
+)
+
+func main() {
+	d := flag.Int("d", 5, "code distance")
+	baseP := flag.Float64("p", 1e-3, "base physical error rate")
+	hot := flag.Float64("hot", 10, "hot-qubit multiplier")
+	shots := flag.Int64("shots", 400000, "Monte Carlo shots")
+	flag.Parse()
+
+	code, err := surface.New(*d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale := make([]float64, code.NumQubits())
+	for i := range scale {
+		scale[i] = 1
+	}
+	nHot := 0
+	for q := 0; q < len(code.DataPos); q += 3 {
+		scale[q] = *hot
+		nHot++
+	}
+	fmt.Printf("d=%d device: %d of %d data qubits run at %gx the base rate p=%g\n\n",
+		*d, nHot, len(code.DataPos), *hot, *baseP)
+
+	// The true device: circuit carries the real per-qubit rates.
+	cc, err := code.Memory(surface.BasisZ, *d, surface.NoiseMap{Base: *baseP, Scale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueEnv, err := montecarlo.NewEnvFromCircuit(code, cc, *d, *baseP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The stale calibration: weights extracted from a uniform-p model.
+	staleEnv, err := montecarlo.NewEnv(*d, *d, *baseP)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := montecarlo.Run(trueEnv, montecarlo.RunConfig{Shots: *shots, Seed: 7},
+		func(*montecarlo.Env) (decoder.Decoder, error) { return mwpm.New(staleEnv.GWT), nil },
+		func(env *montecarlo.Env) (decoder.Decoder, error) { return mwpm.New(env.GWT), nil },
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.Table{
+		Title:   "decoding a non-uniform device",
+		Headers: []string{"weight table", "logical error rate", "95% CI"},
+	}
+	names := []string{"stale (assumes uniform p)", "reprogrammed from true rates"}
+	for i, st := range res.Stats {
+		lo, hi := st.LERInterval()
+		t.AddRow(names[i], st.LER(), fmt.Sprintf("[%s, %s]", report.Sci(lo), report.Sci(hi)))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if res.Stats[1].LER() > 0 {
+		fmt.Printf("\nreprogramming the GWT improves the logical error rate by %.2fx\n",
+			res.Stats[0].LER()/res.Stats[1].LER())
+	}
+}

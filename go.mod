@@ -1,0 +1,3 @@
+module astrea
+
+go 1.22

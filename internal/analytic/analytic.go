@@ -1,0 +1,121 @@
+// Package analytic implements the paper's closed-form models: the binomial
+// upper bound on syndrome Hamming-weight probabilities (Equation 1, §4.2.1,
+// Figure 6) and the probability-of-occurrence term P_o(k) used by the
+// stratified logical-error-rate estimator of Appendix A.1 (Equation 3).
+package analytic
+
+import (
+	"math"
+)
+
+// LogBinomialPMF returns log P[X = k] for X ~ Binomial(n, p), computed via
+// log-gamma for numerical stability at the extreme tails the estimator
+// lives in (probabilities down to 1e-30 and beyond).
+func LogBinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(float64(n+1)) - lg(float64(k+1)) - lg(float64(n-k+1)) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+}
+
+// BinomialPMF is exp(LogBinomialPMF); it underflows gracefully to 0.
+func BinomialPMF(n int, p float64, k int) float64 {
+	return math.Exp(LogBinomialPMF(n, p, k))
+}
+
+// SyndromeBits returns D = (d+1)·(d²−1)/2, the per-type syndrome-vector
+// length of a distance-d memory experiment (§4.2.1).
+func SyndromeBits(d int) int { return (d + 1) * (d*d - 1) / 2 }
+
+// HWUpperBound evaluates Equation (1): the worst-case probability that a
+// distance-d syndrome vector at physical error rate p has Hamming weight h.
+// The model counts E ~ Binomial(D, 8p) error events, each flipping two
+// syndrome bits, so H = 2E and odd weights have probability zero.
+func HWUpperBound(d int, p float64, h int) float64 {
+	if h < 0 || h%2 == 1 {
+		return 0
+	}
+	return BinomialPMF(SyndromeBits(d), 8*p, h/2)
+}
+
+// HWUpperBoundTail returns P[H > h] under the Equation (1) model.
+func HWUpperBoundTail(d int, p float64, h int) float64 {
+	total := 0.0
+	n := SyndromeBits(d)
+	for e := h/2 + 1; e <= n; e++ {
+		pmf := BinomialPMF(n, 8*p, e)
+		total += pmf
+		if pmf == 0 && e > h/2+4 {
+			break
+		}
+	}
+	return total
+}
+
+// WilsonInterval returns the (lo, hi) 95% Wilson score interval for k
+// successes in n trials — the confidence bars quoted in EXPERIMENTS.md.
+func WilsonInterval(k, n int64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054
+	ph := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (ph + z*z/(2*nf)) / denom
+	half := z / denom * math.Sqrt(ph*(1-ph)/nf+z*z/(4*nf*nf))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// StratifiedLER combines per-stratum failure probabilities Pf[k] (estimated
+// by Monte Carlo with exactly k injected faults) with the occurrence
+// probabilities of a Binomial(n, p) fault count — Equation (3):
+//
+//	LER = Σ_k Pf(k) · Po(k)
+//
+// Pf[0] is taken as 0 (no faults, no failure). Strata beyond len(Pf)-1 are
+// bounded by carrying the last observed Pf forward, which keeps the
+// estimate conservative for heavy-weight strata that were not simulated.
+func StratifiedLER(n int, p float64, pf []float64) float64 {
+	if len(pf) == 0 {
+		return 0
+	}
+	total := 0.0
+	lastPf := pf[len(pf)-1]
+	for k := 1; k <= n; k++ {
+		po := BinomialPMF(n, p, k)
+		if po == 0 && k > len(pf)+4 {
+			break
+		}
+		f := lastPf
+		if k < len(pf) {
+			f = pf[k]
+		}
+		total += f * po
+	}
+	return total
+}

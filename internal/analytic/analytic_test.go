@@ -1,0 +1,125 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialPMFSmallCases(t *testing.T) {
+	// Binomial(2, 0.5): 0.25, 0.5, 0.25.
+	for k, want := range []float64{0.25, 0.5, 0.25} {
+		if got := BinomialPMF(2, 0.5, k); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("PMF(2,0.5,%d) = %v, want %v", k, got, want)
+		}
+	}
+	if BinomialPMF(5, 0.3, -1) != 0 || BinomialPMF(5, 0.3, 6) != 0 {
+		t.Fatal("out-of-range k must have probability 0")
+	}
+	if BinomialPMF(5, 0, 0) != 1 || BinomialPMF(5, 1, 5) != 1 {
+		t.Fatal("degenerate p handling broken")
+	}
+}
+
+func TestBinomialPMFNormalised(t *testing.T) {
+	f := func(nRaw uint8, pRaw float64) bool {
+		n := int(nRaw%50) + 1
+		p := math.Mod(math.Abs(pRaw), 1)
+		total := 0.0
+		for k := 0; k <= n; k++ {
+			total += BinomialPMF(n, p, k)
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyndromeBitsTable1(t *testing.T) {
+	want := map[int]int{3: 16, 5: 72, 7: 192, 9: 400}
+	for d, n := range want {
+		if got := SyndromeBits(d); got != n {
+			t.Fatalf("SyndromeBits(%d) = %d, want %d", d, got, n)
+		}
+	}
+}
+
+// Equation (1) sanity at d=7, p=1e-4: weight-0 dominates, the distribution
+// decays exponentially, odd weights are impossible, and the >10 tail is
+// tiny (the Astrea design premise, Table 2).
+func TestHWUpperBoundShape(t *testing.T) {
+	d, p := 7, 1e-4
+	if HWUpperBound(d, p, 1) != 0 || HWUpperBound(d, p, 7) != 0 {
+		t.Fatal("odd weights must be impossible in the model")
+	}
+	prev := HWUpperBound(d, p, 0)
+	if prev < 0.7 {
+		t.Fatalf("P(H=0) = %v, expected dominant", prev)
+	}
+	for h := 2; h <= 12; h += 2 {
+		cur := HWUpperBound(d, p, h)
+		if cur >= prev {
+			t.Fatalf("no exponential decay at h=%d: %v >= %v", h, cur, prev)
+		}
+		prev = cur
+	}
+	tail := HWUpperBoundTail(d, p, 10)
+	if tail > 1e-6 || tail <= 0 {
+		t.Fatalf("P(H>10) = %v, expected positive and below 1e-6", tail)
+	}
+	// At p=1e-3 the same tail is orders of magnitude heavier (Table 5).
+	if r := HWUpperBoundTail(7, 1e-3, 10) / tail; r < 100 {
+		t.Fatalf("tail ratio p=1e-3 vs 1e-4 only %v", r)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatal("empty sample must give the vacuous interval")
+	}
+	lo, hi = WilsonInterval(50, 100)
+	if lo > 0.5 || hi < 0.5 || hi-lo > 0.25 {
+		t.Fatalf("interval (%v, %v) implausible for 50/100", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 1000000)
+	if lo != 0 || hi > 1e-5 {
+		t.Fatalf("interval (%v, %v) implausible for 0/1e6", lo, hi)
+	}
+	// Monotone coverage: more trials, tighter interval.
+	lo1, hi1 := WilsonInterval(10, 100)
+	lo2, hi2 := WilsonInterval(100, 1000)
+	if (hi2 - lo2) >= (hi1 - lo1) {
+		t.Fatal("interval did not tighten with sample size")
+	}
+}
+
+func TestStratifiedLER(t *testing.T) {
+	if StratifiedLER(100, 1e-3, nil) != 0 {
+		t.Fatal("empty strata must give 0")
+	}
+	// All strata fail -> LER = P(at least one fault).
+	pf := make([]float64, 101)
+	for i := 1; i < len(pf); i++ {
+		pf[i] = 1
+	}
+	got := StratifiedLER(100, 1e-3, pf)
+	want := 1 - BinomialPMF(100, 1e-3, 0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("all-fail LER %v, want %v", got, want)
+	}
+	// Only k>=2 fails: LER = P(K>=2).
+	pf2 := []float64{0, 0, 1}
+	got2 := StratifiedLER(100, 1e-3, pf2)
+	want2 := 1 - BinomialPMF(100, 1e-3, 0) - BinomialPMF(100, 1e-3, 1)
+	if math.Abs(got2-want2)/want2 > 1e-9 {
+		t.Fatalf("k>=2 LER %v, want %v", got2, want2)
+	}
+	// Monotone in Pf.
+	a := StratifiedLER(200, 1e-4, []float64{0, 0.1, 0.2})
+	b := StratifiedLER(200, 1e-4, []float64{0, 0.2, 0.4})
+	if a >= b {
+		t.Fatal("LER not monotone in stratum failure probabilities")
+	}
+}

@@ -1,0 +1,202 @@
+// Package astrea implements the paper's primary contribution: a real-time
+// MWPM decoder that brute-force searches every perfect matching of the
+// flagged syndrome bits, feasible because near-term surface codes (d ≤ 7)
+// almost never produce syndromes of Hamming weight above 10 (§4–§5).
+//
+// The search enumerates perfect matchings exactly as the hardware does: the
+// lowest-indexed unmatched bit is paired against every remaining candidate
+// (the pre-match step of Figure 7(b)), recursing until at most six bits
+// remain, which the HW6Decoder block resolves exhaustively (15 matchings,
+// 30 adders). Weights are the 8-bit quantised Global Weight Table entries
+// the hardware stores in SRAM; pair weights already fold in the
+// through-boundary alternative, so pairing-only enumeration is exact MWPM
+// (property-tested against the blossom baseline). Odd-weight syndromes gain
+// one virtual boundary bit (§5.2.2, footnote 2).
+//
+// Syndromes with Hamming weight above 10 are skipped — the core design
+// trade-off of §5.7: at d ≤ 7 and p = 10⁻⁴ they occur less often than the
+// logical error rate, so ignoring them does not measurably change accuracy.
+//
+// Timing follows the §5.4 cycle model exactly: HW+1 fetch cycles plus
+// 1/11/103 decode cycles at 250 MHz, reproducing the 456 ns worst case.
+package astrea
+
+import (
+	"astrea/internal/bitvec"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/hwmodel"
+)
+
+// MaxHW is the largest Hamming weight Astrea decodes (§5.3).
+const MaxHW = 10
+
+// Decoder is the Astrea exhaustive-search decoder. Not safe for concurrent
+// use; create one per goroutine.
+type Decoder struct {
+	gwt *decodegraph.GWT
+
+	ones  []int
+	pairs [][2]int
+	best  [][2]int
+}
+
+// New returns an Astrea decoder over the given Global Weight Table.
+func New(gwt *decodegraph.GWT) *Decoder {
+	return &Decoder{gwt: gwt}
+}
+
+// Name implements decoder.Decoder.
+func (d *Decoder) Name() string { return "Astrea" }
+
+// Decode implements decoder.Decoder. Syndromes of Hamming weight above
+// MaxHW are returned with Skipped set and the identity correction.
+func (d *Decoder) Decode(syndrome bitvec.Vec) decoder.Result {
+	d.ones = syndrome.Ones(d.ones[:0])
+	hw := len(d.ones)
+	if hw == 0 {
+		return decoder.Result{RealTime: true}
+	}
+	if hw > MaxHW {
+		return decoder.Result{Skipped: true, RealTime: true}
+	}
+	cycles, _ := hwmodel.AstreaCycles(hw)
+
+	pairs, totalQ, obs := BestMatching(d.gwt, d.ones, &d.pairs, &d.best)
+	return decoder.Result{
+		ObsPrediction: obs,
+		Pairs:         append([][2]int(nil), pairs...),
+		Weight:        float64(totalQ),
+		Cycles:        cycles,
+		RealTime:      true,
+	}
+}
+
+// BestMatching exhaustively searches all perfect matchings of the given
+// flagged detectors under quantised GWT weights and returns the optimal
+// pairing, its total quantised weight, and its observable parity. An odd
+// node count is completed with one virtual boundary bit. scratch and best
+// are optional reusable buffers. This is the same logic block Astrea-G uses
+// as its HW6Decoder finishing stage, exported for that purpose.
+func BestMatching(gwt *decodegraph.GWT, nodes []int, scratch, best *[][2]int) (pairs [][2]int, totalQ int, obs uint64) {
+	var scratchBuf, bestBuf [][2]int
+	if scratch == nil {
+		scratch = &scratchBuf
+	}
+	if best == nil {
+		best = &bestBuf
+	}
+	k := len(nodes)
+	if k == 0 {
+		return nil, 0, 0
+	}
+	n := k
+	if n%2 == 1 {
+		n++ // virtual boundary bit occupies index k
+	}
+	e := enumerator{
+		gwt:      gwt,
+		nodes:    nodes,
+		n:        n,
+		used:     make([]bool, n),
+		cur:      (*scratch)[:0],
+		best:     (*best)[:0],
+		bestCost: -1,
+	}
+	e.search(0)
+	*scratch = e.cur
+	*best = e.best
+	return e.best, e.bestCost, e.bestObs
+}
+
+// enumerator walks the perfect matchings of nodes (plus virtual boundary),
+// always extending the lowest-indexed unmatched bit — the canonical order
+// that makes every matching reachable exactly once, mirroring the
+// pre-match/HW6 hardware structure.
+type enumerator struct {
+	gwt   *decodegraph.GWT
+	nodes []int
+	n     int
+	used  []bool
+
+	cur      [][2]int
+	cost     int
+	curObs   uint64
+	best     [][2]int
+	bestCost int
+	bestObs  uint64
+}
+
+// pairCost returns the quantised weight and observable parity of matching
+// slots a < b (slot index == len(nodes) means the virtual boundary bit).
+func (e *enumerator) pairCost(a, b int) (int, uint64) {
+	i := e.nodes[a]
+	if b >= len(e.nodes) { // partner is the virtual boundary
+		return int(e.gwt.Q(i, i)), e.gwt.Obs(i, i)
+	}
+	j := e.nodes[b]
+	return int(e.gwt.Q(i, j)), e.gwt.Obs(i, j)
+}
+
+func (e *enumerator) search(from int) {
+	// Find the lowest unmatched slot.
+	first := -1
+	for i := from; i < e.n; i++ {
+		if !e.used[i] {
+			first = i
+			break
+		}
+	}
+	if first == -1 {
+		if e.bestCost < 0 || e.cost < e.bestCost {
+			e.bestCost = e.cost
+			e.bestObs = e.curObs
+			e.best = append(e.best[:0], e.cur...)
+		}
+		return
+	}
+	e.used[first] = true
+	for j := first + 1; j < e.n; j++ {
+		if e.used[j] {
+			continue
+		}
+		w, o := e.pairCost(first, j)
+		// Branch-and-bound: prune paths already worse than the incumbent.
+		if e.bestCost >= 0 && e.cost+w >= e.bestCost {
+			continue
+		}
+		e.used[j] = true
+		e.cost += w
+		e.curObs ^= o
+		partner := decoder.Boundary
+		if j < len(e.nodes) {
+			partner = e.nodes[j]
+		}
+		e.cur = append(e.cur, [2]int{e.nodes[first], partner})
+
+		e.search(first + 1)
+
+		e.cur = e.cur[:len(e.cur)-1]
+		e.curObs ^= o
+		e.cost -= w
+		e.used[j] = false
+	}
+	e.used[first] = false
+}
+
+// CountMatchings returns the number of perfect matchings a Hamming-weight-w
+// syndrome admits: (w'−1)!! with w' = w rounded up to even — Equation (2)
+// of the paper (3 at w=4, 15 at w=6, 105 at w=8, 945 at w=10).
+func CountMatchings(w int) int {
+	if w <= 0 {
+		return 1
+	}
+	if w%2 == 1 {
+		w++
+	}
+	n := 1
+	for k := w - 1; k > 1; k -= 2 {
+		n *= k
+	}
+	return n
+}

@@ -1,0 +1,274 @@
+package astrea
+
+import (
+	"math"
+
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/hwmodel"
+)
+
+// This file mirrors the paper's hardware structure literally (Figures 7 and
+// 8) rather than as a pruned recursive search: a fixed table of the 15
+// perfect matchings of six bits evaluated by an adder network (HW6Decoder),
+// plus the pre-match loops that extend it to Hamming weights 8 (7 cycles)
+// and 10 (63 cycles). BestMatching (astrea.go) is the optimised software
+// equivalent; HW6Path exists to cross-validate it and to document the
+// microarchitecture, and its tests pin the two implementations together.
+
+// hw6Matchings is the HW6Decoder's matching table: the 15 perfect matchings
+// of slots {0..5}, each three pairs. Built deterministically at init in
+// first-slot-ascending order, exactly the enumeration the weight array
+// feeds the 30-adder network with.
+var hw6Matchings [15][3][2]int
+
+func init() {
+	n := 0
+	var rec func(used uint8, cur [][2]int)
+	rec = func(used uint8, cur [][2]int) {
+		first := -1
+		for i := 0; i < 6; i++ {
+			if used&(1<<uint(i)) == 0 {
+				first = i
+				break
+			}
+		}
+		if first == -1 {
+			copy(hw6Matchings[n][:], cur)
+			n++
+			return
+		}
+		for j := first + 1; j < 6; j++ {
+			if used&(1<<uint(j)) != 0 {
+				continue
+			}
+			rec(used|1<<uint(first)|1<<uint(j), append(cur, [2]int{first, j}))
+		}
+	}
+	rec(0, nil)
+	if n != 15 {
+		panic("astrea: HW6 matching table must have 15 entries")
+	}
+}
+
+// hw6Infinity marks a forbidden pairing (real bit with a padding slot).
+const hw6Infinity = math.MaxInt32
+
+// hw6Weights is the HW6Decoder weight array: one entry per unordered slot
+// pair, plus the chain observable parities.
+type hw6Weights struct {
+	w   [6][6]int
+	obs [6][6]uint64
+}
+
+// decodeHW6 evaluates all 15 matchings of the weight array and returns the
+// minimum total, its observable parity and its pair list over slot indices
+// (the HW6Decoder block of Figure 7(a)).
+func (hw *hw6Weights) decode() (best int, obs uint64, pairs [3][2]int) {
+	best = -1
+	for _, m := range hw6Matchings {
+		total := 0
+		var o uint64
+		for _, pr := range m {
+			total += hw.w[pr[0]][pr[1]]
+			o ^= hw.obs[pr[0]][pr[1]]
+		}
+		if best < 0 || total < best {
+			best, obs, pairs = total, o, m
+		}
+	}
+	return best, obs, pairs
+}
+
+// HW6Path decodes a syndrome of Hamming weight ≤ 10 using the literal
+// hardware dataflow: pad to six slots for weights ≤ 6 (one decode cycle),
+// pre-match one bit against each alternative for weights 7–8 (seven
+// cycles), and pre-match two pairs for weights 9–10 (63 cycles). It returns
+// the same Result a Decoder would. Syndromes above weight 10 (after the
+// virtual boundary bit) are rejected with Skipped.
+func HW6Path(gwt *decodegraph.GWT, flagged []int) decoder.Result {
+	k := len(flagged)
+	if k == 0 {
+		return decoder.Result{RealTime: true}
+	}
+	// Slot values: real detector ids; slot k is the virtual boundary bit
+	// when k is odd; slots beyond that are zero-cost padding.
+	n := k
+	if n%2 == 1 {
+		n++
+	}
+	if n > 10 {
+		return decoder.Result{Skipped: true, RealTime: true}
+	}
+
+	// weight/obs between slot values a, b in [0, n); index >= len(flagged)
+	// is the boundary bit.
+	wOf := func(a, b int) (int, uint64) {
+		if b < a {
+			a, b = b, a
+		}
+		if b >= k { // pairing with the virtual boundary bit
+			if a >= k {
+				return 0, 0
+			}
+			i := flagged[a]
+			return int(gwt.Q(i, i)), gwt.Obs(i, i)
+		}
+		i, j := flagged[a], flagged[b]
+		return int(gwt.Q(i, j)), gwt.Obs(i, j)
+	}
+
+	// fill builds the HW6 weight array for the six slot values in vals,
+	// with padding slots (value -1) free among themselves and forbidden
+	// against real slots.
+	var hw hw6Weights
+	fill := func(vals *[6]int) {
+		for a := 0; a < 6; a++ {
+			for b := a + 1; b < 6; b++ {
+				va, vb := vals[a], vals[b]
+				var w int
+				var o uint64
+				switch {
+				case va < 0 && vb < 0:
+					w = 0
+				case va < 0 || vb < 0:
+					w = hw6Infinity
+				default:
+					w, o = wOf(va, vb)
+				}
+				hw.w[a][b], hw.w[b][a] = w, w
+				hw.obs[a][b], hw.obs[b][a] = o, o
+			}
+		}
+	}
+
+	toPairs := func(vals *[6]int, slotPairs [3][2]int, dst [][2]int) [][2]int {
+		for _, pr := range slotPairs {
+			va, vb := vals[pr[0]], vals[pr[1]]
+			if va < 0 && vb < 0 {
+				continue // padding pair
+			}
+			pair := [2]int{0, decoder.Boundary}
+			switch {
+			case va < k:
+				pair[0] = flagged[va]
+				if vb < k {
+					pair[1] = flagged[vb]
+				}
+			default: // va is boundary, vb real
+				pair[0] = flagged[vb]
+			}
+			dst = append(dst, pair)
+		}
+		return dst
+	}
+
+	var res decoder.Result
+	res.RealTime = true
+	res.Cycles, _ = hwmodel.AstreaCycles(k)
+
+	switch {
+	case n <= 6:
+		var vals [6]int
+		for i := 0; i < 6; i++ {
+			if i < n {
+				vals[i] = i
+			} else {
+				vals[i] = -1
+			}
+		}
+		fill(&vals)
+		total, obs, pairs := hw.decode()
+		res.Weight = float64(total)
+		res.ObsPrediction = obs
+		res.Pairs = toPairs(&vals, pairs, nil)
+		return res
+
+	case n == 8:
+		// Figure 7(b): slot value 0 pre-matches each of 1..7 in turn.
+		best := -1
+		for other := 1; other < 8; other++ {
+			preW, preObs := wOf(0, other)
+			var vals [6]int
+			vi := 0
+			for v := 1; v < 8; v++ {
+				if v == other {
+					continue
+				}
+				vals[vi] = v
+				vi++
+			}
+			fill(&vals)
+			total, obs, pairs := hw.decode()
+			total += preW
+			if best < 0 || total < best {
+				best = total
+				res.Weight = float64(total)
+				res.ObsPrediction = obs ^ preObs
+				res.Pairs = toPairs(&vals, pairs, nil)
+				pre := [2]int{0, decoder.Boundary}
+				if other < k {
+					pre = [2]int{flagged[0], flagged[other]}
+				} else {
+					pre[0] = flagged[0]
+				}
+				res.Pairs = append(res.Pairs, pre)
+			}
+		}
+		return res
+
+	default: // n == 10: two pre-matched pairs, 9 × 7 = 63 combinations
+		best := -1
+		for o1 := 1; o1 < 10; o1++ {
+			pre1W, pre1Obs := wOf(0, o1)
+			// Second pre-match: lowest remaining value pairs with each of
+			// the other remaining values.
+			var rem [8]int
+			ri := 0
+			for v := 1; v < 10; v++ {
+				if v == o1 {
+					continue
+				}
+				rem[ri] = v
+				ri++
+			}
+			for oi := 1; oi < 8; oi++ {
+				pre2W, pre2Obs := wOf(rem[0], rem[oi])
+				var vals [6]int
+				vi := 0
+				for i := 1; i < 8; i++ {
+					if i == oi {
+						continue
+					}
+					vals[vi] = rem[i]
+					vi++
+				}
+				fill(&vals)
+				total, obs, pairs := hw.decode()
+				total += pre1W + pre2W
+				if best < 0 || total < best {
+					best = total
+					res.Weight = float64(total)
+					res.ObsPrediction = obs ^ pre1Obs ^ pre2Obs
+					res.Pairs = toPairs(&vals, pairs, nil)
+					res.Pairs = append(res.Pairs,
+						valuePair(flagged, 0, o1),
+						valuePair(flagged, rem[0], rem[oi]))
+				}
+			}
+		}
+		return res
+	}
+}
+
+// valuePair converts a slot-value pair to a detector pair.
+func valuePair(flagged []int, a, b int) [2]int {
+	k := len(flagged)
+	if b < a {
+		a, b = b, a
+	}
+	if b >= k {
+		return [2]int{flagged[a], decoder.Boundary}
+	}
+	return [2]int{flagged[a], flagged[b]}
+}

@@ -1,0 +1,102 @@
+package astrea
+
+import (
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decoder"
+	"astrea/internal/dem"
+	"astrea/internal/prng"
+)
+
+// The literal hardware dataflow (fixed 15-matching table + pre-match
+// loops) must find exactly the same optimal total as the recursive search
+// on every decodable syndrome — the two implementations pin each other.
+func TestHW6PathMatchesSearch(t *testing.T) {
+	m, gwt := build(t, 5, 5e-3)
+	dec := New(gwt)
+	rng := prng.New(515)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	byHW := map[int]int{}
+	for shot := 0; shot < 8000; shot++ {
+		smp.Sample(rng, s)
+		hw := s.PopCount()
+		if hw == 0 || hw > MaxHW {
+			continue
+		}
+		byHW[hw]++
+		want := dec.Decode(s)
+		got := HW6Path(gwt, s.Ones(nil))
+		if got.Weight != want.Weight {
+			t.Fatalf("shot %d hw=%d: hardware %v vs search %v", shot, hw, got.Weight, want.Weight)
+		}
+		if got.Cycles != want.Cycles {
+			t.Fatalf("shot %d hw=%d: cycles %d vs %d", shot, hw, got.Cycles, want.Cycles)
+		}
+		if ok, why := decoder.Validate(s, got); !ok {
+			t.Fatalf("shot %d: hardware matching invalid: %s", shot, why)
+		}
+	}
+	for hw := 1; hw <= MaxHW; hw++ {
+		if byHW[hw] == 0 {
+			t.Logf("note: no syndromes of weight %d sampled", hw)
+		}
+	}
+	// Must cover the three hardware regimes.
+	if byHW[4] == 0 || byHW[7]+byHW[8] == 0 || byHW[9]+byHW[10] == 0 {
+		t.Fatalf("regime coverage too thin: %v", byHW)
+	}
+}
+
+func TestHW6PathTrivial(t *testing.T) {
+	_, gwt := build(t, 3, 1e-3)
+	r := HW6Path(gwt, nil)
+	if r.ObsPrediction != 0 || r.Pairs != nil {
+		t.Fatalf("empty decode %+v", r)
+	}
+	r = HW6Path(gwt, []int{4})
+	if len(r.Pairs) != 1 || r.Pairs[0] != [2]int{4, decoder.Boundary} {
+		t.Fatalf("hw1 pairs %v", r.Pairs)
+	}
+	if r.Weight != float64(gwt.Q(4, 4)) {
+		t.Fatalf("hw1 weight %v", r.Weight)
+	}
+}
+
+func TestHW6PathSkipsAbove10(t *testing.T) {
+	_, gwt := build(t, 5, 1e-3)
+	flagged := make([]int, 11)
+	for i := range flagged {
+		flagged[i] = i
+	}
+	if r := HW6Path(gwt, flagged); !r.Skipped {
+		t.Fatal("hw 11 must be skipped")
+	}
+}
+
+func TestHW6MatchingTable(t *testing.T) {
+	// Every entry is a perfect matching of {0..5}; all 15 are distinct.
+	seen := map[[3][2]int]bool{}
+	for _, m := range hw6Matchings {
+		var used uint8
+		for _, pr := range m {
+			if pr[0] >= pr[1] {
+				t.Fatalf("unsorted pair %v", pr)
+			}
+			for _, v := range pr {
+				if used&(1<<uint(v)) != 0 {
+					t.Fatalf("slot reused in %v", m)
+				}
+				used |= 1 << uint(v)
+			}
+		}
+		if used != 0x3F {
+			t.Fatalf("matching %v does not cover all slots", m)
+		}
+		if seen[m] {
+			t.Fatalf("duplicate matching %v", m)
+		}
+		seen[m] = true
+	}
+}

@@ -1,0 +1,320 @@
+package astreag
+
+import (
+	"testing"
+
+	"astrea/internal/astrea"
+	"astrea/internal/bitvec"
+	"astrea/internal/blossom"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/dem"
+	"astrea/internal/hwmodel"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+	"astrea/internal/surface"
+)
+
+func build(t testing.TB, d int, p float64) (*dem.Model, *decodegraph.GWT) {
+	t.Helper()
+	code, err := surface.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := code.MemoryZ(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dem.FromCircuit(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := decodegraph.FromModel(m, cc.DetMetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwt, err := g.BuildGWT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, gwt
+}
+
+func newG(t testing.TB, gwt *decodegraph.GWT, wth float64) *Decoder {
+	t.Helper()
+	d, err := New(gwt, hwmodel.DefaultAstreaG(wth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	_, gwt := build(t, 3, 1e-3)
+	for _, cfg := range []hwmodel.AstreaGConfig{
+		{FetchWidth: 0, QueueEntries: 8, BudgetCycles: 250},
+		{FetchWidth: 2, QueueEntries: 0, BudgetCycles: 250},
+		{FetchWidth: 2, QueueEntries: 8, BudgetCycles: 0},
+	} {
+		if _, err := New(gwt, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// LHW syndromes must produce exactly the Astrea result.
+func TestLHWDelegation(t *testing.T) {
+	m, gwt := build(t, 5, 2e-3)
+	g := newG(t, gwt, 7)
+	a := astrea.New(gwt)
+	rng := prng.New(55)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	checked := 0
+	for shot := 0; shot < 2000; shot++ {
+		smp.Sample(rng, s)
+		if hw := s.PopCount(); hw == 0 || hw > astrea.MaxHW {
+			continue
+		}
+		checked++
+		ra, rg := a.Decode(s), g.Decode(s)
+		if ra.ObsPrediction != rg.ObsPrediction || ra.Weight != rg.Weight || ra.Cycles != rg.Cycles {
+			t.Fatalf("shot %d: delegation mismatch %+v vs %+v", shot, ra, rg)
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d LHW syndromes checked", checked)
+	}
+}
+
+// sampleHHW collects syndromes with HW above the Astrea limit.
+func sampleHHW(t testing.TB, m *dem.Model, n int, seed uint64, minHW int) []bitvec.Vec {
+	t.Helper()
+	rng := prng.New(seed)
+	smp := dem.NewSampler(m)
+	var out []bitvec.Vec
+	for tries := 0; len(out) < n && tries < 8_000_000; tries++ {
+		s := bitvec.New(m.NumDetectors)
+		smp.Sample(rng, s)
+		if s.PopCount() >= minHW {
+			out = append(out, s)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("could not collect %d HHW syndromes (got %d)", n, len(out))
+	}
+	return out
+}
+
+// HHW decoding: results must be valid matchings, never better than the
+// exact optimum over the same quantised weights, and equal to it in the
+// overwhelming majority of cases (the paper's claim that the greedy search
+// converges on the MWPM).
+func TestHHWNearOptimal(t *testing.T) {
+	m, gwt := build(t, 7, 8e-3) // stress noise level to generate many HHW shots
+	g := newG(t, gwt, 7)
+	var sv blossom.Solver
+
+	syndromes := sampleHHW(t, m, 150, 616, astrea.MaxHW+1)
+	equal, worse := 0, 0
+	for si, s := range syndromes {
+		r := g.Decode(s)
+		if r.Skipped {
+			t.Fatalf("syndrome %d skipped (hw=%d)", si, s.PopCount())
+		}
+		if ok, why := decoder.Validate(s, r); !ok {
+			t.Fatalf("syndrome %d: invalid matching: %s", si, why)
+		}
+		ones := s.Ones(nil)
+		hw := len(ones)
+		// Exact reference over Astrea-G's own solution space (pairs at
+		// quantised effective weights, any bit individually matchable to
+		// the boundary): the boundary-duplication formulation.
+		const big = int64(1) << 30
+		w := func(a, b int) int64 {
+			ra, rb := a < hw, b < hw
+			switch {
+			case ra && rb:
+				return int64(gwt.Q(ones[a], ones[b]))
+			case ra && !rb:
+				if b-hw == a {
+					return int64(gwt.Q(ones[a], ones[a]))
+				}
+				return big
+			case !ra && rb:
+				if a-hw == b {
+					return int64(gwt.Q(ones[b], ones[b]))
+				}
+				return big
+			default:
+				return 0
+			}
+		}
+		_, opt, err := sv.MinWeightPerfect(2*hw, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := int64(r.Weight)
+		if got < opt {
+			t.Fatalf("syndrome %d: Astrea-G weight %d below exact optimum %d", si, got, opt)
+		}
+		if got == opt {
+			equal++
+		} else {
+			worse++
+		}
+	}
+	// p = 8e-3 is 8x the paper's highest operating point (stress level); the
+	// beam still finds the exact MWPM weight on most syndromes. At the
+	// paper's operating points, TestObsAgreementAtOperatingPoint below shows
+	// near-perfect agreement on the quantity that matters (the prediction).
+	if frac := float64(equal) / float64(equal+worse); frac < 0.5 {
+		t.Fatalf("Astrea-G matched the exact MWPM weight on only %.0f%% of HHW syndromes (%d/%d)",
+			100*frac, equal, equal+worse)
+	}
+}
+
+// At a realistic noise level the greedy search must converge to the same
+// logical prediction as exact software MWPM on nearly every HHW syndrome —
+// the basis of the paper's "as accurate as MWPM" claim (Figs 12, 14).
+func TestObsAgreementAtOperatingPoint(t *testing.T) {
+	m, gwt := build(t, 7, 2e-3)
+	g := newG(t, gwt, 7)
+	mw := mwpm.New(gwt)
+	agree, total := 0, 0
+	for _, s := range sampleHHW(t, m, 120, 321, astrea.MaxHW+1) {
+		total++
+		if g.Decode(s).ObsPrediction == mw.Decode(s).ObsPrediction {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.95 {
+		t.Fatalf("observable agreement with MWPM only %.1f%% (%d/%d)", 100*frac, agree, total)
+	}
+}
+
+// The cycle budget must bound the work: a tiny budget still yields a valid
+// result and reports cycles within budget.
+func TestBudgetRespected(t *testing.T) {
+	m, gwt := build(t, 7, 8e-3)
+	cfg := hwmodel.DefaultAstreaG(7)
+	cfg.BudgetCycles = 30
+	g, err := New(gwt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sampleHHW(t, m, 30, 99, astrea.MaxHW+1) {
+		r := g.Decode(s)
+		if ok, why := decoder.Validate(s, r); !ok {
+			t.Fatalf("invalid matching under tight budget: %s", why)
+		}
+		if r.Cycles > cfg.BudgetCycles+s.PopCount()+1 {
+			t.Fatalf("cycles %d exceed budget %d", r.Cycles, cfg.BudgetCycles)
+		}
+	}
+}
+
+// Tighter thresholds keep fewer candidates; Figure 10(b)'s reduction.
+func TestCandidateFilteringMonotone(t *testing.T) {
+	m, gwt := build(t, 7, 8e-3)
+	s := sampleHHW(t, m, 1, 7, 14)[0]
+	var prev int = -1
+	for _, wth := range []float64{4, 6, 8, 10} {
+		g := newG(t, gwt, wth)
+		kept, total := g.CandidateCounts(s)
+		sumK, sumT := 0, 0
+		for i := range kept {
+			sumK += kept[i]
+			sumT += total[i]
+		}
+		if sumT != len(kept)*(len(kept)-1) {
+			t.Fatalf("total candidate count %d unexpected", sumT)
+		}
+		if prev >= 0 && sumK < prev {
+			t.Fatalf("candidate count not monotone in W_th")
+		}
+		if sumK > sumT {
+			t.Fatal("kept more than total")
+		}
+		prev = sumK
+	}
+	// At a generous threshold nearly everything survives; at W_th=4 the
+	// reduction must be substantial (paper reports 58% fewer pairs at d=7).
+	g4 := newG(t, gwt, 4)
+	kept4, total4 := g4.CandidateCounts(s)
+	sk, st := 0, 0
+	for i := range kept4 {
+		sk += kept4[i]
+		st += total4[i]
+	}
+	if float64(sk) > 0.7*float64(st) {
+		t.Fatalf("W_th=4 kept %d of %d pairs; expected a strong reduction", sk, st)
+	}
+}
+
+// Beyond MaxNodes the decoder skips (identity), never panics.
+func TestSkipsBeyondMaxNodes(t *testing.T) {
+	_, gwt := build(t, 7, 1e-3)
+	g := newG(t, gwt, 7)
+	s := bitvec.New(gwt.N)
+	for i := 0; i < MaxNodes+2; i++ {
+		s.Set(i)
+	}
+	r := g.Decode(s)
+	if !r.Skipped {
+		t.Fatal("expected skip beyond MaxNodes")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m, gwt := build(t, 7, 8e-3)
+	g1 := newG(t, gwt, 7)
+	g2 := newG(t, gwt, 7)
+	for _, s := range sampleHHW(t, m, 20, 4242, astrea.MaxHW+1) {
+		a, b := g1.Decode(s), g2.Decode(s)
+		if a.ObsPrediction != b.ObsPrediction || a.Weight != b.Weight || a.Cycles != b.Cycles {
+			t.Fatal("nondeterministic HHW decode")
+		}
+	}
+}
+
+// Decoding with Astrea-G must help: logical error rate well below raw flip
+// rate at stress noise.
+func TestDecodingHelps(t *testing.T) {
+	m, gwt := build(t, 5, 3e-3)
+	g := newG(t, gwt, 7)
+	rng := prng.New(22)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	const shots = 20000
+	raw, errs := 0, 0
+	for i := 0; i < shots; i++ {
+		obs := smp.Sample(rng, s)
+		if obs&1 == 1 {
+			raw++
+		}
+		if g.Decode(s).ObsPrediction != obs {
+			errs++
+		}
+	}
+	if raw == 0 {
+		t.Fatal("no raw flips")
+	}
+	if errs*3 >= raw {
+		t.Fatalf("Astrea-G barely helps: %d errors vs %d raw flips", errs, raw)
+	}
+}
+
+func BenchmarkDecodeHHWD9(b *testing.B) {
+	m, gwt := build(b, 9, 3e-3)
+	g, err := New(gwt, hwmodel.DefaultAstreaG(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := sampleHHW(b, m, 32, 1, astrea.MaxHW+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Decode(pool[i%len(pool)])
+	}
+}

@@ -1,0 +1,473 @@
+// Package blossom implements exact minimum-weight perfect matching on
+// complete graphs via Edmonds' blossom algorithm with dual variables — the
+// role BlossomV plays in the paper (§3.3): the gold-standard software MWPM
+// baseline, and the oracle against which Astrea's exhaustive search is
+// verified.
+//
+// The core is an O(n³)-style maximum-weight general matching with blossom
+// shrinking/expansion and half-integral dual adjustment; minimum-weight
+// perfect matching is obtained by the standard complement transform
+// w'(u,v) = C − w(u,v) with C larger than any weight, which makes every
+// perfect matching outweigh every non-perfect one on complete graphs.
+//
+// Weights are integers; callers quantise float weights (the decoding graph
+// uses a 2¹⁶ fixed-point scale, far finer than the hardware's 8-bit GWT).
+package blossom
+
+import (
+	"errors"
+	"fmt"
+)
+
+const inf = int64(1) << 62
+
+type edge struct {
+	u, v int
+	w    int64
+}
+
+// Solver carries reusable buffers for repeated matchings. The zero value is
+// ready to use; it is not safe for concurrent use.
+type Solver struct {
+	n, nx int
+	g     [][]edge
+	lab   []int64
+	match []int
+	slack []int
+	st    []int
+	pa    []int
+	ffrom [][]int
+	s     []int8
+	vis   []int
+	fl    [][]int
+	q     []int
+	t     int
+}
+
+func (sv *Solver) eDelta(e edge) int64 {
+	return sv.lab[e.u] + sv.lab[e.v] - sv.g[e.u][e.v].w*2
+}
+
+func (sv *Solver) updateSlack(u, x int) {
+	if sv.slack[x] == 0 || sv.eDelta(sv.g[u][x]) < sv.eDelta(sv.g[sv.slack[x]][x]) {
+		sv.slack[x] = u
+	}
+}
+
+func (sv *Solver) setSlack(x int) {
+	sv.slack[x] = 0
+	for u := 1; u <= sv.n; u++ {
+		if sv.g[u][x].w > 0 && sv.st[u] != x && sv.s[sv.st[u]] == 0 {
+			sv.updateSlack(u, x)
+		}
+	}
+}
+
+func (sv *Solver) qPush(x int) {
+	if x <= sv.n {
+		sv.q = append(sv.q, x)
+		return
+	}
+	for _, p := range sv.fl[x] {
+		sv.qPush(p)
+	}
+}
+
+func (sv *Solver) setSt(x, b int) {
+	sv.st[x] = b
+	if x > sv.n {
+		for _, p := range sv.fl[x] {
+			sv.setSt(p, b)
+		}
+	}
+}
+
+func (sv *Solver) getPr(b, xr int) int {
+	pr := 0
+	for i, p := range sv.fl[b] {
+		if p == xr {
+			pr = i
+			break
+		}
+	}
+	if pr%2 == 1 {
+		// Reverse the tail so the even-length alternating path is kept.
+		f := sv.fl[b]
+		for i, j := 1, len(f)-1; i < j; i, j = i+1, j-1 {
+			f[i], f[j] = f[j], f[i]
+		}
+		return len(f) - pr
+	}
+	return pr
+}
+
+func (sv *Solver) setMatch(u, v int) {
+	sv.match[u] = sv.g[u][v].v
+	if u <= sv.n {
+		return
+	}
+	e := sv.g[u][v]
+	xr := sv.ffrom[u][e.u]
+	pr := sv.getPr(u, xr)
+	for i := 0; i < pr; i++ {
+		sv.setMatch(sv.fl[u][i], sv.fl[u][i^1])
+	}
+	sv.setMatch(xr, v)
+	f := sv.fl[u]
+	rotated := append(append([]int(nil), f[pr:]...), f[:pr]...)
+	copy(f, rotated)
+}
+
+func (sv *Solver) augment(u, v int) {
+	for {
+		xnv := sv.st[sv.match[u]]
+		sv.setMatch(u, v)
+		if xnv == 0 {
+			return
+		}
+		sv.setMatch(xnv, sv.st[sv.pa[xnv]])
+		u, v = sv.st[sv.pa[xnv]], xnv
+	}
+}
+
+func (sv *Solver) getLca(u, v int) int {
+	sv.t++
+	for u != 0 || v != 0 {
+		if u != 0 {
+			if sv.vis[u] == sv.t {
+				return u
+			}
+			sv.vis[u] = sv.t
+			u = sv.st[sv.match[u]]
+			if u != 0 {
+				u = sv.st[sv.pa[u]]
+			}
+		}
+		u, v = v, u
+	}
+	return 0
+}
+
+func (sv *Solver) addBlossom(u, lca, v int) {
+	b := sv.n + 1
+	for b <= sv.nx && sv.st[b] != 0 {
+		b++
+	}
+	if b > sv.nx {
+		sv.nx++
+	}
+	sv.lab[b] = 0
+	sv.s[b] = 0
+	sv.match[b] = sv.match[lca]
+	sv.fl[b] = append(sv.fl[b][:0], lca)
+	for x := u; x != lca; {
+		y := sv.st[sv.match[x]]
+		sv.fl[b] = append(sv.fl[b], x, y)
+		sv.qPush(y)
+		x = sv.st[sv.pa[y]]
+	}
+	// Reverse everything after the first element.
+	f := sv.fl[b]
+	for i, j := 1, len(f)-1; i < j; i, j = i+1, j-1 {
+		f[i], f[j] = f[j], f[i]
+	}
+	for x := v; x != lca; {
+		y := sv.st[sv.match[x]]
+		sv.fl[b] = append(sv.fl[b], x, y)
+		sv.qPush(y)
+		x = sv.st[sv.pa[y]]
+	}
+	sv.setSt(b, b)
+	for x := 1; x <= sv.nx; x++ {
+		sv.g[b][x].w = 0
+		sv.g[x][b].w = 0
+	}
+	for x := 1; x <= sv.n; x++ {
+		sv.ffrom[b][x] = 0
+	}
+	for _, xs := range sv.fl[b] {
+		for x := 1; x <= sv.nx; x++ {
+			if sv.g[b][x].w == 0 || sv.eDelta(sv.g[xs][x]) < sv.eDelta(sv.g[b][x]) {
+				sv.g[b][x] = sv.g[xs][x]
+				sv.g[x][b] = sv.g[x][xs]
+			}
+		}
+		for x := 1; x <= sv.n; x++ {
+			if sv.ffrom[xs][x] != 0 {
+				sv.ffrom[b][x] = xs
+			}
+		}
+	}
+	sv.setSlack(b)
+}
+
+func (sv *Solver) expandBlossom(b int) {
+	for _, p := range sv.fl[b] {
+		sv.setSt(p, p)
+	}
+	xr := sv.ffrom[b][sv.g[b][sv.pa[b]].u]
+	pr := sv.getPr(b, xr)
+	for i := 0; i < pr; i += 2 {
+		xs := sv.fl[b][i]
+		xns := sv.fl[b][i+1]
+		sv.pa[xs] = sv.g[xns][xs].u
+		sv.s[xs] = 1
+		sv.s[xns] = 0
+		sv.slack[xs] = 0
+		sv.setSlack(xns)
+		sv.qPush(xns)
+	}
+	sv.s[xr] = 1
+	sv.pa[xr] = sv.pa[b]
+	for i := pr + 1; i < len(sv.fl[b]); i++ {
+		xs := sv.fl[b][i]
+		sv.s[xs] = -1
+		sv.setSlack(xs)
+	}
+	sv.st[b] = 0
+}
+
+func (sv *Solver) onFoundEdge(e edge) bool {
+	u, v := sv.st[e.u], sv.st[e.v]
+	switch sv.s[v] {
+	case -1:
+		sv.pa[v] = e.u
+		sv.s[v] = 1
+		nu := sv.st[sv.match[v]]
+		sv.slack[v] = 0
+		sv.slack[nu] = 0
+		sv.s[nu] = 0
+		sv.qPush(nu)
+	case 0:
+		lca := sv.getLca(u, v)
+		if lca == 0 {
+			sv.augment(u, v)
+			sv.augment(v, u)
+			return true
+		}
+		sv.addBlossom(u, lca, v)
+	}
+	return false
+}
+
+func (sv *Solver) matching() bool {
+	for i := 0; i <= sv.nx; i++ {
+		sv.s[i] = -1
+		sv.slack[i] = 0
+	}
+	sv.q = sv.q[:0]
+	for x := 1; x <= sv.nx; x++ {
+		if sv.st[x] == x && sv.match[x] == 0 {
+			sv.pa[x] = 0
+			sv.s[x] = 0
+			sv.qPush(x)
+		}
+	}
+	if len(sv.q) == 0 {
+		return false
+	}
+	for {
+		for len(sv.q) > 0 {
+			u := sv.q[0]
+			sv.q = sv.q[1:]
+			if sv.s[sv.st[u]] == 1 {
+				continue
+			}
+			for v := 1; v <= sv.n; v++ {
+				if sv.g[u][v].w > 0 && sv.st[u] != sv.st[v] {
+					if sv.eDelta(sv.g[u][v]) == 0 {
+						if sv.onFoundEdge(sv.g[u][v]) {
+							return true
+						}
+					} else {
+						sv.updateSlack(u, sv.st[v])
+					}
+				}
+			}
+		}
+		d := inf
+		for b := sv.n + 1; b <= sv.nx; b++ {
+			if sv.st[b] == b && sv.s[b] == 1 {
+				if half := sv.lab[b] / 2; half < d {
+					d = half
+				}
+			}
+		}
+		for x := 1; x <= sv.nx; x++ {
+			if sv.st[x] == x && sv.slack[x] != 0 {
+				delta := sv.eDelta(sv.g[sv.slack[x]][x])
+				switch sv.s[x] {
+				case -1:
+					if delta < d {
+						d = delta
+					}
+				case 0:
+					if delta/2 < d {
+						d = delta / 2
+					}
+				}
+			}
+		}
+		for u := 1; u <= sv.n; u++ {
+			switch sv.s[sv.st[u]] {
+			case 0:
+				if sv.lab[u] <= d {
+					return false
+				}
+				sv.lab[u] -= d
+			case 1:
+				sv.lab[u] += d
+			}
+		}
+		for b := sv.n + 1; b <= sv.nx; b++ {
+			if sv.st[b] == b {
+				switch sv.s[b] {
+				case 0:
+					sv.lab[b] += d * 2
+				case 1:
+					sv.lab[b] -= d * 2
+				}
+			}
+		}
+		sv.q = sv.q[:0]
+		for x := 1; x <= sv.nx; x++ {
+			if sv.st[x] == x && sv.slack[x] != 0 && sv.st[sv.slack[x]] != x &&
+				sv.eDelta(sv.g[sv.slack[x]][x]) == 0 {
+				if sv.onFoundEdge(sv.g[sv.slack[x]][x]) {
+					return true
+				}
+			}
+		}
+		for b := sv.n + 1; b <= sv.nx; b++ {
+			if sv.st[b] == b && sv.s[b] == 1 && sv.lab[b] == 0 {
+				sv.expandBlossom(b)
+			}
+		}
+	}
+}
+
+func (sv *Solver) reset(n int) {
+	cap2 := 2*n + 1
+	if len(sv.g) < cap2 {
+		sv.g = make([][]edge, cap2)
+		for i := range sv.g {
+			sv.g[i] = make([]edge, cap2)
+		}
+		sv.ffrom = make([][]int, cap2)
+		for i := range sv.ffrom {
+			sv.ffrom[i] = make([]int, cap2)
+		}
+		sv.lab = make([]int64, cap2)
+		sv.match = make([]int, cap2)
+		sv.slack = make([]int, cap2)
+		sv.st = make([]int, cap2)
+		sv.pa = make([]int, cap2)
+		sv.s = make([]int8, cap2)
+		sv.vis = make([]int, cap2)
+		sv.fl = make([][]int, cap2)
+	}
+	sv.n = n
+	sv.nx = n
+	for u := 0; u < cap2; u++ {
+		sv.st[u] = u
+		if u <= n {
+			sv.fl[u] = nil
+		} else {
+			sv.st[u] = 0
+			sv.fl[u] = sv.fl[u][:0]
+		}
+		sv.match[u] = 0
+		sv.vis[u] = 0
+		sv.lab[u] = 0
+		sv.pa[u] = 0
+		sv.slack[u] = 0
+		sv.s[u] = 0
+	}
+	sv.t = 0
+}
+
+// maxWeightMatching runs the core algorithm on the currently loaded graph.
+func (sv *Solver) maxWeightMatching() {
+	var wMax int64
+	for u := 1; u <= sv.n; u++ {
+		for v := 1; v <= sv.n; v++ {
+			if u == v {
+				sv.ffrom[u][v] = u
+			} else {
+				sv.ffrom[u][v] = 0
+			}
+			if sv.g[u][v].w > wMax {
+				wMax = sv.g[u][v].w
+			}
+		}
+	}
+	for u := 1; u <= sv.n; u++ {
+		sv.lab[u] = wMax
+	}
+	for sv.matching() {
+	}
+}
+
+// MinWeightPerfect computes a minimum-weight perfect matching of the
+// complete graph on n vertices (0-based) with the given non-negative weight
+// function. It returns mate (mate[i] = j) and the total weight. n must be
+// even and positive.
+func (sv *Solver) MinWeightPerfect(n int, weight func(i, j int) int64) ([]int, int64, error) {
+	if n <= 0 || n%2 != 0 {
+		return nil, 0, fmt.Errorf("blossom: n must be positive and even, got %d", n)
+	}
+	sv.reset(n)
+	var wMax int64
+	orig := make([]int64, (n+1)*(n+1))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := weight(i, j)
+			if w < 0 {
+				return nil, 0, fmt.Errorf("blossom: negative weight %d at (%d,%d)", w, i, j)
+			}
+			orig[(i+1)*(n+1)+j+1] = w
+			if w > wMax {
+				wMax = w
+			}
+		}
+	}
+	shift := wMax + 1
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			sv.g[i][j] = edge{u: i, v: j, w: 0}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			w := shift - orig[i*(n+1)+j]
+			sv.g[i][j] = edge{u: i, v: j, w: w}
+			sv.g[j][i] = edge{u: j, v: i, w: w}
+		}
+	}
+	sv.maxWeightMatching()
+
+	mate := make([]int, n)
+	var total int64
+	for i := 1; i <= n; i++ {
+		m := sv.match[i]
+		if m == 0 {
+			return nil, 0, errors.New("blossom: no perfect matching found (internal error on complete graph)")
+		}
+		mate[i-1] = m - 1
+		if m > i {
+			total += orig[i*(n+1)+m]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if mate[mate[i]] != i {
+			return nil, 0, errors.New("blossom: inconsistent matching (internal error)")
+		}
+	}
+	return mate, total, nil
+}
+
+// MinWeightPerfect is a convenience wrapper using a throwaway solver.
+func MinWeightPerfect(n int, weight func(i, j int) int64) ([]int, int64, error) {
+	var sv Solver
+	return sv.MinWeightPerfect(n, weight)
+}

@@ -1,0 +1,193 @@
+// Package clique implements a Clique-style hierarchical decoder (§2.3.4):
+// a tiny local pre-decoder that instantly clears "easy" error events —
+// isolated single-chain syndromes — and hands everything else ("hard to
+// decode events") to the software MWPM decoder.
+//
+// The pre-decoder partitions the flagged detectors into connected
+// components of the sparse decoding graph restricted to flagged nodes, and
+// resolves a component locally only when the choice is locally provably
+// optimal: a lone flagged detector goes to the boundary only if its
+// boundary chain is at most as heavy as its cheapest pairing with any other
+// flagged detector; a direct-edge pair is matched only if that pairing
+// beats both detectors' boundary chains and any cross pairing. Anything
+// else is a hard event: the MWPM fallback runs on the whole syndrome, and
+// the decode is flagged as not real-time — the property that caps Clique's
+// effective speed in the paper (§5.6: the software path dominates the
+// critical path).
+//
+// Accuracy is close to MWPM but strictly worse: the local-optimality test
+// compares weights, and ties or near-ties resolved locally can differ from
+// the global optimum.
+package clique
+
+import (
+	"math"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/mwpm"
+)
+
+// Decoder is the hierarchical Clique+MWPM decoder. Not safe for concurrent
+// use.
+type Decoder struct {
+	gwt      *decodegraph.GWT
+	neighbor [][]int // direct graph neighbours per detector (boundary excluded)
+	fallback *mwpm.Decoder
+
+	comp  []int
+	stack []int
+}
+
+// New builds the decoder from the sparse graph and its weight table.
+func New(g *decodegraph.Graph, gwt *decodegraph.GWT) *Decoder {
+	d := &Decoder{
+		gwt:      gwt,
+		neighbor: make([][]int, g.N),
+		fallback: mwpm.New(gwt),
+		comp:     make([]int, g.N),
+	}
+	for u := 0; u < g.N; u++ {
+		for _, e := range g.Neighbors(u) {
+			if e.To != g.Boundary() {
+				d.neighbor[u] = append(d.neighbor[u], e.To)
+			}
+		}
+	}
+	return d
+}
+
+// Name implements decoder.Decoder.
+func (d *Decoder) Name() string { return "Clique+MWPM" }
+
+// PreDecodeCycles is the latency model of the local stage: one cycle to
+// classify plus one to emit, per the Clique design's single-cycle local
+// logic.
+const PreDecodeCycles = 2
+
+// Decode implements decoder.Decoder.
+func (d *Decoder) Decode(syndrome bitvec.Vec) decoder.Result {
+	ones := syndrome.Ones(nil)
+	if len(ones) == 0 {
+		return decoder.Result{RealTime: true}
+	}
+	for _, i := range ones {
+		d.comp[i] = -1
+	}
+	flagged := make(map[int]bool, len(ones))
+	for _, i := range ones {
+		flagged[i] = true
+	}
+
+	// Label connected components among flagged nodes (direct edges only).
+	nComp := 0
+	var compNodes [][]int
+	for _, i := range ones {
+		if d.comp[i] != -1 {
+			continue
+		}
+		id := nComp
+		nComp++
+		nodes := []int{}
+		d.stack = append(d.stack[:0], i)
+		d.comp[i] = id
+		for len(d.stack) > 0 {
+			u := d.stack[len(d.stack)-1]
+			d.stack = d.stack[:len(d.stack)-1]
+			nodes = append(nodes, u)
+			for _, v := range d.neighbor[u] {
+				if flagged[v] && d.comp[v] == -1 {
+					d.comp[v] = id
+					d.stack = append(d.stack, v)
+				}
+			}
+		}
+		compNodes = append(compNodes, nodes)
+	}
+
+	const eps = 1e-9
+	// isolated reports whether detector i interacts with every flagged
+	// detector outside its own component only through the boundary: each
+	// cross pairing is no cheaper than the two boundary chains. When that
+	// holds, the global MWPM decomposes across the component boundary and
+	// the local decision is provably optimal.
+	isolated := func(i int, exclude ...int) bool {
+		for _, j := range ones {
+			if j == i {
+				continue
+			}
+			skip := false
+			for _, e := range exclude {
+				if j == e {
+					skip = true
+				}
+			}
+			if skip {
+				continue
+			}
+			if d.gwt.Weight(i, j) < d.gwt.BoundaryWeight(i)+d.gwt.BoundaryWeight(j)-eps {
+				return false
+			}
+		}
+		return true
+	}
+	// minCross(i, exclude...) is the cheapest pairing of i with any flagged
+	// detector outside the component.
+	minCross := func(i int, exclude ...int) float64 {
+		best := math.Inf(1)
+		for _, j := range ones {
+			if j == i {
+				continue
+			}
+			skip := false
+			for _, e := range exclude {
+				if j == e {
+					skip = true
+				}
+			}
+			if skip {
+				continue
+			}
+			if w := d.gwt.Weight(i, j); w < best {
+				best = w
+			}
+		}
+		return best
+	}
+
+	var res decoder.Result
+	res.RealTime = true
+	res.Cycles = PreDecodeCycles
+	for _, nodes := range compNodes {
+		easy := false
+		switch len(nodes) {
+		case 1:
+			i := nodes[0]
+			if isolated(i) {
+				res.Pairs = append(res.Pairs, [2]int{i, decoder.Boundary})
+				res.ObsPrediction ^= d.gwt.Obs(i, i)
+				res.Weight += d.gwt.BoundaryWeight(i)
+				easy = true
+			}
+		case 2:
+			i, j := nodes[0], nodes[1]
+			w := d.gwt.Weight(i, j) // folds in the through-boundary option
+			if w <= d.gwt.BoundaryWeight(i)+d.gwt.BoundaryWeight(j) &&
+				w <= minCross(i, j) && w <= minCross(j, i) {
+				res.Pairs = append(res.Pairs, [2]int{i, j})
+				res.ObsPrediction ^= d.gwt.Obs(i, j)
+				res.Weight += w
+				easy = true
+			}
+		}
+		if !easy {
+			// Hard event: defer the entire syndrome to software MWPM.
+			r := d.fallback.Decode(syndrome)
+			r.RealTime = false
+			r.Cycles = PreDecodeCycles
+			return r
+		}
+	}
+	return res
+}

@@ -1,0 +1,150 @@
+package clique
+
+import (
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/dem"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+	"astrea/internal/surface"
+)
+
+func build(t testing.TB, d int, p float64) (*dem.Model, *decodegraph.Graph, *decodegraph.GWT) {
+	t.Helper()
+	code, err := surface.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := code.MemoryZ(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dem.FromCircuit(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := decodegraph.FromModel(m, cc.DetMetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwt, err := g.BuildGWT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, g, gwt
+}
+
+// Single mechanisms are exactly the "easy events" Clique exists for: it
+// must decode every one correctly in real time, without MWPM fallback.
+func TestEasyEventsDecodedLocally(t *testing.T) {
+	m, g, gwt := build(t, 5, 1e-3)
+	d := New(g, gwt)
+	s := bitvec.New(g.N)
+	local := 0
+	for _, e := range m.Errors {
+		s.Reset()
+		for _, det := range e.Detectors {
+			s.Set(det)
+		}
+		r := d.Decode(s)
+		if !r.RealTime {
+			continue // a pair without a direct edge footprint cannot occur here
+		}
+		local++
+		if r.ObsPrediction != e.ObsMask {
+			t.Fatalf("mechanism %v predicted %#x, want %#x", e.Detectors, r.ObsPrediction, e.ObsMask)
+		}
+	}
+	if local < len(m.Errors)*9/10 {
+		t.Fatalf("only %d/%d mechanisms handled locally", local, len(m.Errors))
+	}
+}
+
+// Larger events must fall back to MWPM and lose the real-time property.
+func TestHardEventsFallBack(t *testing.T) {
+	m, g, gwt := build(t, 5, 6e-3)
+	d := New(g, gwt)
+	mw := mwpm.New(gwt)
+	rng := prng.New(9)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(g.N)
+	fallbacks := 0
+	for i := 0; i < 4000; i++ {
+		smp.Sample(rng, s)
+		r := d.Decode(s)
+		if ok, why := decoder.Validate(s, r); !ok {
+			t.Fatalf("invalid matching: %s", why)
+		}
+		if !r.RealTime {
+			fallbacks++
+			if r.ObsPrediction != mw.Decode(s).ObsPrediction {
+				t.Fatal("fallback path must equal MWPM exactly")
+			}
+		}
+	}
+	if fallbacks == 0 {
+		t.Fatal("no hard events observed at p=6e-3; pre-decoder suspiciously greedy")
+	}
+}
+
+// Accuracy: close to MWPM but not better; decisively better than nothing.
+func TestAccuracyBetweenRawAndMWPM(t *testing.T) {
+	m, g, gwt := build(t, 5, 3e-3)
+	d := New(g, gwt)
+	mw := mwpm.New(gwt)
+	rng := prng.New(11)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(g.N)
+	const shots = 40000
+	cErr, mErr, raw := 0, 0, 0
+	for i := 0; i < shots; i++ {
+		obs := smp.Sample(rng, s)
+		if obs&1 == 1 {
+			raw++
+		}
+		if d.Decode(s).ObsPrediction != obs {
+			cErr++
+		}
+		if mw.Decode(s).ObsPrediction != obs {
+			mErr++
+		}
+	}
+	if cErr < mErr {
+		t.Fatalf("Clique (%d) cannot beat exact MWPM (%d)", cErr, mErr)
+	}
+	if cErr*2 >= raw {
+		t.Fatalf("Clique barely decodes: %d vs %d raw", cErr, raw)
+	}
+}
+
+func TestEmptySyndrome(t *testing.T) {
+	_, g, gwt := build(t, 3, 1e-3)
+	d := New(g, gwt)
+	r := d.Decode(bitvec.New(g.N))
+	if r.ObsPrediction != 0 || !r.RealTime {
+		t.Fatalf("empty syndrome result %+v", r)
+	}
+}
+
+func BenchmarkDecodeD5(b *testing.B) {
+	m, g, gwt := build(b, 5, 1e-3)
+	d := New(g, gwt)
+	rng := prng.New(1)
+	smp := dem.NewSampler(m)
+	pool := make([]bitvec.Vec, 0, 128)
+	for len(pool) < 128 {
+		s := bitvec.New(g.N)
+		smp.Sample(rng, s)
+		if s.Any() {
+			pool = append(pool, s)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Decode(pool[i%len(pool)])
+	}
+}

@@ -1,0 +1,56 @@
+package compress
+
+import (
+	"testing"
+
+	"astrea/internal/bitvec"
+)
+
+// FuzzCodecRoundTrip feeds arbitrary bitmaps through every codec; run with
+// `go test -fuzz=FuzzCodecRoundTrip ./internal/compress` for continuous
+// fuzzing, or normally for the seed corpus.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint16(8))
+	f.Add([]byte{0xFF, 0x01}, uint16(16))
+	f.Add([]byte{0xAA, 0x55, 0xAA}, uint16(23))
+	f.Fuzz(func(t *testing.T, raw []byte, nRaw uint16) {
+		n := int(nRaw%1000) + 1
+		s := bitvec.New(n)
+		for i := 0; i < n && i/8 < len(raw); i++ {
+			if raw[i/8]&(1<<uint(i%8)) != 0 {
+				s.Set(i)
+			}
+		}
+		for _, c := range []Codec{Dense{}, Sparse{}, NewRice(n, 3), Rice{K: 0}} {
+			buf := c.Encode(s, nil)
+			out := bitvec.New(n)
+			consumed, err := c.Decode(buf, out)
+			if err != nil {
+				t.Fatalf("%s: decode of own encoding failed: %v", c.Name(), err)
+			}
+			if consumed != len(buf) {
+				t.Fatalf("%s: consumed %d of %d", c.Name(), consumed, len(buf))
+			}
+			if !out.Equal(s) {
+				t.Fatalf("%s: round-trip mismatch", c.Name())
+			}
+		}
+	})
+}
+
+// FuzzDecodeArbitraryBytes ensures decoders never panic or loop on garbage
+// payloads — they must either error or produce a valid syndrome.
+func FuzzDecodeArbitraryBytes(f *testing.F) {
+	f.Add([]byte{0x00}, uint16(16))
+	f.Add([]byte{0xFF, 0xFF, 0xFF}, uint16(64))
+	f.Fuzz(func(t *testing.T, payload []byte, nRaw uint16) {
+		n := int(nRaw%500) + 1
+		out := bitvec.New(n)
+		for _, c := range []Codec{Dense{}, Sparse{}, NewRice(n, 3)} {
+			consumed, err := c.Decode(payload, out)
+			if err == nil && (consumed < 0 || consumed > len(payload)) {
+				t.Fatalf("%s: consumed %d of %d without error", c.Name(), consumed, len(payload))
+			}
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package decodegraph
+
+import (
+	"math"
+	"testing"
+)
+
+// Chains must agree with the GWT entry they realise: same total weight and
+// same observable parity, for every pair and every boundary chain.
+func TestChainsMatchGWT(t *testing.T) {
+	_, _, g, gwt := buildGWT(t, 3, 1e-3)
+	n := g.N
+	for i := 0; i < n; i++ {
+		steps, err := g.ChainBetween(i, g.Boundary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ChainWeight(steps)-gwt.BoundaryWeight(i)) > 1e-9 {
+			t.Fatalf("boundary chain weight of %d: %v vs GWT %v", i, ChainWeight(steps), gwt.BoundaryWeight(i))
+		}
+		if ChainObs(steps) != gwt.Obs(i, i) {
+			t.Fatalf("boundary chain obs of %d mismatch", i)
+		}
+		if steps[len(steps)-1].To != g.Boundary() || steps[0].From != i {
+			t.Fatalf("chain endpoints wrong: %+v", steps)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			steps, err := g.ChainBetween(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ChainWeight(steps)-gwt.Weight(i, j)) > 1e-9 {
+				t.Fatalf("chain (%d,%d) weight %v vs GWT %v", i, j, ChainWeight(steps), gwt.Weight(i, j))
+			}
+			if ChainObs(steps) != gwt.Obs(i, j) {
+				t.Fatalf("chain (%d,%d) obs mismatch", i, j)
+			}
+			// Continuity: steps form a walk from i to j (possibly through
+			// the boundary).
+			at := i
+			for _, s := range steps {
+				if s.From != at {
+					t.Fatalf("discontinuous chain at %+v (expected from %d)", s, at)
+				}
+				at = s.To
+			}
+			if at != j {
+				t.Fatalf("chain (%d,%d) ends at %d", i, j, at)
+			}
+		}
+	}
+}
+
+// Through-boundary pairs must produce chains that pass through the boundary
+// node.
+func TestThroughBoundaryChains(t *testing.T) {
+	_, _, g, gwt := buildGWT(t, 5, 1e-3)
+	found := false
+	for i := 0; i < g.N && !found; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if gwt.BoundaryWeight(i)+gwt.BoundaryWeight(j) < gwt.DirectWeight(i, j)-1e-9 {
+				steps, err := g.ChainBetween(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				through := false
+				for _, s := range steps {
+					if s.To == g.Boundary() || s.From == g.Boundary() {
+						through = true
+					}
+				}
+				if !through {
+					t.Fatalf("pair (%d,%d) should route through the boundary", i, j)
+				}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no through-boundary pair at this distance")
+	}
+}
+
+func TestChainBetweenValidation(t *testing.T) {
+	_, _, g, _ := buildGWT(t, 3, 1e-3)
+	if _, err := g.ChainBetween(-1, 0); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := g.ChainBetween(0, g.N+5); err == nil {
+		t.Fatal("out-of-range partner accepted")
+	}
+	// i == j means the boundary chain.
+	steps, err := g.ChainBetween(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps[len(steps)-1].To != g.Boundary() {
+		t.Fatal("self pair must mean the boundary chain")
+	}
+}

@@ -1,0 +1,82 @@
+// Package decoder defines the interface shared by every syndrome decoder in
+// this reproduction (software MWPM, Astrea, Astrea-G, Union-Find, LILLIPUT,
+// Clique) along with the common result type used to score logical errors.
+package decoder
+
+import (
+	"astrea/internal/bitvec"
+)
+
+// Boundary is the sentinel partner index used in Result.Pairs when a
+// detector is matched to the lattice boundary.
+const Boundary = -1
+
+// Result is the outcome of decoding one syndrome vector.
+type Result struct {
+	// ObsPrediction is the decoder's predicted logical-observable flip mask:
+	// the XOR over all matched chains of their observable parities. A shot
+	// is a logical error when ObsPrediction differs from the sampled
+	// observable flips.
+	ObsPrediction uint64
+	// Pairs is the matching: each entry is (detector, partner) with partner
+	// == Boundary for boundary matches. May be nil for table-based decoders
+	// that predict the observable directly.
+	Pairs [][2]int
+	// Weight is the total matching weight in the decoder's own unit
+	// (decades for float decoders, quantised units for hardware decoders).
+	Weight float64
+	// Cycles is the number of hardware clock cycles the decode consumed
+	// under the decoder's timing model; zero for pure software decoders.
+	Cycles int
+	// Skipped reports that the decoder declined to decode this syndrome
+	// (e.g. Astrea beyond Hamming weight 10) and returned the identity
+	// correction.
+	Skipped bool
+	// RealTime reports whether this decode met the decoder's real-time
+	// path; hierarchical decoders clear it when they fall back to software.
+	RealTime bool
+}
+
+// Decoder decodes detector-event syndromes into logical corrections.
+// Implementations are stateful and not safe for concurrent use; create one
+// per goroutine via its constructor.
+type Decoder interface {
+	// Name identifies the decoder in reports ("MWPM", "Astrea", …).
+	Name() string
+	// Decode decodes the syndrome (one bit per detector).
+	Decode(syndrome bitvec.Vec) Result
+}
+
+// Validate checks the structural sanity of a matching against the syndrome:
+// every flagged detector appears exactly once, no unflagged detector
+// appears. It returns false with a reason string on violation; decoders'
+// tests use it as a universal invariant.
+func Validate(syndrome bitvec.Vec, r Result) (bool, string) {
+	if r.Pairs == nil {
+		return true, "" // table decoders carry no explicit matching
+	}
+	seen := make(map[int]bool)
+	for _, p := range r.Pairs {
+		for _, v := range []int{p[0], p[1]} {
+			if v == Boundary {
+				continue
+			}
+			if v < 0 || v >= syndrome.Len() {
+				return false, "pair index out of range"
+			}
+			if !syndrome.Get(v) {
+				return false, "matched an unflagged detector"
+			}
+			if seen[v] {
+				return false, "detector matched twice"
+			}
+			seen[v] = true
+		}
+	}
+	for _, idx := range syndrome.Ones(nil) {
+		if !seen[idx] {
+			return false, "flagged detector left unmatched"
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,54 @@
+package decoder
+
+import (
+	"testing"
+
+	"astrea/internal/bitvec"
+)
+
+func TestValidateAcceptsNilPairs(t *testing.T) {
+	s := bitvec.FromIndices(8, 1, 2)
+	if ok, _ := Validate(s, Result{}); !ok {
+		t.Fatal("nil pairs must validate (table decoders)")
+	}
+}
+
+func TestValidateAcceptsGoodMatching(t *testing.T) {
+	s := bitvec.FromIndices(8, 1, 2, 5)
+	r := Result{Pairs: [][2]int{{1, 2}, {5, Boundary}}}
+	if ok, why := Validate(s, r); !ok {
+		t.Fatalf("valid matching rejected: %s", why)
+	}
+}
+
+func TestValidateRejectsUnmatchedFlag(t *testing.T) {
+	s := bitvec.FromIndices(8, 1, 2, 5)
+	r := Result{Pairs: [][2]int{{1, 2}}}
+	if ok, _ := Validate(s, r); ok {
+		t.Fatal("unmatched flagged detector accepted")
+	}
+}
+
+func TestValidateRejectsDoubleMatch(t *testing.T) {
+	s := bitvec.FromIndices(8, 1, 2)
+	r := Result{Pairs: [][2]int{{1, 2}, {1, Boundary}}}
+	if ok, _ := Validate(s, r); ok {
+		t.Fatal("double-matched detector accepted")
+	}
+}
+
+func TestValidateRejectsUnflaggedMatch(t *testing.T) {
+	s := bitvec.FromIndices(8, 1)
+	r := Result{Pairs: [][2]int{{1, 3}}}
+	if ok, _ := Validate(s, r); ok {
+		t.Fatal("unflagged detector accepted in matching")
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	s := bitvec.FromIndices(8, 1)
+	r := Result{Pairs: [][2]int{{1, 99}}}
+	if ok, _ := Validate(s, r); ok {
+		t.Fatal("out-of-range index accepted")
+	}
+}

@@ -1,0 +1,218 @@
+// Package dem extracts a detector error model (DEM) from a noisy stabilizer
+// circuit: the list of independent error mechanisms, each annotated with the
+// set of detectors it flips and whether it flips each logical observable.
+//
+// This mirrors the role of Stim's detector error models in the paper's
+// infrastructure. The DEM is consumed two ways:
+//
+//   - by internal/decodegraph, which turns the (detector-pair, probability)
+//     list into the weighted decoding graph and the Global Weight Table;
+//   - by the fast sampler in this package, which draws detector-event shots
+//     directly from the merged mechanism list with geometric skipping, at a
+//     cost proportional to the number of errors that fire rather than the
+//     circuit size.
+//
+// Extraction propagates every noise slot's every Pauli outcome through the
+// circuit one at a time (the frame simulator is linear, so single-error
+// propagation fully characterises the model). Mechanisms whose detector
+// footprint is identical are merged with XOR-probability combination
+// p = p₁(1−p₂) + p₂(1−p₁), the standard independent-odd-firing rule.
+package dem
+
+import (
+	"fmt"
+	"sort"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/circuit"
+	"astrea/internal/prng"
+)
+
+// Error is one merged error mechanism of the model.
+type Error struct {
+	// Detectors lists the flipped detectors in ascending order. Length is 1
+	// (a boundary-terminating mechanism) or 2 (a graph edge); the surface
+	// code circuits built by internal/surface are verified to be graphlike.
+	Detectors []int
+	// ObsMask has bit k set if the mechanism flips logical observable k.
+	ObsMask uint64
+	// P is the merged firing probability.
+	P float64
+}
+
+// Model is the detector error model of one circuit.
+type Model struct {
+	NumDetectors   int
+	NumObservables int
+	// Errors is sorted by detector footprint for determinism.
+	Errors []Error
+	// MaxP is the largest mechanism probability (used by the sampler's
+	// rejection walk).
+	MaxP float64
+}
+
+// footprintKey builds a map key from a detector set and observable mask.
+func footprintKey(dets []int, obs uint64) string {
+	b := make([]byte, 0, len(dets)*4+8)
+	for _, d := range dets {
+		b = append(b, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+	}
+	b = append(b, byte(obs), byte(obs>>8), byte(obs>>16), byte(obs>>24),
+		byte(obs>>32), byte(obs>>40), byte(obs>>48), byte(obs>>56))
+	return string(b)
+}
+
+// kindsFor returns the outcomes a slot can produce and their probabilities.
+func kindsFor(op circuit.Op, p float64) ([]circuit.ErrKind, []float64) {
+	switch op {
+	case circuit.OpDepolarize1:
+		return []circuit.ErrKind{circuit.ErrX, circuit.ErrY, circuit.ErrZ},
+			[]float64{p / 3, p / 3, p / 3}
+	case circuit.OpXError:
+		return []circuit.ErrKind{circuit.ErrX}, []float64{p}
+	case circuit.OpZError:
+		return []circuit.ErrKind{circuit.ErrZ}, []float64{p}
+	case circuit.OpM:
+		return []circuit.ErrKind{circuit.ErrFlip}, []float64{p}
+	}
+	return nil, nil
+}
+
+// FromCircuit extracts the detector error model of c. It returns an error
+// if any mechanism flips more than two detectors (non-graphlike circuit) or
+// flips an observable while flipping no detector (an undetectable logical
+// error from a single fault, which would make decoding meaningless).
+func FromCircuit(c *circuit.Circuit) (*Model, error) {
+	m := &Model{
+		NumDetectors:   len(c.Detectors),
+		NumObservables: len(c.Observables),
+	}
+	merged := make(map[string]int) // footprint -> index into m.Errors
+	frame := c.NewFrame()
+	det := bitvec.New(len(c.Detectors))
+	var ones []int
+
+	for _, slot := range c.Slots() {
+		op := c.Instrs[slot.Instr].Op
+		kinds, probs := kindsFor(op, slot.P)
+		for ki, kind := range kinds {
+			inj := circuit.Injection{Instr: slot.Instr, Target: slot.Target, Kind: kind}
+			c.RunInjected([]circuit.Injection{inj}, frame)
+			c.DetectorEvents(frame, det)
+			obs := c.ObservableFlips(frame)
+			ones = det.Ones(ones[:0])
+			if len(ones) == 0 {
+				if obs != 0 {
+					return nil, fmt.Errorf("dem: mechanism %+v flips observable %#x with no detectors", inj, obs)
+				}
+				continue // harmless mechanism (e.g. Z error in a Z-memory run)
+			}
+			if len(ones) > 2 {
+				return nil, fmt.Errorf("dem: mechanism %+v flips %d detectors (non-graphlike)", inj, len(ones))
+			}
+			key := footprintKey(ones, obs)
+			if idx, ok := merged[key]; ok {
+				q := m.Errors[idx].P
+				pk := probs[ki]
+				m.Errors[idx].P = q*(1-pk) + pk*(1-q)
+				continue
+			}
+			merged[key] = len(m.Errors)
+			m.Errors = append(m.Errors, Error{
+				Detectors: append([]int(nil), ones...),
+				ObsMask:   obs,
+				P:         probs[ki],
+			})
+		}
+	}
+
+	// Two mechanisms with the same detector pair but different observable
+	// masks would make the edge's correction ambiguous; reject loudly. The
+	// check is quadratic-free via a second map keyed on detectors alone.
+	seen := make(map[string]uint64, len(m.Errors))
+	for _, e := range m.Errors {
+		k := footprintKey(e.Detectors, 0)
+		if prev, ok := seen[k]; ok && prev != e.ObsMask {
+			return nil, fmt.Errorf("dem: detector set %v carries conflicting observable masks %#x and %#x",
+				e.Detectors, prev, e.ObsMask)
+		}
+		seen[k] = e.ObsMask
+	}
+
+	sort.Slice(m.Errors, func(i, j int) bool {
+		a, b := m.Errors[i].Detectors, m.Errors[j].Detectors
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		la, lb := last(a), last(b)
+		return la < lb
+	})
+	for _, e := range m.Errors {
+		if e.P > m.MaxP {
+			m.MaxP = e.P
+		}
+	}
+	return m, nil
+}
+
+func last(s []int) int { return s[len(s)-1] }
+
+// Sampler draws detector-event shots directly from a model. It is not safe
+// for concurrent use; create one per goroutine.
+type Sampler struct {
+	model *Model
+}
+
+// NewSampler returns a sampler over m.
+func NewSampler(m *Model) *Sampler { return &Sampler{model: m} }
+
+// Sample draws one shot: detector events are XORed into det (which is reset
+// first and must have length NumDetectors); the return value is the
+// observable flip mask. The walk uses geometric skipping at the model's
+// maximum probability with per-landing acceptance p_i/p_max, so expected
+// cost is O(Σ p_i / max p_i · overhead + hits).
+func (s *Sampler) Sample(rng *prng.Source, det bitvec.Vec) uint64 {
+	m := s.model
+	if det.Len() != m.NumDetectors {
+		panic("dem: detector buffer length mismatch")
+	}
+	det.Reset()
+	var obs uint64
+	if m.MaxP <= 0 {
+		return 0
+	}
+	i := rng.Geometric(m.MaxP)
+	for i < len(m.Errors) {
+		e := &m.Errors[i]
+		if e.P == m.MaxP || rng.Float64()*m.MaxP < e.P {
+			for _, d := range e.Detectors {
+				det.Flip(d)
+			}
+			obs ^= e.ObsMask
+		}
+		i += 1 + rng.Geometric(m.MaxP)
+	}
+	return obs
+}
+
+// ExpectedErrors returns Σ p_i, the mean number of mechanism firings per
+// shot.
+func (m *Model) ExpectedErrors() float64 {
+	total := 0.0
+	for _, e := range m.Errors {
+		total += e.P
+	}
+	return total
+}
+
+// EdgeCount returns how many mechanisms are pair edges vs boundary edges.
+func (m *Model) EdgeCount() (pairs, boundary int) {
+	for _, e := range m.Errors {
+		if len(e.Detectors) == 2 {
+			pairs++
+		} else {
+			boundary++
+		}
+	}
+	return pairs, boundary
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny is the test budget: enough statistics for shape assertions while
+// keeping the suite fast.
+var tiny = Budget{Shots: 60_000, ShotsPerK: 600, Seed: 99}
+
+func TestTable1(t *testing.T) {
+	res, err := Table1(3, 5, 7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][5]int{{3, 9, 8, 17, 16}, {5, 25, 24, 49, 72}, {7, 49, 48, 97, 192}, {9, 81, 80, 161, 400}}
+	for i, row := range res.Rows {
+		got := [5]int{row.D, row.Data, row.Parity, row.Total, row.SynLen}
+		if got != want[i] {
+			t.Fatalf("row %d = %v, want %v", i, got, want[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestHWHistogramShape(t *testing.T) {
+	res, err := HWHistogram(3, 1e-3, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hist[0] == 0 {
+		t.Fatal("no weight-0 syndromes")
+	}
+	bands := res.Bands([][2]int{{0, 0}, {1, 2}, {3, -1}})
+	if bands[0].Prob < bands[1].Prob || bands[1].Prob < bands[2].Prob {
+		t.Fatalf("band probabilities not decaying: %+v", bands)
+	}
+	if res.LER <= 0 {
+		t.Fatal("stratified MWPM LER must be positive at d=3")
+	}
+}
+
+func TestTable2QuickShape(t *testing.T) {
+	res, err := Table2(tiny, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := res.Results[0]
+	b := hr.Bands(Table2Bands)
+	// At p=1e-4, weight-0 dominates (paper: 0.99 at d=3).
+	if b[0].Prob < 0.97 {
+		t.Fatalf("P(HW=0) = %v, want ~0.99", b[0].Prob)
+	}
+	// Paper's d=3 LER at p=1e-4 is 8.1e-5; the stratified estimator at a
+	// small budget should land within an order of magnitude.
+	if hr.LER < 8e-6 || hr.LER > 8e-4 {
+		t.Fatalf("d=3 LER %v, expected near 8.1e-5", hr.LER)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "logical error rate") {
+		t.Fatal("render missing LER row")
+	}
+}
+
+func TestTable4QuickOrdering(t *testing.T) {
+	res, err := Table4(tiny, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.LERs[0]
+	mwpmL, astreaL, lutL, cliqueL, ufL := row[0], row[1], row[2], row[3], row[4]
+	if mwpmL <= 0 {
+		t.Fatal("MWPM LER must be positive")
+	}
+	// Astrea and LILLIPUT track MWPM closely.
+	if math.Abs(astreaL-mwpmL)/mwpmL > 0.25 {
+		t.Fatalf("Astrea %v vs MWPM %v", astreaL, mwpmL)
+	}
+	if math.Abs(lutL-mwpmL)/mwpmL > 0.25 {
+		t.Fatalf("LILLIPUT %v vs MWPM %v", lutL, mwpmL)
+	}
+	// AFS(UF) is worse than MWPM; Clique is at least as bad as MWPM.
+	if ufL <= mwpmL {
+		t.Fatalf("AFS %v should exceed MWPM %v", ufL, mwpmL)
+	}
+	if cliqueL < mwpmL*0.8 {
+		t.Fatalf("Clique %v implausibly beats MWPM %v", cliqueL, mwpmL)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable6MatchesPaperScale(t *testing.T) {
+	res := Table6(7, 9)
+	gwt := res.Rows["Global Weight Table (GWT)"]
+	if gwt[0] != 36864 || gwt[1] != 160000 {
+		t.Fatalf("GWT bytes %v, want [36864 160000]", gwt)
+	}
+	tot := res.Rows["Total"]
+	// Paper totals: 42 KB (d=7), 164 KB (d=9); the model must land within
+	// 15%.
+	if math.Abs(float64(tot[0])-42*1024)/float64(42*1024) > 0.15 {
+		t.Fatalf("total d=7 = %d bytes, want ~42KB", tot[0])
+	}
+	if math.Abs(float64(tot[1])-164*1024)/float64(164*1024) > 0.15 {
+		t.Fatalf("total d=9 = %d bytes, want ~164KB", tot[1])
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6ModelBoundsObservation(t *testing.T) {
+	res, err := Fig6(3, 1e-3, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytical model is an upper bound for even weights >= 2 (errors
+	// cancelling and chaining only reduce observed weight counts)... the
+	// paper shows observed below model for h >= 2.
+	for h := 2; h <= 8; h += 2 {
+		if res.Observed[h] > res.Analytic[h]*1.5 {
+			t.Fatalf("observed P(H=%d)=%v far above model %v", h, res.Observed[h], res.Analytic[h])
+		}
+	}
+	// Odd weights are impossible in the model but possible in reality
+	// (boundary chains flip one bit).
+	if res.Analytic[1] != 0 {
+		t.Fatal("model must assign zero to odd weights")
+	}
+}
+
+func TestFig9Latency(t *testing.T) {
+	res, err := AstreaLatency(tiny, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Means are sub-nanosecond to few-ns at p=1e-4 (paper: ~1 ns).
+	for i := range res.Distances {
+		if res.MeanNs[i] < 0 || res.MeanNs[i] > 20 {
+			t.Fatalf("d=%d mean latency %v ns implausible", res.Distances[i], res.MeanNs[i])
+		}
+		if res.MaxNs[i] > 456 {
+			t.Fatalf("d=%d max %v ns beyond Astrea's worst case", res.Distances[i], res.MaxNs[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10aHistogram(t *testing.T) {
+	res, err := WeightHistogram(5, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.Histogram {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("empty histogram")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10bReduction(t *testing.T) {
+	res, err := FilterReduction(Budget{Shots: 500_000, ShotsPerK: 100, Seed: 5}, 5, 8e-3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HW < 8 {
+		t.Fatalf("found only HW=%d", res.HW)
+	}
+	if res.Reduction <= 0.2 {
+		t.Fatalf("reduction %v, expected substantial filtering", res.Reduction)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLERSweepQuick(t *testing.T) {
+	res, err := LERSweep(tiny, 3, 3e-4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LER grows with p for both decoders.
+	if res.MWPM[1] <= res.MWPM[0] || res.AstreaG[1] <= res.AstreaG[0] {
+		t.Fatalf("LER not increasing with p: %+v", res)
+	}
+	// Astrea-G within 2x of MWPM at d=3 (they share the LHW path almost
+	// always here).
+	for i := range res.Ps {
+		if res.MWPM[i] == 0 {
+			continue
+		}
+		if r := res.AstreaG[i] / res.MWPM[i]; r > 2 || r < 0.5 {
+			t.Fatalf("ratio %v at p=%v", r, res.Ps[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftwareLatencyFig3(t *testing.T) {
+	res, err := SoftwareMWPMLatency(3, 1e-3, Budget{Shots: 20_000, ShotsPerK: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P50 <= 0 || res.Max < res.P99 || res.P99 < res.P50 {
+		t.Fatalf("latency percentiles inconsistent: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWth(t *testing.T) {
+	// Paper: d=7, p=1e-3 -> logical error rate ~1e-5 -> W_th = 7.
+	if w := DefaultWth(7, 1e-3); math.Abs(w-7) > 0.6 {
+		t.Fatalf("DefaultWth(7, 1e-3) = %v, want ~7", w)
+	}
+	if w := DefaultWth(3, 1e-4); w < 4 || w > 12 {
+		t.Fatalf("W_th %v outside clamp", w)
+	}
+}
+
+func TestTable3And8Published(t *testing.T) {
+	res := Table3And8()
+	if len(res.Rows) != 2 || res.Rows[0].Design != "Astrea" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "published constants") {
+		t.Fatal("render must mark these as published constants")
+	}
+}
+
+func TestLilliputWall(t *testing.T) {
+	res := LilliputWall()
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// d=5 with 5 rounds must be petabyte-scale (2*2^50).
+	for _, row := range res.Rows {
+		if row.D == 5 && row.Rounds == 5 && row.Bytes < 1e15 {
+			t.Fatalf("d=5 r=5 LUT = %g bytes, expected >= 2*2^50", row.Bytes)
+		}
+	}
+}
+
+func TestEnvCache(t *testing.T) {
+	a, err := Env(3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Env(3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("environment not cached")
+	}
+}

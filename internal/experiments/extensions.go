@@ -1,0 +1,406 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"astrea/internal/astreag"
+	"astrea/internal/blossom"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/dem"
+	"astrea/internal/hwmodel"
+	"astrea/internal/montecarlo"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+	"astrea/internal/report"
+	"astrea/internal/surface"
+
+	"astrea/internal/bitvec"
+)
+
+// NonUniformResult is the §8.2 flexibility study: decode a device with
+// non-uniform error rates (and later, drifted rates) with a Global Weight
+// Table programmed for the true rates versus one programmed for the naive
+// uniform assumption. The paper argues Astrea handles non-uniformity
+// "natively by virtue of its GWT"; this experiment quantifies the benefit.
+type NonUniformResult struct {
+	D          int
+	BaseP      float64
+	HotFactor  float64
+	Uniform    montecarlo.DecoderStats // decoder with the stale uniform GWT
+	Calibrated montecarlo.DecoderStats // decoder with the reprogrammed GWT
+}
+
+// NonUniformStudy builds a distance-d device where a fraction of the data
+// qubits are hotFactor× noisier, then compares MWPM decoding with the
+// stale uniform-p GWT against the GWT reprogrammed from the true rates.
+func NonUniformStudy(b Budget, d int, baseP, hotFactor float64) (*NonUniformResult, error) {
+	code, err := surface.New(d)
+	if err != nil {
+		return nil, err
+	}
+	scale := make([]float64, code.NumQubits())
+	for i := range scale {
+		scale[i] = 1
+	}
+	// Heat every third data qubit — a plausible spatial variation pattern.
+	for q := 0; q < len(code.DataPos); q += 3 {
+		scale[q] = hotFactor
+	}
+	cc, err := code.Memory(surface.BasisZ, d, surface.NoiseMap{Base: baseP, Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	trueEnv, err := montecarlo.NewEnvFromCircuit(code, cc, d, baseP)
+	if err != nil {
+		return nil, err
+	}
+	staleEnv, err := Env(d, baseP) // uniform-p weights
+	if err != nil {
+		return nil, err
+	}
+
+	staleFactory := func(*montecarlo.Env) (decoder.Decoder, error) {
+		return mwpm.New(staleEnv.GWT), nil
+	}
+	calibFactory := func(env *montecarlo.Env) (decoder.Decoder, error) {
+		return mwpm.New(env.GWT), nil
+	}
+	run, err := montecarlo.Run(trueEnv, montecarlo.RunConfig{
+		Shots: b.Shots, Seed: b.Seed, Workers: b.Workers,
+	}, staleFactory, calibFactory)
+	if err != nil {
+		return nil, err
+	}
+	res := &NonUniformResult{D: d, BaseP: baseP, HotFactor: hotFactor,
+		Uniform: run.Stats[0], Calibrated: run.Stats[1]}
+	res.Uniform.Name = "MWPM (stale uniform GWT)"
+	res.Calibrated.Name = "MWPM (reprogrammed GWT)"
+	return res, nil
+}
+
+// Render writes the study.
+func (r *NonUniformResult) Render(w io.Writer) error {
+	t := report.Table{
+		Title: fmt.Sprintf("§8.2 flexibility: non-uniform noise (d=%d, base p=%g, hot qubits ×%g)",
+			r.D, r.BaseP, r.HotFactor),
+		Headers: []string{"decoder", "LER", "95% CI"},
+	}
+	for _, st := range []montecarlo.DecoderStats{r.Uniform, r.Calibrated} {
+		lo, hi := st.LERInterval()
+		t.AddRow(st.Name, st.LER(), fmt.Sprintf("[%s, %s]", report.Sci(lo), report.Sci(hi)))
+	}
+	if r.Calibrated.LER() > 0 {
+		fmt.Fprintf(w, "reprogramming the GWT improves LER by %.2fx\n",
+			r.Uniform.LER()/r.Calibrated.LER())
+	}
+	return t.Write(w)
+}
+
+// DriftStudy is the temporal counterpart of NonUniformStudy: the physical
+// error rate ramps linearly from baseP to driftFactor·baseP across the d
+// rounds (device drift during the experiment). The stale decoder keeps the
+// uniform-baseP GWT; the calibrated one is reprogrammed from the drifted
+// rates.
+func DriftStudy(b Budget, d int, baseP, driftFactor float64) (*NonUniformResult, error) {
+	code, err := surface.New(d)
+	if err != nil {
+		return nil, err
+	}
+	rs := make([]float64, d)
+	for r := range rs {
+		if d > 1 {
+			rs[r] = 1 + (driftFactor-1)*float64(r)/float64(d-1)
+		} else {
+			rs[r] = driftFactor
+		}
+	}
+	cc, err := code.Memory(surface.BasisZ, d, surface.NoiseMap{Base: baseP, RoundScale: rs})
+	if err != nil {
+		return nil, err
+	}
+	trueEnv, err := montecarlo.NewEnvFromCircuit(code, cc, d, baseP)
+	if err != nil {
+		return nil, err
+	}
+	staleEnv, err := Env(d, baseP)
+	if err != nil {
+		return nil, err
+	}
+	run, err := montecarlo.Run(trueEnv, montecarlo.RunConfig{
+		Shots: b.Shots, Seed: b.Seed, Workers: b.Workers,
+	}, func(*montecarlo.Env) (decoder.Decoder, error) {
+		return mwpm.New(staleEnv.GWT), nil
+	}, func(env *montecarlo.Env) (decoder.Decoder, error) {
+		return mwpm.New(env.GWT), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &NonUniformResult{D: d, BaseP: baseP, HotFactor: driftFactor,
+		Uniform: run.Stats[0], Calibrated: run.Stats[1]}
+	res.Uniform.Name = "MWPM (stale pre-drift GWT)"
+	res.Calibrated.Name = "MWPM (reprogrammed GWT)"
+	return res, nil
+}
+
+// XZEquivalenceResult backs §3.4's claim that X and Z memory experiments
+// are functionally equivalent under the symmetric noise model.
+type XZEquivalenceResult struct {
+	D     int
+	P     float64
+	ZLER  float64
+	XLER  float64
+	ZStat montecarlo.DecoderStats
+	XStat montecarlo.DecoderStats
+}
+
+// XZEquivalence runs paired memory-Z and memory-X experiments with MWPM.
+func XZEquivalence(b Budget, d int, p float64) (*XZEquivalenceResult, error) {
+	code, err := surface.New(d)
+	if err != nil {
+		return nil, err
+	}
+	run := func(basis surface.Basis) (montecarlo.DecoderStats, error) {
+		cc, err := code.Memory(basis, d, surface.Uniform(p))
+		if err != nil {
+			return montecarlo.DecoderStats{}, err
+		}
+		env, err := montecarlo.NewEnvFromCircuit(code, cc, d, p)
+		if err != nil {
+			return montecarlo.DecoderStats{}, err
+		}
+		res, err := montecarlo.Run(env, montecarlo.RunConfig{
+			Shots: b.Shots, Seed: b.Seed, Workers: b.Workers,
+		}, MWPMFactory)
+		if err != nil {
+			return montecarlo.DecoderStats{}, err
+		}
+		return res.Stats[0], nil
+	}
+	z, err := run(surface.BasisZ)
+	if err != nil {
+		return nil, err
+	}
+	x, err := run(surface.BasisX)
+	if err != nil {
+		return nil, err
+	}
+	return &XZEquivalenceResult{D: d, P: p, ZLER: z.LER(), XLER: x.LER(), ZStat: z, XStat: x}, nil
+}
+
+// Render writes the comparison.
+func (r *XZEquivalenceResult) Render(w io.Writer) error {
+	t := report.Table{
+		Title:   fmt.Sprintf("§3.4: memory-Z vs memory-X equivalence (d=%d, p=%g, MWPM)", r.D, r.P),
+		Headers: []string{"experiment", "LER", "95% CI"},
+	}
+	for _, row := range []struct {
+		name string
+		st   montecarlo.DecoderStats
+	}{{"memory-Z", r.ZStat}, {"memory-X", r.XStat}} {
+		lo, hi := row.st.LERInterval()
+		t.AddRow(row.name, row.st.LER(), fmt.Sprintf("[%s, %s]", report.Sci(lo), report.Sci(hi)))
+	}
+	return t.Write(w)
+}
+
+// FEAblationResult probes the Astrea-G design space of §7.1: the paper
+// states larger fetch widths F and queue capacities E improve accuracy at
+// hardware cost. For each (F, E) point it reports how often the pipeline
+// recovers the exact MWPM weight on high-Hamming-weight syndromes, and the
+// mean pipeline cycles consumed.
+type FEAblationResult struct {
+	D, MinHW  int
+	P         float64
+	Fs, Es    []int
+	ExactFrac [][]float64 // [fi][ei]
+	MeanCyc   [][]float64
+	Samples   int
+}
+
+// FEAblation runs the ablation on sampled HHW syndromes.
+func FEAblation(b Budget, d int, p float64, fs, es []int) (*FEAblationResult, error) {
+	if len(fs) == 0 {
+		fs = []int{1, 2, 4}
+	}
+	if len(es) == 0 {
+		es = []int{4, 8, 16}
+	}
+	env, err := Env(d, p)
+	if err != nil {
+		return nil, err
+	}
+	// Collect HHW syndromes.
+	minHW := 11
+	nSamples := int(b.ShotsPerK)
+	if nSamples < 30 {
+		nSamples = 30
+	}
+	if nSamples > 500 {
+		nSamples = 500
+	}
+	rng := prng.New(b.Seed)
+	smp := dem.NewSampler(env.Model)
+	var pool []bitvec.Vec
+	for tries := 0; len(pool) < nSamples && tries < 30_000_000; tries++ {
+		s := bitvec.New(env.Model.NumDetectors)
+		smp.Sample(rng, s)
+		if s.PopCount() >= minHW {
+			pool = append(pool, s)
+		}
+	}
+	if len(pool) < 10 {
+		return nil, fmt.Errorf("experiments: only %d HHW syndromes at d=%d p=%g", len(pool), d, p)
+	}
+
+	// Exact optima over the quantised weights via boundary duplication.
+	var sv blossom.Solver
+	opts := make([]int64, len(pool))
+	for i, s := range pool {
+		ones := s.Ones(nil)
+		hw := len(ones)
+		const big = int64(1) << 30
+		wfn := func(a, bb int) int64 {
+			ra, rb := a < hw, bb < hw
+			switch {
+			case ra && rb:
+				return int64(env.GWT.Q(ones[a], ones[bb]))
+			case ra:
+				if bb-hw == a {
+					return int64(env.GWT.Q(ones[a], ones[a]))
+				}
+				return big
+			case rb:
+				if a-hw == bb {
+					return int64(env.GWT.Q(ones[bb], ones[bb]))
+				}
+				return big
+			default:
+				return 0
+			}
+		}
+		_, opt, err := sv.MinWeightPerfect(2*hw, wfn)
+		if err != nil {
+			return nil, err
+		}
+		opts[i] = opt
+	}
+
+	wth := DefaultWth(d, p)
+	res := &FEAblationResult{D: d, MinHW: minHW, P: p, Fs: fs, Es: es, Samples: len(pool)}
+	for _, f := range fs {
+		var exactRow, cycRow []float64
+		for _, e := range es {
+			cfg := hwmodel.DefaultAstreaG(wth)
+			cfg.FetchWidth = f
+			cfg.QueueEntries = e
+			dec, err := astreag.New(env.GWT, cfg)
+			if err != nil {
+				return nil, err
+			}
+			exact, cyc := 0, 0
+			for i, s := range pool {
+				r := dec.Decode(s)
+				if int64(r.Weight) == opts[i] {
+					exact++
+				}
+				cyc += r.Cycles
+			}
+			exactRow = append(exactRow, float64(exact)/float64(len(pool)))
+			cycRow = append(cycRow, float64(cyc)/float64(len(pool)))
+		}
+		res.ExactFrac = append(res.ExactFrac, exactRow)
+		res.MeanCyc = append(res.MeanCyc, cycRow)
+	}
+	return res, nil
+}
+
+// Render writes the ablation grid.
+func (r *FEAblationResult) Render(w io.Writer) error {
+	t := report.Table{
+		Title: fmt.Sprintf("§7.1 ablation: Astrea-G exact-MWPM rate on HW>=%d syndromes (d=%d, p=%g, %d samples)",
+			r.MinHW, r.D, r.P, r.Samples),
+		Headers: []string{"F \\ E"},
+	}
+	for _, e := range r.Es {
+		t.Headers = append(t.Headers, fmt.Sprintf("E=%d", e))
+	}
+	for fi, f := range r.Fs {
+		row := []interface{}{fmt.Sprintf("F=%d", f)}
+		for ei := range r.Es {
+			row = append(row, fmt.Sprintf("%.0f%% (%.0f cyc)", 100*r.ExactFrac[fi][ei], r.MeanCyc[fi][ei]))
+		}
+		t.AddRow(row...)
+	}
+	return t.Write(w)
+}
+
+// QuantizationResult is an ablation on the GWT's 8-bit fixed-point format:
+// how the number of fractional bits affects Astrea's agreement with the
+// float-weight MWPM decoder — the design-choice behind §5.1's "8-bit value
+// corresponding to −log10(probability)".
+type QuantizationResult struct {
+	D        int
+	P        float64
+	Samples  int
+	Agree    float64 // fraction of shots where Astrea (8-bit) == MWPM (float) predictions
+	MeanDiff float64 // mean |astrea weight/QScale − mwpm float weight| in decades
+}
+
+// QuantizationStudy samples nonzero LHW syndromes and compares predictions.
+func QuantizationStudy(b Budget, d int, p float64) (*QuantizationResult, error) {
+	env, err := Env(d, p)
+	if err != nil {
+		return nil, err
+	}
+	a, err := AstreaFactory(env)
+	if err != nil {
+		return nil, err
+	}
+	m := mwpm.New(env.GWT)
+	rng := prng.New(b.Seed)
+	smp := dem.NewSampler(env.Model)
+	syn := bitvec.New(env.Model.NumDetectors)
+	n := int(b.Shots / 100)
+	if n < 500 {
+		n = 500
+	}
+	if n > 50000 {
+		n = 50000
+	}
+	agree, count := 0, 0
+	var diff float64
+	for count < n {
+		smp.Sample(rng, syn)
+		hw := syn.PopCount()
+		if hw == 0 || hw > 10 {
+			continue
+		}
+		count++
+		ra := a.Decode(syn)
+		rm := m.Decode(syn)
+		if ra.ObsPrediction == rm.ObsPrediction {
+			agree++
+		}
+		da := ra.Weight/decodegraph.QScale - rm.Weight
+		if da < 0 {
+			da = -da
+		}
+		diff += da
+	}
+	return &QuantizationResult{D: d, P: p, Samples: count,
+		Agree: float64(agree) / float64(count), MeanDiff: diff / float64(count)}, nil
+}
+
+// Render writes the study.
+func (r *QuantizationResult) Render(w io.Writer) error {
+	t := report.Table{
+		Title: fmt.Sprintf("§5.1 ablation: 8-bit GWT quantisation vs float weights (d=%d, p=%g, %d nonzero shots)",
+			r.D, r.P, r.Samples),
+		Headers: []string{"prediction agreement", "mean |weight error| (decades)"},
+	}
+	t.AddRow(fmt.Sprintf("%.2f%%", 100*r.Agree), fmt.Sprintf("%.3f", r.MeanDiff))
+	return t.Write(w)
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestNonUniformStudy(t *testing.T) {
+	res, err := NonUniformStudy(Budget{Shots: 150_000, ShotsPerK: 100, Seed: 8}, 3, 1e-3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calibrated.Errors == 0 {
+		t.Skip("no errors at this budget; cannot compare")
+	}
+	// Reprogramming the GWT for the true rates must not hurt, and with 12x
+	// hot qubits should measurably help.
+	if res.Calibrated.LER() > res.Uniform.LER()*1.05 {
+		t.Fatalf("calibrated GWT (%v) worse than stale GWT (%v)",
+			res.Calibrated.LER(), res.Uniform.LER())
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXZEquivalence(t *testing.T) {
+	res, err := XZEquivalence(Budget{Shots: 200_000, ShotsPerK: 100, Seed: 9}, 3, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ZLER <= 0 || res.XLER <= 0 {
+		t.Fatalf("degenerate LERs: Z=%v X=%v", res.ZLER, res.XLER)
+	}
+	if r := res.XLER / res.ZLER; r < 0.6 || r > 1.7 {
+		t.Fatalf("X/Z LER ratio %v; experiments should be equivalent", r)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFEAblation(t *testing.T) {
+	res, err := FEAblation(Budget{Shots: 0, ShotsPerK: 60, Seed: 10}, 5, 8e-3,
+		[]int{1, 2}, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples < 10 {
+		t.Fatalf("only %d samples", res.Samples)
+	}
+	// The paper's claim: larger fetch widths and queues improve accuracy.
+	// At stress noise the smallest design point is allowed to be weak, but
+	// the largest must clearly beat it and be reasonably accurate.
+	small, large := res.ExactFrac[0][0], res.ExactFrac[1][1]
+	if large <= small {
+		t.Fatalf("larger F/E (%v) not better than smaller (%v)", large, small)
+	}
+	if large < 0.4 {
+		t.Fatalf("F=2 E=8 exact rate %v suspiciously low", large)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizationStudy(t *testing.T) {
+	res, err := QuantizationStudy(Budget{Shots: 100_000, ShotsPerK: 100, Seed: 11}, 3, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-bit weights must agree with float MWPM on nearly every shot
+	// (Table 4's "identical LER" claim).
+	if res.Agree < 0.98 {
+		t.Fatalf("quantised/float agreement only %v", res.Agree)
+	}
+	if res.MeanDiff > 0.2 || math.IsNaN(res.MeanDiff) {
+		t.Fatalf("mean weight error %v decades", res.MeanDiff)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriftStudy(t *testing.T) {
+	res, err := DriftStudy(Budget{Shots: 150_000, ShotsPerK: 100, Seed: 12}, 3, 1e-3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calibrated.Errors == 0 {
+		t.Skip("no errors at this budget")
+	}
+	if res.Calibrated.LER() > res.Uniform.LER()*1.1 {
+		t.Fatalf("reprogrammed GWT (%v) worse than stale under drift (%v)",
+			res.Calibrated.LER(), res.Uniform.LER())
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUFAblation(t *testing.T) {
+	res, err := UFAblation(Budget{Shots: 0, ShotsPerK: 2500, Seed: 14}, 1e-4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Distances {
+		m, uw, uu := res.LERs[i][0], res.LERs[i][1], res.LERs[i][2]
+		if m <= 0 {
+			t.Skipf("no MWPM failures at this budget (d=%d)", res.Distances[i])
+		}
+		if uu < m || uw < m*0.9 {
+			t.Fatalf("d=%d: UF (%v/%v) should not beat MWPM (%v)", res.Distances[i], uw, uu, m)
+		}
+	}
+	// Weighted growth must close part of the unweighted gap at d=5.
+	if res.LERs[1][1] > res.LERs[1][2] {
+		t.Fatalf("weighted UF (%v) worse than unweighted (%v) at d=5", res.LERs[1][1], res.LERs[1][2])
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"astrea/internal/astrea"
+	"astrea/internal/bitvec"
+	"astrea/internal/compress"
+	"astrea/internal/dem"
+	"astrea/internal/hwmodel"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+	"astrea/internal/realtime"
+	"astrea/internal/report"
+)
+
+// StreamingResult extends Figure 3 to the full streaming condition: one
+// syndrome per 1 µs window, decoded by Astrea's cycle model versus
+// wall-clock software MWPM, with queueing.
+type StreamingResult struct {
+	D       int
+	P       float64
+	Results []realtime.Result
+}
+
+// StreamingStudy runs the streaming comparison on nonzero syndromes.
+func StreamingStudy(b Budget, d int, p float64) (*StreamingResult, error) {
+	env, err := Env(d, p)
+	if err != nil {
+		return nil, err
+	}
+	shots := int(b.Shots / 100)
+	if shots < 500 {
+		shots = 500
+	}
+	if shots > 50000 {
+		shots = 50000
+	}
+	feed := func() func(bitvec.Vec) bool {
+		rng := prng.New(b.Seed)
+		smp := dem.NewSampler(env.Model)
+		left := shots
+		return func(dst bitvec.Vec) bool {
+			left--
+			if left < 0 {
+				return false
+			}
+			for {
+				smp.Sample(rng, dst)
+				if dst.Any() {
+					return true
+				}
+			}
+		}
+	}
+	res := &StreamingResult{D: d, P: p}
+	ag, err := AstreaGFactory(env)
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range []realtime.LatencySource{
+		realtime.CycleSource{Decoder: astrea.New(env.GWT)},
+		realtime.CycleSource{Decoder: ag},
+		realtime.WallClockSource{Decoder: mwpm.New(env.GWT)},
+	} {
+		r, err := realtime.Simulate(realtime.Config{MaxBacklog: 500}, src, feed(), env.Model.NumDetectors)
+		if err != nil {
+			return nil, err
+		}
+		res.Results = append(res.Results, r)
+	}
+	return res, nil
+}
+
+// Render writes the study.
+func (r *StreamingResult) Render(w io.Writer) error {
+	t := report.Table{
+		Title: fmt.Sprintf("Figure 3 extension: streaming decode of nonzero syndromes (d=%d, p=%g, 1 syndrome/us)",
+			r.D, r.P),
+		Headers: []string{"decoder", "on-time", "mean service (ns)", "max service (ns)", "max queue", "diverged"},
+	}
+	for _, res := range r.Results {
+		t.AddRow(res.Source,
+			fmt.Sprintf("%.1f%%", 100*res.OnTimeFraction()),
+			fmt.Sprintf("%.0f", res.MeanServiceNs),
+			fmt.Sprintf("%.0f", res.MaxServiceNs),
+			res.MaxQueue, res.Diverged)
+	}
+	return t.Write(w)
+}
+
+// CompressionResult extends Table 7 with §7.6's syndrome-compression
+// observation: the per-round bandwidth each codec actually needs.
+type CompressionResult struct {
+	D     int
+	P     float64
+	Stats []compress.Stats
+	// MBpsDense and MBps are the link bandwidths needed to ship one
+	// (per-type) syndrome round within the real-time window.
+	MBpsDense float64
+	MBps      []float64
+}
+
+// CompressionStudy measures codecs on sampled syndromes.
+func CompressionStudy(b Budget, d int, p float64) (*CompressionResult, error) {
+	env, err := Env(d, p)
+	if err != nil {
+		return nil, err
+	}
+	n := env.Model.NumDetectors
+	shots := int(b.Shots / 100)
+	if shots < 1000 {
+		shots = 1000
+	}
+	if shots > 100000 {
+		shots = 100000
+	}
+	res := &CompressionResult{D: d, P: p}
+	perRoundBytes := func(meanBytes float64) float64 {
+		// Mean bytes cover (d+1) detector rows; one round's share must
+		// cross the link per 1 µs window. bytes/ns × 1e3 = MBps.
+		return meanBytes / float64(env.Rounds+1) / hwmodel.RealTimeBudgetNs * 1e3
+	}
+	for _, c := range []compress.Codec{
+		compress.Dense{},
+		compress.Sparse{},
+		compress.NewRice(n, env.Model.ExpectedErrors()*2),
+	} {
+		rng := prng.New(b.Seed)
+		smp := dem.NewSampler(env.Model)
+		left := shots
+		st, err := compress.Measure(c, n, func(dst bitvec.Vec) bool {
+			left--
+			if left < 0 {
+				return false
+			}
+			smp.Sample(rng, dst)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Stats = append(res.Stats, st)
+		res.MBps = append(res.MBps, perRoundBytes(st.MeanBytes()))
+	}
+	res.MBpsDense = res.MBps[0]
+	return res, nil
+}
+
+// Render writes the study.
+func (r *CompressionResult) Render(w io.Writer) error {
+	t := report.Table{
+		Title: fmt.Sprintf("§7.6: syndrome compression (d=%d, p=%g)", r.D, r.P),
+		Headers: []string{"codec", "mean bytes", "worst bytes", "ratio vs dense",
+			"mean link MBps (1 round/us)"},
+	}
+	for i, st := range r.Stats {
+		t.AddRow(st.Codec,
+			fmt.Sprintf("%.2f", st.MeanBytes()), st.MaxBytes,
+			fmt.Sprintf("%.1fx", st.Ratio()),
+			fmt.Sprintf("%.1f", r.MBps[i]))
+	}
+	return t.Write(w)
+}

@@ -1,0 +1,137 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClockModel(t *testing.T) {
+	if CycleNs != 4 {
+		t.Fatalf("CycleNs = %v, want 4 (250 MHz)", CycleNs)
+	}
+	if BudgetCycles != 250 {
+		t.Fatalf("BudgetCycles = %d, want 250", BudgetCycles)
+	}
+	if LatencyNs(114) != 456 {
+		t.Fatalf("LatencyNs(114) = %v, want 456 (paper's worst case)", LatencyNs(114))
+	}
+}
+
+// §5.4's cycle table, exactly as published.
+func TestAstreaCycleTable(t *testing.T) {
+	cases := []struct {
+		hw, fetch, decode int
+		decodable         bool
+	}{
+		{0, 1, 0, true}, {2, 3, 0, true},
+		{3, 4, 1, true}, {6, 7, 1, true},
+		{7, 8, 11, true}, {8, 9, 11, true},
+		{9, 10, 103, true}, {10, 11, 103, true},
+		{11, 12, 0, false}, {20, 21, 0, false},
+	}
+	for _, c := range cases {
+		if got := AstreaFetchCycles(c.hw); got != c.fetch {
+			t.Fatalf("fetch(%d) = %d, want %d", c.hw, got, c.fetch)
+		}
+		dec, ok := AstreaDecodeCycles(c.hw)
+		if ok != c.decodable || (ok && dec != c.decode) {
+			t.Fatalf("decode(%d) = %d,%v; want %d,%v", c.hw, dec, ok, c.decode, c.decodable)
+		}
+	}
+	// Totals: trivial weights are free; worst case is 114.
+	for hw := 0; hw <= 2; hw++ {
+		if cyc, ok := AstreaCycles(hw); !ok || cyc != 0 {
+			t.Fatalf("AstreaCycles(%d) = %d,%v; want 0,true", hw, cyc, ok)
+		}
+	}
+	if cyc, _ := AstreaCycles(10); cyc != 114 {
+		t.Fatalf("AstreaCycles(10) = %d, want 114", cyc)
+	}
+}
+
+func TestDefaultAstreaG(t *testing.T) {
+	cfg := DefaultAstreaG(7)
+	if cfg.FetchWidth != 2 || cfg.QueueEntries != 8 {
+		t.Fatalf("default F/E = %d/%d, want 2/8", cfg.FetchWidth, cfg.QueueEntries)
+	}
+	if cfg.WeightThreshold != 7 || cfg.BudgetCycles != 250 {
+		t.Fatalf("default cfg %+v", cfg)
+	}
+}
+
+// Table 6: the GWT dominates, and totals land near the paper's 42 KB (d=7)
+// and 164 KB (d=9).
+func TestSRAMModel(t *testing.T) {
+	if GWTBytes(7) != 36864 {
+		t.Fatalf("GWTBytes(7) = %d, want 36864 (36 KB)", GWTBytes(7))
+	}
+	if GWTBytes(9) != 160000 {
+		t.Fatalf("GWTBytes(9) = %d, want 160000 (~156 KB)", GWTBytes(9))
+	}
+	cfg := DefaultAstreaG(7)
+	for _, d := range []int{7, 9} {
+		total := GWTBytes(d) + LWTBytes(d) + PriorityQueueBytes(d, cfg) +
+			PipelineLatchBytes(d, cfg) + MWPMRegisterBytes(d)
+		want := 42.0 * 1024
+		if d == 9 {
+			want = 164 * 1024
+		}
+		if math.Abs(float64(total)-want)/want > 0.15 {
+			t.Fatalf("d=%d total %d bytes, want within 15%% of %v", d, total, want)
+		}
+	}
+	if MWPMRegisterBytes(7) != 24 || MWPMRegisterBytes(9) != 30 {
+		t.Fatalf("MWPM register bytes = %d/%d, want 24/30",
+			MWPMRegisterBytes(7), MWPMRegisterBytes(9))
+	}
+}
+
+// §5.6's lookup-table wall: the paper quotes 2·2^50 bytes at d=5 with 5
+// rounds under LILLIPUT's accounting; our direct bit counting gives 2·2^60,
+// which makes the wall even harder.
+func TestLilliputLUTBytes(t *testing.T) {
+	if got := LilliputLUTBytes(5, 5); math.Abs(got-2*math.Pow(2, 60))/got > 1e-12 {
+		t.Fatalf("LilliputLUTBytes(5,5) = %g, want 2*2^60", got)
+	}
+	if got := LilliputLUTBytes(3, 3); got != 2*4096 {
+		t.Fatalf("LilliputLUTBytes(3,3) = %g, want 8192", got)
+	}
+	// Monotone in both arguments.
+	if LilliputLUTBytes(7, 7) <= LilliputLUTBytes(5, 5) {
+		t.Fatal("LUT size must grow with distance")
+	}
+}
+
+// Table 7's bandwidth arithmetic: at d=9, 80 bits per round; 200 ns
+// transmission -> 50 MBps.
+func TestBandwidthTable(t *testing.T) {
+	pts := BandwidthTable(9, []float64{0, 50, 100, 200, 300, 400, 500})
+	if pts[0].BandwidthMBps != 0 || pts[0].DecodeBudgetNs != 1000 {
+		t.Fatalf("zero-transmission row %+v", pts[0])
+	}
+	wantMBps := []float64{0, 200, 100, 50, 100.0 / 3, 25, 20}
+	for i, pt := range pts {
+		if i == 0 {
+			continue
+		}
+		if math.Abs(pt.BandwidthMBps-wantMBps[i]) > 0.5 {
+			t.Fatalf("row %d bandwidth %v MBps, want ~%v", i, pt.BandwidthMBps, wantMBps[i])
+		}
+		if pt.DecodeBudgetNs != 1000-pt.TransmissionNs {
+			t.Fatalf("row %d budget %v", i, pt.DecodeBudgetNs)
+		}
+	}
+}
+
+func TestPublishedUtilisation(t *testing.T) {
+	rows := PublishedUtilisation()
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Design != "Astrea" || rows[0].LUTPct != 5.57 || rows[0].BRAMPct != 9.60 {
+		t.Fatalf("Table 3 row %+v", rows[0])
+	}
+	if rows[1].Design != "Astrea-G" || rows[1].LUTPct != 20.2 || rows[1].BRAMPct != 35.7 {
+		t.Fatalf("Table 8 row %+v", rows[1])
+	}
+}

@@ -1,0 +1,75 @@
+// Package lilliput implements the LILLIPUT lookup-table decoder (§2.3.2,
+// §5.6): every possible syndrome vector is decoded offline with exact MWPM
+// and the resulting logical prediction is stored in a table indexed by the
+// raw syndrome bits. Lookup is O(1) and perfectly accurate — but the table
+// doubles with every syndrome bit, which is exactly why the paper shows it
+// cannot scale past distance 3 with d rounds (2·2⁵⁰ bytes already at d=5;
+// see hwmodel.LilliputLUTBytes). This package enforces that wall: it
+// refuses to build tables beyond a configurable bit budget.
+package lilliput
+
+import (
+	"fmt"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/mwpm"
+)
+
+// DefaultMaxBits bounds the syndrome width a table may be built for
+// (2^24 entries ≈ 2 MiB of predictions ≈ a generous FPGA block-RAM budget).
+const DefaultMaxBits = 24
+
+// Decoder is a programmed lookup table. Safe for concurrent use after
+// construction (reads only).
+type Decoder struct {
+	bits  int
+	table bitvec.Vec // predicted observable bit per syndrome index
+}
+
+// Build programs a lookup table for every syndrome over the given weight
+// table by running the software MWPM decoder offline, mirroring how
+// LILLIPUT's tables are generated. It fails when the syndrome is wider than
+// maxBits (pass 0 for DefaultMaxBits) — the scalability wall of §5.6.
+func Build(gwt *decodegraph.GWT, maxBits int) (*Decoder, error) {
+	if maxBits == 0 {
+		maxBits = DefaultMaxBits
+	}
+	if gwt.N > maxBits {
+		return nil, fmt.Errorf("lilliput: %d syndrome bits need a 2^%d-entry table, beyond the %d-bit budget",
+			gwt.N, gwt.N, maxBits)
+	}
+	d := &Decoder{bits: gwt.N, table: bitvec.New(1 << uint(gwt.N))}
+	mw := mwpm.New(gwt)
+	s := bitvec.New(gwt.N)
+	for idx := uint64(0); idx < 1<<uint(gwt.N); idx++ {
+		for b := 0; b < gwt.N; b++ {
+			s.SetTo(b, idx&(1<<uint(b)) != 0)
+		}
+		if mw.Decode(s).ObsPrediction&1 != 0 {
+			d.table.Set(int(idx))
+		}
+	}
+	return d, nil
+}
+
+// Name implements decoder.Decoder.
+func (d *Decoder) Name() string { return "LILLIPUT" }
+
+// Decode implements decoder.Decoder: a single table read.
+func (d *Decoder) Decode(syndrome bitvec.Vec) decoder.Result {
+	if syndrome.Len() != d.bits {
+		panic("lilliput: syndrome length mismatch")
+	}
+	idx := syndrome.Uint64()
+	var obs uint64
+	if d.table.Get(int(idx)) {
+		obs = 1
+	}
+	return decoder.Result{ObsPrediction: obs, Cycles: 1, RealTime: true}
+}
+
+// TableBytes is the in-memory size of this (software) table; the hardware
+// sizing rule of §5.6 lives in hwmodel.LilliputLUTBytes.
+func (d *Decoder) TableBytes() int { return (1<<uint(d.bits) + 7) / 8 }

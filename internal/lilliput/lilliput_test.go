@@ -1,0 +1,127 @@
+package lilliput
+
+import (
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decodegraph"
+	"astrea/internal/dem"
+	"astrea/internal/hwmodel"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+	"astrea/internal/surface"
+)
+
+func build(t testing.TB, d int, p float64) (*dem.Model, *decodegraph.GWT) {
+	t.Helper()
+	code, err := surface.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := code.MemoryZ(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dem.FromCircuit(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := decodegraph.FromModel(m, cc.DetMetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwt, err := g.BuildGWT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, gwt
+}
+
+// LILLIPUT must agree with MWPM on every possible d=3 syndrome by
+// construction; spot-check the agreement on sampled syndromes plus random
+// table entries.
+func TestMatchesMWPMExactly(t *testing.T) {
+	m, gwt := build(t, 3, 1e-3)
+	lut, err := Build(gwt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := mwpm.New(gwt)
+	// Sampled syndromes.
+	rng := prng.New(3)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	for i := 0; i < 3000; i++ {
+		smp.Sample(rng, s)
+		if lut.Decode(s).ObsPrediction != mw.Decode(s).ObsPrediction&1 {
+			t.Fatalf("LUT disagrees with MWPM on sampled syndrome %v", s)
+		}
+	}
+	// Random dense syndromes (not physically plausible; still must agree).
+	for i := 0; i < 200; i++ {
+		s.Reset()
+		for b := 0; b < gwt.N; b++ {
+			if rng.Intn(2) == 1 {
+				s.Set(b)
+			}
+		}
+		if lut.Decode(s).ObsPrediction != mw.Decode(s).ObsPrediction&1 {
+			t.Fatalf("LUT disagrees with MWPM on random syndrome %v", s)
+		}
+	}
+}
+
+// The scalability wall: d=5 (72 syndrome bits) must be refused, matching
+// §5.6's 2×2^50-byte observation.
+func TestRefusesBeyondDistance3(t *testing.T) {
+	_, gwt := build(t, 5, 1e-3)
+	if _, err := Build(gwt, 0); err == nil {
+		t.Fatal("a 72-bit table should be refused")
+	}
+	// And the hardware sizing model shows why: beyond petabytes at d=5.
+	if b := hwmodel.LilliputLUTBytes(5, 5); b < 1e15 {
+		t.Fatalf("LilliputLUTBytes(5,5) = %g, expected > 1e15", b)
+	}
+	if b := hwmodel.LilliputLUTBytes(3, 2); b > 1e9 {
+		t.Fatalf("LilliputLUTBytes(3,2) = %g, expected small", b)
+	}
+}
+
+func TestTableBytes(t *testing.T) {
+	_, gwt := build(t, 3, 1e-3)
+	lut, err := Build(gwt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lut.TableBytes(); got != 1<<16/8 {
+		t.Fatalf("TableBytes = %d, want %d", got, 1<<16/8)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	_, gwt := build(t, 3, 1e-3)
+	lut, err := Build(gwt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lut.Decode(bitvec.New(5))
+}
+
+func BenchmarkLookup(b *testing.B) {
+	_, gwt := build(b, 3, 1e-3)
+	lut, err := Build(gwt, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := bitvec.FromIndices(gwt.N, 1, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lut.Decode(s)
+	}
+}

@@ -1,0 +1,138 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"astrea/internal/astrea"
+	"astrea/internal/astreag"
+	"astrea/internal/bitvec"
+	"astrea/internal/clique"
+	"astrea/internal/decoder"
+	"astrea/internal/hwmodel"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+	"astrea/internal/unionfind"
+)
+
+// allDecoders builds one of every decoder over an environment.
+func allDecoders(t *testing.T, env *Env) []decoder.Decoder {
+	t.Helper()
+	ag, err := astreag.New(env.GWT, hwmodel.DefaultAstreaG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []decoder.Decoder{
+		mwpm.New(env.GWT),
+		astrea.New(env.GWT),
+		ag,
+		unionfind.New(env.Graph, false),
+		unionfind.New(env.Graph, true),
+		clique.New(env.Graph, env.GWT),
+	}
+}
+
+// Fuzz every decoder with random syndromes, including unphysical dense
+// ones: no panics, valid matchings, sensible result metadata.
+func TestFuzzAllDecodersRandomSyndromes(t *testing.T) {
+	env, err := NewEnv(5, 5, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs := allDecoders(t, env)
+	rng := prng.New(1234)
+	n := env.Model.NumDetectors
+	s := bitvec.New(n)
+	for trial := 0; trial < 400; trial++ {
+		s.Reset()
+		density := rng.Float64() * 0.15
+		for i := 0; i < n; i++ {
+			if rng.Float64() < density {
+				s.Set(i)
+			}
+		}
+		for _, d := range decs {
+			r := d.Decode(s)
+			if r.Skipped {
+				continue
+			}
+			if ok, why := decoder.Validate(s, r); !ok {
+				t.Fatalf("trial %d, %s: %s (hw=%d)", trial, d.Name(), why, s.PopCount())
+			}
+			if r.Weight < 0 {
+				t.Fatalf("trial %d, %s: negative weight %v", trial, d.Name(), r.Weight)
+			}
+		}
+	}
+}
+
+// On single-mechanism syndromes every decoder must produce the mechanism's
+// own observable prediction (they are all at least 1-fault-correct).
+func TestAllDecodersCorrectSingleFaults(t *testing.T) {
+	env, err := NewEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs := allDecoders(t, env)
+	s := bitvec.New(env.Model.NumDetectors)
+	for _, e := range env.Model.Errors {
+		s.Reset()
+		for _, det := range e.Detectors {
+			s.Set(det)
+		}
+		for _, d := range decs {
+			r := d.Decode(s)
+			if r.ObsPrediction != e.ObsMask {
+				t.Fatalf("%s mispredicts single mechanism %v (%#x vs %#x)",
+					d.Name(), e.Detectors, r.ObsPrediction, e.ObsMask)
+			}
+		}
+	}
+}
+
+// Exponential suppression (the point of QEC): MWPM's LER must drop by well
+// over an order of magnitude from d=3 to d=5 at p=1e-4, measured with the
+// stratified estimator.
+func TestExponentialSuppression(t *testing.T) {
+	var lers []float64
+	for _, d := range []int{3, 5} {
+		env, err := NewEnv(d, d, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunStratified(env, StratifiedConfig{MaxK: 8, ShotsPerK: 8000, Seed: 77},
+			func(e *Env) (decoder.Decoder, error) { return mwpm.New(e.GWT), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		lers = append(lers, res.LER(0))
+	}
+	if lers[0] <= 0 || lers[1] <= 0 {
+		t.Fatalf("degenerate LERs %v", lers)
+	}
+	if lers[0]/lers[1] < 10 {
+		t.Fatalf("suppression d=3 -> d=5 only %.1fx (LERs %v)", lers[0]/lers[1], lers)
+	}
+}
+
+// Circuit-distance check: with fewer than ceil(d/2) faults no logical error
+// is possible under exact MWPM decoding — this verifies that the CNOT
+// schedule's hook errors do not reduce the effective distance.
+func TestCircuitDistancePreserved(t *testing.T) {
+	for _, c := range []struct{ d, k int }{{3, 1}, {5, 2}, {7, 3}} {
+		env, err := NewEnv(c.d, c.d, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunStratified(env, StratifiedConfig{MaxK: c.k, ShotsPerK: 30000, Seed: 3},
+			func(e *Env) (decoder.Decoder, error) { return mwpm.New(e.GWT), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range res.Strata[0] {
+			if st.Errors != 0 {
+				t.Fatalf("d=%d: %d logical errors from only %d faults — distance broken",
+					c.d, st.Errors, st.K)
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"astrea/internal/astrea"
+	"astrea/internal/astreag"
+	"astrea/internal/decoder"
+	"astrea/internal/hwmodel"
+	"astrea/internal/mwpm"
+	"astrea/internal/unionfind"
+)
+
+func mwpmFactory(env *Env) (decoder.Decoder, error) { return mwpm.New(env.GWT), nil }
+
+func astreaFactory(env *Env) (decoder.Decoder, error) { return astrea.New(env.GWT), nil }
+
+func astreaGFactory(env *Env) (decoder.Decoder, error) {
+	return astreag.New(env.GWT, hwmodel.DefaultAstreaG(7))
+}
+
+func ufFactory(env *Env) (decoder.Decoder, error) { return unionfind.New(env.Graph, false), nil }
+
+func TestNewEnvValidates(t *testing.T) {
+	if _, err := NewEnv(4, 4, 1e-3); err == nil {
+		t.Fatal("even distance accepted")
+	}
+	if _, err := NewEnv(3, 0, 1e-3); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if _, err := NewEnv(3, 3, 2); err == nil {
+		t.Fatal("p=2 accepted")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	env, err := NewEnv(3, 3, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, RunConfig{Shots: 50000, Seed: 7}, mwpmFactory, astreaFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 50000 {
+		t.Fatalf("shots = %d", res.Shots)
+	}
+	var histTotal int64
+	for _, c := range res.HWHist {
+		histTotal += c
+	}
+	if histTotal != res.Shots {
+		t.Fatalf("HW histogram sums to %d", histTotal)
+	}
+	if res.HWHist[0] == 0 || res.HWHist[2] == 0 {
+		t.Fatal("expected mass at HW 0 and 2")
+	}
+	for _, st := range res.Stats {
+		if st.Shots != res.Shots {
+			t.Fatalf("decoder %s saw %d shots", st.Name, st.Shots)
+		}
+		if st.LER() <= 0 || st.LER() > 0.2 {
+			t.Fatalf("decoder %s LER %v implausible at d=3 p=2e-3", st.Name, st.LER())
+		}
+		lo, hi := st.LERInterval()
+		if lo > st.LER() || hi < st.LER() {
+			t.Fatalf("Wilson interval (%v,%v) excludes the point estimate %v", lo, hi, st.LER())
+		}
+	}
+}
+
+// Determinism: same seed and worker count, same tallies.
+func TestRunDeterministic(t *testing.T) {
+	env, err := NewEnv(3, 3, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{Shots: 20000, Seed: 42, Workers: 4}
+	a, err := Run(env, cfg, mwpmFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(env, cfg, mwpmFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats[0].Errors != b.Stats[0].Errors || a.ObsFlips != b.ObsFlips {
+		t.Fatalf("nondeterministic run: %+v vs %+v", a.Stats[0], b.Stats[0])
+	}
+}
+
+// The headline result in miniature: Astrea == MWPM accuracy; UF worse.
+func TestAccuracyOrdering(t *testing.T) {
+	env, err := NewEnv(3, 3, 3e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, RunConfig{Shots: 120000, Seed: 11},
+		mwpmFactory, astreaFactory, ufFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, as, uf := res.Stats[0], res.Stats[1], res.Stats[2]
+	// Astrea within 10% of MWPM (quantisation ties only).
+	if math.Abs(as.LER()-mw.LER())/mw.LER() > 0.10 {
+		t.Fatalf("Astrea LER %v vs MWPM %v", as.LER(), mw.LER())
+	}
+	if uf.LER() <= mw.LER() {
+		t.Fatalf("UF LER %v should exceed MWPM %v", uf.LER(), mw.LER())
+	}
+}
+
+// Latency accounting: Astrea's cycle stats must respect the §5.4 model.
+func TestLatencyAccounting(t *testing.T) {
+	env, err := NewEnv(5, 5, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, RunConfig{Shots: 60000, Seed: 13}, astreaFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats[0]
+	if st.MaxLatencyNs() > 456 {
+		t.Fatalf("Astrea max latency %v ns exceeds the 456 ns worst case", st.MaxLatencyNs())
+	}
+	if st.MeanLatencyNs() <= 0 || st.MeanLatencyNs() > 100 {
+		t.Fatalf("Astrea mean latency %v ns implausible", st.MeanLatencyNs())
+	}
+	if st.MeanLatencyNonTrivialNs() <= st.MeanLatencyNs() {
+		t.Fatal("HW>2 mean must exceed the overall mean (trivials are free)")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	env, err := NewEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(env, RunConfig{Shots: 0}, mwpmFactory); err == nil {
+		t.Fatal("zero shots accepted")
+	}
+}
+
+// Stratified estimator: with one injected fault no decoder may ever fail
+// (single mechanisms are always decoded correctly by exact MWPM), and the
+// estimator must roughly agree with direct Monte Carlo where both work.
+func TestStratifiedBasics(t *testing.T) {
+	env, err := NewEnv(3, 3, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := RunStratified(env, StratifiedConfig{MaxK: 6, ShotsPerK: 4000, Seed: 5},
+		mwpmFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Strata[0][0].Errors != 0 {
+		t.Fatalf("MWPM failed %d single-fault shots", sres.Strata[0][0].Errors)
+	}
+	// Pf must grow with k (more faults, more failures), at least loosely.
+	pf2 := sres.Strata[0][1].Pf()
+	pf5 := sres.Strata[0][4].Pf()
+	if pf5 <= pf2 {
+		t.Fatalf("Pf not increasing: Pf(2)=%v Pf(5)=%v", pf2, pf5)
+	}
+
+	stratLER := sres.LER(0)
+	dres, err := Run(env, RunConfig{Shots: 400000, Seed: 6}, mwpmFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := dres.Stats[0].LER()
+	if stratLER <= 0 || direct <= 0 {
+		t.Fatalf("degenerate LERs: strat %v direct %v", stratLER, direct)
+	}
+	if r := stratLER / direct; r < 0.5 || r > 2.0 {
+		t.Fatalf("stratified %v vs direct %v disagree by %vx", stratLER, direct, r)
+	}
+}
+
+func TestStratifiedRejectsBadConfig(t *testing.T) {
+	env, err := NewEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunStratified(env, StratifiedConfig{MaxK: 0, ShotsPerK: 10}, mwpmFactory); err == nil {
+		t.Fatal("MaxK=0 accepted")
+	}
+}
+
+// Astrea-G end-to-end smoke at d=5 through the engine.
+func TestAstreaGEndToEnd(t *testing.T) {
+	env, err := NewEnv(5, 5, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, RunConfig{Shots: 40000, Seed: 17}, mwpmFactory, astreaGFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, ag := res.Stats[0], res.Stats[1]
+	if mw.Errors == 0 {
+		t.Skip("no MWPM errors at this budget")
+	}
+	ratio := ag.LER() / mw.LER()
+	if ratio > 1.5 {
+		t.Fatalf("Astrea-G LER %v vs MWPM %v (ratio %v)", ag.LER(), mw.LER(), ratio)
+	}
+}

@@ -1,0 +1,211 @@
+package mwpm
+
+import (
+	"math"
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/blossom"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/dem"
+	"astrea/internal/prng"
+	"astrea/internal/surface"
+)
+
+func build(t testing.TB, d int, p float64) (*dem.Model, *decodegraph.GWT) {
+	t.Helper()
+	code, err := surface.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := code.MemoryZ(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dem.FromCircuit(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := decodegraph.FromModel(m, cc.DetMetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwt, err := g.BuildGWT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, gwt
+}
+
+func TestEmptySyndrome(t *testing.T) {
+	_, gwt := build(t, 3, 1e-3)
+	d := New(gwt)
+	r := d.Decode(bitvec.New(gwt.N))
+	if r.ObsPrediction != 0 || len(r.Pairs) != 0 || r.Weight != 0 {
+		t.Fatalf("empty syndrome decoded to %+v", r)
+	}
+}
+
+func TestSingleFlagged(t *testing.T) {
+	_, gwt := build(t, 3, 1e-3)
+	d := New(gwt)
+	s := bitvec.New(gwt.N)
+	s.Set(3)
+	r := d.Decode(s)
+	if len(r.Pairs) != 1 || r.Pairs[0] != [2]int{3, decoder.Boundary} {
+		t.Fatalf("pairs = %v", r.Pairs)
+	}
+	if r.ObsPrediction != gwt.Obs(3, 3) {
+		t.Fatal("prediction must follow the boundary chain parity")
+	}
+}
+
+func TestMatchingsAreValid(t *testing.T) {
+	m, gwt := build(t, 5, 3e-3)
+	d := New(gwt)
+	rng := prng.New(808)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	nonzero := 0
+	for shot := 0; shot < 3000; shot++ {
+		smp.Sample(rng, s)
+		if !s.Any() {
+			continue
+		}
+		nonzero++
+		r := d.Decode(s)
+		if ok, why := decoder.Validate(s, r); !ok {
+			t.Fatalf("shot %d: invalid matching: %s", shot, why)
+		}
+	}
+	if nonzero < 100 {
+		t.Fatalf("only %d nonzero syndromes; test too weak", nonzero)
+	}
+}
+
+// The pairing-only formulation with through-boundary weights must produce
+// the same optimal total as the classic boundary-duplication formulation
+// (each flagged node gets a private virtual boundary partner; virtuals
+// interconnect at zero cost).
+func TestEquivalenceWithBoundaryDuplication(t *testing.T) {
+	m, gwt := build(t, 5, 3e-3)
+	d := New(gwt)
+	rng := prng.New(909)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	var sv blossom.Solver
+	const bigWeight = int64(1) << 40
+
+	checked := 0
+	for shot := 0; shot < 4000 && checked < 200; shot++ {
+		smp.Sample(rng, s)
+		nodes := s.Ones(nil)
+		k := len(nodes)
+		if k < 2 || k > 14 {
+			continue
+		}
+		checked++
+		r := d.Decode(s)
+
+		dupWeight := func(a, b int) int64 {
+			ra, rb := a < k, b < k
+			switch {
+			case ra && rb:
+				w := gwt.DirectWeight(nodes[a], nodes[b])
+				if math.IsInf(w, 1) {
+					return bigWeight
+				}
+				return int64(w*WeightScale + 0.5)
+			case ra && !rb:
+				if b-k == a {
+					return int64(gwt.BoundaryWeight(nodes[a])*WeightScale + 0.5)
+				}
+				return bigWeight
+			case !ra && rb:
+				if a-k == b {
+					return int64(gwt.BoundaryWeight(nodes[b])*WeightScale + 0.5)
+				}
+				return bigWeight
+			default:
+				return 0
+			}
+		}
+		_, dupTotal, err := sv.MinWeightPerfect(2*k, dupWeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := int64(r.Weight*WeightScale + 0.5)
+		// Allow one fixed-point ulp per pair of rounding slack.
+		if diff := got - dupTotal; diff > int64(k+1) || diff < -int64(k+1) {
+			t.Fatalf("shot %d (k=%d): pairing-only %d vs duplication %d", shot, k, got, dupTotal)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d syndromes checked", checked)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	m, gwt := build(t, 3, 5e-3)
+	d1, d2 := New(gwt), New(gwt)
+	rng := prng.New(11)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	for shot := 0; shot < 500; shot++ {
+		smp.Sample(rng, s)
+		a, b := d1.Decode(s), d2.Decode(s)
+		if a.ObsPrediction != b.ObsPrediction || a.Weight != b.Weight {
+			t.Fatalf("nondeterministic decode at shot %d", shot)
+		}
+	}
+}
+
+// Logical error rate sanity: at d=3, p=2e-3, MWPM must beat the raw
+// observable flip rate (decoding must help).
+func TestDecodingHelps(t *testing.T) {
+	m, gwt := build(t, 3, 2e-3)
+	d := New(gwt)
+	rng := prng.New(22)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	const shots = 30000
+	rawFlips, logErrs := 0, 0
+	for i := 0; i < shots; i++ {
+		obs := smp.Sample(rng, s)
+		if obs&1 == 1 {
+			rawFlips++
+		}
+		r := d.Decode(s)
+		if r.ObsPrediction != obs {
+			logErrs++
+		}
+	}
+	if rawFlips == 0 {
+		t.Fatal("no raw flips; p too low for this test")
+	}
+	if logErrs*3 >= rawFlips {
+		t.Fatalf("decoding barely helps: %d logical errors vs %d raw flips", logErrs, rawFlips)
+	}
+}
+
+func BenchmarkDecodeD7P3(b *testing.B) {
+	m, gwt := build(b, 7, 1e-3)
+	d := New(gwt)
+	rng := prng.New(1)
+	smp := dem.NewSampler(m)
+	// Pre-sample a pool of nonzero syndromes.
+	pool := make([]bitvec.Vec, 0, 256)
+	for len(pool) < 256 {
+		s := bitvec.New(gwt.N)
+		smp.Sample(rng, s)
+		if s.Any() {
+			pool = append(pool, s)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Decode(pool[i%len(pool)])
+	}
+}

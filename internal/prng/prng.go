@@ -1,0 +1,132 @@
+// Package prng implements a small, fast, reproducible pseudo-random number
+// generator (xoshiro256**) with deterministic stream splitting, so that
+// parallel Monte Carlo workers draw from independent, seed-derived streams
+// and every experiment is replayable from a single seed.
+package prng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a xoshiro256** generator. It is NOT safe for concurrent use;
+// give each goroutine its own Source via Split.
+type Source struct {
+	s [4]uint64
+}
+
+// splitMix64 is used to expand seeds into full generator state; it is the
+// recommended initializer for the xoshiro family.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given value. Distinct seeds yield
+// well-separated streams.
+func New(seed uint64) *Source {
+	var src Source
+	x := seed
+	for i := range src.s {
+		src.s[i] = splitMix64(&x)
+	}
+	// Guard against the all-zero state, which is a fixed point.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Split derives an independent child stream deterministically from this
+// source's seed material and the child index. Calling Split does not
+// perturb the parent's sequence.
+func (s *Source) Split(child uint64) *Source {
+	x := s.s[0] ^ (s.s[1] << 1) ^ child*0xd1342543de82ef95
+	var c Source
+	for i := range c.s {
+		c.s[i] = splitMix64(&x)
+	}
+	if c.s[0]|c.s[1]|c.s[2]|c.s[3] == 0 {
+		c.s[0] = 1
+	}
+	return &c
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	for {
+		hi, lo := bits.Mul64(s.Uint64(), bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Bernoulli reports true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Geometric returns the number of Bernoulli(p) failures before the first
+// success, i.e. a sample from the geometric distribution on {0, 1, 2, …}.
+// It is the engine of the geometric-skipping sampler: when scanning a long
+// list of independent low-probability events, skip Geometric(p) entries
+// between hits instead of rolling each one. For p >= 1 it returns 0; for
+// p <= 0 it returns math.MaxInt (no hit will ever occur).
+func (s *Source) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return math.MaxInt
+	}
+	u := s.Float64()
+	// Avoid log(0); Float64 is in [0,1) so 1-u is in (0,1].
+	k := math.Floor(math.Log1p(-u) / math.Log1p(-p))
+	if k < 0 {
+		return 0
+	}
+	if k > float64(math.MaxInt/2) {
+		return math.MaxInt / 2
+	}
+	return int(k)
+}
+
+// Perm fills dst with a uniform random permutation of 0..len(dst)-1.
+func (s *Source) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}

@@ -1,0 +1,216 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from distinct seeds collide %d/64 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	c1b := New(7).Split(1)
+	for i := 0; i < 50; i++ {
+		if c1.Uint64() != c1b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+	// Children with different indices should diverge.
+	diff := false
+	x := parent.Split(1)
+	for i := 0; i < 10; i++ {
+		if x.Uint64() != c2.Uint64() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("children with different indices produced identical streams")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split(3)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split perturbed the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnBoundsAndCoverage(t *testing.T) {
+	s := New(11)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d never produced", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliMean(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	const p = 0.3
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	mean := float64(hits) / n
+	if math.Abs(mean-p) > 0.01 {
+		t.Fatalf("Bernoulli mean %v, want ~%v", mean, p)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(17)
+	const p = 0.05
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(s.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean of geometric on {0,1,...}
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("Geometric mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	s := New(19)
+	if g := s.Geometric(1.5); g != 0 {
+		t.Fatalf("Geometric(p>=1) = %d, want 0", g)
+	}
+	if g := s.Geometric(0); g != math.MaxInt {
+		t.Fatalf("Geometric(0) = %d, want MaxInt", g)
+	}
+	if g := s.Geometric(-0.1); g != math.MaxInt {
+		t.Fatalf("Geometric(<0) = %d, want MaxInt", g)
+	}
+}
+
+// The geometric skipper must visit each index with probability p: simulate
+// scanning a list of m slots, count per-slot hit frequency.
+func TestGeometricSkipperUniformity(t *testing.T) {
+	s := New(23)
+	const m = 50
+	const p = 0.08
+	const trials = 40000
+	hits := make([]int, m)
+	for tr := 0; tr < trials; tr++ {
+		i := s.Geometric(p)
+		for i < m {
+			hits[i]++
+			i += 1 + s.Geometric(p)
+		}
+	}
+	for idx, h := range hits {
+		freq := float64(h) / trials
+		if math.Abs(freq-p) > 0.015 {
+			t.Fatalf("slot %d hit freq %v, want ~%v", idx, freq, p)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(29)
+	dst := make([]int, 20)
+	s.Perm(dst)
+	seen := make([]bool, 20)
+	for _, v := range dst {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", dst)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUint64BitBalance(t *testing.T) {
+	s := New(31)
+	var counts [64]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := s.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.47 || frac > 0.53 {
+			t.Fatalf("bit %d frequency %v, want ~0.5", b, frac)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkGeometric(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Geometric(1e-4) & 1
+	}
+	_ = sink
+}

@@ -1,0 +1,148 @@
+// Package realtime simulates the decoder's streaming operating condition
+// (§2, §3.4): a new syndrome arrives from the control processor every
+// syndrome-extraction window (1 µs on Google Sycamore), and the decoder
+// must keep up — any decode slower than the window builds backlog, which is
+// exactly why software MWPM "cannot decode about 96% of nonzero syndromes
+// within 1 µs" (Figure 3) even though its *average* latency may look fine.
+//
+// The simulator is a single-server queue driven by per-syndrome decode
+// latencies, which can come from a hardware cycle model (Astrea, Astrea-G)
+// or from wall-clock measurement of a software decoder.
+package realtime
+
+import (
+	"fmt"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decoder"
+	"astrea/internal/hwmodel"
+)
+
+// LatencySource yields the decode latency of one syndrome in nanoseconds.
+type LatencySource interface {
+	Name() string
+	DecodeNs(s bitvec.Vec) float64
+}
+
+// CycleSource times a hardware-modelled decoder by its reported cycles at
+// the 250 MHz design clock.
+type CycleSource struct {
+	Decoder decoder.Decoder
+}
+
+// Name implements LatencySource.
+func (c CycleSource) Name() string { return c.Decoder.Name() + " (cycle model)" }
+
+// DecodeNs implements LatencySource.
+func (c CycleSource) DecodeNs(s bitvec.Vec) float64 {
+	return hwmodel.LatencyNs(c.Decoder.Decode(s).Cycles)
+}
+
+// WallClockSource times a software decoder with the host clock — the
+// honest stand-in for "run BlossomV on a general-purpose core".
+type WallClockSource struct {
+	Decoder decoder.Decoder
+}
+
+// Name implements LatencySource.
+func (w WallClockSource) Name() string { return w.Decoder.Name() + " (wall clock)" }
+
+// DecodeNs implements LatencySource.
+func (w WallClockSource) DecodeNs(s bitvec.Vec) float64 {
+	start := time.Now()
+	w.Decoder.Decode(s)
+	return float64(time.Since(start).Nanoseconds())
+}
+
+// Config parameterises a streaming simulation.
+type Config struct {
+	// WindowNs is the syndrome arrival period; 0 means the 1 µs real-time
+	// window.
+	WindowNs float64
+	// MaxBacklog aborts the simulation once the queue exceeds this many
+	// pending syndromes (the decoder has unrecoverably fallen behind).
+	// 0 means 1000.
+	MaxBacklog int
+}
+
+// Result summarises a streaming run.
+type Result struct {
+	Source string
+	Shots  int
+	// OnTime counts syndromes fully decoded within one window of their
+	// arrival (the paper's real-time criterion).
+	OnTime int
+	// MaxQueue is the deepest backlog observed.
+	MaxQueue int
+	// Diverged reports that the backlog exceeded the configured limit and
+	// the run was aborted — the decoder cannot sustain the stream.
+	Diverged bool
+	// MeanServiceNs and MaxServiceNs describe raw decode latencies.
+	MeanServiceNs float64
+	MaxServiceNs  float64
+	// MeanSojournNs is the mean time from arrival to decode completion
+	// (queueing included).
+	MeanSojournNs float64
+}
+
+// OnTimeFraction is the fraction of shots meeting the real-time criterion.
+func (r Result) OnTimeFraction() float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.OnTime) / float64(r.Shots)
+}
+
+// Simulate feeds syndromes from next (until it returns false or the
+// backlog diverges) into a single decoder and tracks queueing behaviour.
+func Simulate(cfg Config, src LatencySource, next func(dst bitvec.Vec) bool, n int) (Result, error) {
+	if cfg.WindowNs <= 0 {
+		cfg.WindowNs = hwmodel.RealTimeBudgetNs
+	}
+	if cfg.MaxBacklog <= 0 {
+		cfg.MaxBacklog = 1000
+	}
+	if n <= 0 {
+		return Result{}, fmt.Errorf("realtime: syndrome length must be positive")
+	}
+	res := Result{Source: src.Name()}
+	s := bitvec.New(n)
+	var busyUntil float64 // absolute ns
+	var sumService, sumSojourn float64
+	for i := 0; next(s); i++ {
+		arrival := float64(i) * cfg.WindowNs
+		service := src.DecodeNs(s)
+		start := arrival
+		if busyUntil > start {
+			start = busyUntil
+		}
+		finish := start + service
+		busyUntil = finish
+
+		res.Shots++
+		sumService += service
+		if service > res.MaxServiceNs {
+			res.MaxServiceNs = service
+		}
+		sojourn := finish - arrival
+		sumSojourn += sojourn
+		if sojourn <= cfg.WindowNs {
+			res.OnTime++
+		}
+		// Backlog: completed work lags arrivals by this many windows.
+		backlog := int((busyUntil - arrival) / cfg.WindowNs)
+		if backlog > res.MaxQueue {
+			res.MaxQueue = backlog
+		}
+		if backlog > cfg.MaxBacklog {
+			res.Diverged = true
+			break
+		}
+	}
+	if res.Shots > 0 {
+		res.MeanServiceNs = sumService / float64(res.Shots)
+		res.MeanSojournNs = sumSojourn / float64(res.Shots)
+	}
+	return res, nil
+}

@@ -1,0 +1,137 @@
+package realtime
+
+import (
+	"testing"
+
+	"astrea/internal/astrea"
+	"astrea/internal/bitvec"
+	"astrea/internal/dem"
+	"astrea/internal/montecarlo"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+)
+
+// fixedSource returns scripted latencies.
+type fixedSource struct {
+	lat []float64
+	i   int
+}
+
+func (f *fixedSource) Name() string { return "fixed" }
+func (f *fixedSource) DecodeNs(bitvec.Vec) float64 {
+	v := f.lat[f.i%len(f.lat)]
+	f.i++
+	return v
+}
+
+func feedN(n int) func(bitvec.Vec) bool {
+	left := n
+	return func(bitvec.Vec) bool {
+		left--
+		return left >= 0
+	}
+}
+
+func TestAllFastIsAllOnTime(t *testing.T) {
+	src := &fixedSource{lat: []float64{100}}
+	res, err := Simulate(Config{WindowNs: 1000}, src, feedN(100), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnTime != 100 || res.MaxQueue != 0 || res.Diverged {
+		t.Fatalf("fast stream result %+v", res)
+	}
+	if res.MeanServiceNs != 100 {
+		t.Fatalf("mean service %v", res.MeanServiceNs)
+	}
+}
+
+// A single slow decode delays followers: queueing must be modelled.
+func TestQueueingDelaysFollowers(t *testing.T) {
+	src := &fixedSource{lat: []float64{5000, 100, 100, 100, 100, 100, 100}}
+	res, err := Simulate(Config{WindowNs: 1000}, src, feedN(7), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shot 0 finishes at 5000 (late); shot 1 arrives at 1000 but starts at
+	// 5000, finishes 5100 (late, sojourn 4100); shot 4 arrives 4000,
+	// starts 5300? ... eventually catches up.
+	if res.OnTime >= 6 {
+		t.Fatalf("queueing not propagated: %+v", res)
+	}
+	if res.MaxQueue < 3 {
+		t.Fatalf("max queue %d, want >= 3", res.MaxQueue)
+	}
+}
+
+// Sustained over-window service must diverge.
+func TestDivergence(t *testing.T) {
+	src := &fixedSource{lat: []float64{2000}}
+	res, err := Simulate(Config{WindowNs: 1000, MaxBacklog: 50}, src, feedN(10000), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverged {
+		t.Fatalf("2x-over-budget stream did not diverge: %+v", res)
+	}
+	if res.Shots >= 10000 {
+		t.Fatal("divergence did not abort the run")
+	}
+}
+
+func TestRejectsBadLength(t *testing.T) {
+	src := &fixedSource{lat: []float64{1}}
+	if _, err := Simulate(Config{}, src, feedN(1), 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+// The headline contrast: Astrea's cycle model sustains the d=5 stream with
+// 100% on-time decodes, while wall-clock software MWPM (whose mean decode
+// here costs multiple microseconds per nonzero syndrome) falls behind.
+func TestAstreaSustainsStreamSoftwareMWPMDoesNot(t *testing.T) {
+	env, err := montecarlo.NewEnv(5, 5, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makeFeed := func() func(bitvec.Vec) bool {
+		rng := prng.New(4)
+		smp := dem.NewSampler(env.Model)
+		left := 3000
+		return func(dst bitvec.Vec) bool {
+			left--
+			if left < 0 {
+				return false
+			}
+			// Feed only nonzero syndromes: the interesting stress case
+			// (zero syndromes are free for everyone).
+			for {
+				smp.Sample(rng, dst)
+				if dst.Any() {
+					return true
+				}
+			}
+		}
+	}
+
+	ast, err := Simulate(Config{}, CycleSource{Decoder: astrea.New(env.GWT)},
+		makeFeed(), env.Model.NumDetectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.OnTimeFraction() < 0.999 || ast.Diverged {
+		t.Fatalf("Astrea failed to sustain the stream: %+v", ast)
+	}
+
+	sw, err := Simulate(Config{MaxBacklog: 200}, WallClockSource{Decoder: mwpm.New(env.GWT)},
+		makeFeed(), env.Model.NumDetectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.OnTimeFraction() > 0.8 && !sw.Diverged {
+		t.Skipf("software MWPM unexpectedly fast on this host: %+v", sw)
+	}
+	if sw.OnTimeFraction() >= ast.OnTimeFraction() {
+		t.Fatalf("software (%v) not worse than Astrea (%v)", sw.OnTimeFraction(), ast.OnTimeFraction())
+	}
+}

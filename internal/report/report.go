@@ -1,0 +1,150 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and ASCII series — the reproduction's stand-in for the artifact's
+// matplotlib plotting script.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple header + rows text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = Sci(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV (no quoting needed for our content).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Sci formats a value in compact scientific / fixed notation appropriate
+// for probabilities and rates.
+func Sci(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case math.Abs(v) >= 0.01 && math.Abs(v) < 10000:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// Series renders a log-scale ASCII chart of (x, y) points, one line per
+// point with a bar proportional to log10(y) — a terminal stand-in for the
+// paper's log-axis figures.
+func Series(w io.Writer, title, xLabel, yLabel string, xs []string, ys []float64) error {
+	if _, err := fmt.Fprintf(w, "== %s ==  (%s vs %s, log scale)\n", title, yLabel, xLabel); err != nil {
+		return err
+	}
+	minLog, maxLog := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		if y <= 0 {
+			continue
+		}
+		l := math.Log10(y)
+		minLog = math.Min(minLog, l)
+		maxLog = math.Max(maxLog, l)
+	}
+	if math.IsInf(minLog, 1) {
+		minLog, maxLog = 0, 1
+	}
+	span := maxLog - minLog
+	if span == 0 {
+		span = 1
+	}
+	for i, y := range ys {
+		bar := 0
+		if y > 0 {
+			bar = int((math.Log10(y) - minLog) / span * 50)
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %-10s |%s\n", xs[i], Sci(y), strings.Repeat("#", bar)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableWrite(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Headers: []string{"a", "bbbb", "c"},
+	}
+	tab.AddRow(1, "x", 3.14159)
+	tab.AddRow(200, "yy", 1e-9)
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a", "bbbb", "200", "1.00e-09", "3.1416"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{Headers: []string{"x", "y"}}
+	tab.AddRow(1, 2)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "x,y\n1,2\n" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+func TestSci(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.5:    "0.5",
+		3:      "3",
+		1e-7:   "1.00e-07",
+		123456: "1.23e+05",
+	}
+	for v, want := range cases {
+		if got := Sci(v); got != want {
+			t.Fatalf("Sci(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Series(&buf, "t", "x", "y", []string{"1", "2", "3"}, []float64{1e-9, 1e-6, 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== t ==") {
+		t.Fatalf("missing title: %s", out)
+	}
+	// Largest value gets the longest bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	if strings.Count(lines[3], "#") <= strings.Count(lines[1], "#") {
+		t.Fatal("bars not proportional to log value")
+	}
+}
+
+func TestSeriesAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Series(&buf, "z", "x", "y", []string{"a"}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+}

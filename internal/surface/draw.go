@@ -1,0 +1,59 @@
+package surface
+
+import (
+	"strings"
+)
+
+// Draw renders the code lattice as ASCII art: data qubits as 'o', Z-type
+// ancillas as 'Z', X-type ancillas as 'X', with the logical-Z column and
+// logical-X row marked. Useful for debugging layouts and for documentation:
+//
+//	o---o---o
+//	| Z | X |     (d = 3 fragment)
+//	o---o---o
+func (c *Code) Draw() string {
+	d := c.Distance
+	// Character grid: lattice coordinate (x, y) → cell (x, y), both in
+	// [0, 2d].
+	w, h := 2*d+1, 2*d+1
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = make([]byte, w)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	for i, pos := range c.DataPos {
+		ch := byte('o')
+		// Mark logical supports.
+		for _, q := range c.LogicalZ {
+			if q == i {
+				ch = 'z'
+			}
+		}
+		for _, q := range c.LogicalX {
+			if q == i {
+				if ch == 'z' {
+					ch = '*' // intersection qubit
+				} else {
+					ch = 'x'
+				}
+			}
+		}
+		grid[pos.Y][pos.X] = ch
+	}
+	for _, s := range c.Stabs {
+		ch := byte('Z')
+		if s.Type == XType {
+			ch = 'X'
+		}
+		grid[s.Pos.Y][s.Pos.X] = ch
+	}
+	var sb strings.Builder
+	sb.Grow(h * (w + 1))
+	for y := 0; y < h; y++ {
+		sb.Write(grid[y])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,288 @@
+package surface
+
+import (
+	"math"
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/circuit"
+	"astrea/internal/prng"
+)
+
+func TestMemoryXStructure(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		c := mustCode(t, d)
+		cc, err := c.MemoryX(d, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDet := (d + 1) * c.NumX
+		if len(cc.Detectors) != wantDet {
+			t.Fatalf("d=%d: %d detectors, want %d", d, len(cc.Detectors), wantDet)
+		}
+		if len(cc.Observables) != 1 {
+			t.Fatal("want one observable")
+		}
+	}
+}
+
+func TestMemoryXNoiselessQuiet(t *testing.T) {
+	c := mustCode(t, 5)
+	cc, err := c.MemoryX(5, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cc.NewFrame()
+	cc.RunInjected(nil, f)
+	det := bitvec.New(len(cc.Detectors))
+	cc.DetectorEvents(f, det)
+	if det.Any() || cc.ObservableFlips(f) != 0 {
+		t.Fatal("noiseless memory-X run is not quiet")
+	}
+}
+
+// In memory-X, X errors are invisible and Z errors are detected — the
+// mirror image of memory-Z.
+func TestMemoryXErrorVisibility(t *testing.T) {
+	c := mustCode(t, 3)
+	cc, err := c.MemoryX(3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cc.NewFrame()
+	det := bitvec.New(len(cc.Detectors))
+	sawZ := false
+	for _, slot := range cc.Slots() {
+		if cc.Instrs[slot.Instr].Op != circuit.OpDepolarize1 {
+			continue
+		}
+		cc.RunInjected([]circuit.Injection{{Instr: slot.Instr, Target: slot.Target, Kind: circuit.ErrZ}}, f)
+		cc.DetectorEvents(f, det)
+		if det.Any() {
+			sawZ = true
+		}
+		n := det.PopCount()
+		if n > 2 {
+			t.Fatalf("Z error at %+v flips %d X-detectors", slot, n)
+		}
+		if cc.ObservableFlips(f) != 0 && n == 0 {
+			t.Fatalf("undetected logical flip from single Z error at %+v", slot)
+		}
+	}
+	if !sawZ {
+		t.Fatal("no Z error was visible to the X detectors")
+	}
+}
+
+// The logical-Z column applied as Z errors must be invisible in memory-X
+// (it is a stabilizer-equivalent of the measured basis? no: it is the
+// *other* logical)... Z_L anticommutes with X_L, so it must flip the
+// observable while firing no detector.
+func TestMemoryXLogicalZChain(t *testing.T) {
+	c := mustCode(t, 5)
+	cc, err := c.MemoryX(5, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inj []circuit.Injection
+	for _, q := range c.LogicalZ {
+		inj = append(inj, circuit.Injection{Instr: 1, Target: q, Kind: circuit.ErrZ})
+	}
+	// Instruction 1 is the first data depolarize layer (instr 0 is the
+	// basis-preparation H layer).
+	if cc.Instrs[1].Op != circuit.OpDepolarize1 {
+		t.Fatal("instruction 1 is not the data depolarize layer")
+	}
+	f := cc.NewFrame()
+	cc.RunInjected(inj, f)
+	det := bitvec.New(len(cc.Detectors))
+	cc.DetectorEvents(f, det)
+	if det.Any() {
+		t.Fatalf("logical Z chain fired %d X-detectors", det.PopCount())
+	}
+	if cc.ObservableFlips(f) != 1 {
+		t.Fatal("logical Z chain must flip the logical-X observable")
+	}
+}
+
+// Functional equivalence (§3.4): the X and Z memory experiments must yield
+// statistically indistinguishable detector rates under the symmetric noise
+// model.
+func TestXZSymmetry(t *testing.T) {
+	d := 3
+	c := mustCode(t, d)
+	rate := func(build func(int, float64) (*circuit.Circuit, error)) float64 {
+		cc, err := build(d, 2e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := prng.New(77)
+		f := cc.NewFrame()
+		det := bitvec.New(len(cc.Detectors))
+		var buf []circuit.Injection
+		total := 0
+		const shots = 40000
+		for i := 0; i < shots; i++ {
+			buf = cc.SampleInjections(rng, buf[:0])
+			cc.RunInjected(buf, f)
+			cc.DetectorEvents(f, det)
+			total += det.PopCount()
+		}
+		return float64(total) / shots
+	}
+	rz := rate(c.MemoryZ)
+	rx := rate(c.MemoryX)
+	if rz <= 0 || rx <= 0 {
+		t.Fatal("degenerate rates")
+	}
+	if diff := math.Abs(rz-rx) / rz; diff > 0.1 {
+		t.Fatalf("X/Z detector rates differ by %.0f%%: Z=%v X=%v", 100*diff, rz, rx)
+	}
+}
+
+func TestNoiseMapValidation(t *testing.T) {
+	c := mustCode(t, 3)
+	if _, err := c.Memory(BasisZ, 3, NoiseMap{Base: 1e-3, Scale: []float64{1}}); err == nil {
+		t.Fatal("short scale accepted")
+	}
+	bad := make([]float64, c.NumQubits())
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[0] = 5000 // 1e-3 * 5000 = 5 > 1
+	if _, err := c.Memory(BasisZ, 3, NoiseMap{Base: 1e-3, Scale: bad}); err == nil {
+		t.Fatal("out-of-range per-qubit rate accepted")
+	}
+}
+
+// A non-uniform map must produce more errors on the hot qubit and keep the
+// sampler's slot accounting consistent.
+func TestNonUniformNoise(t *testing.T) {
+	c := mustCode(t, 3)
+	scale := make([]float64, c.NumQubits())
+	for i := range scale {
+		scale[i] = 1
+	}
+	hot := 4 // a data qubit
+	scale[hot] = 10
+	cc, err := c.Memory(BasisZ, 3, NoiseMap{Base: 1e-3, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccU, err := c.MemoryZ(3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total slot probability grows exactly by the hot qubit's extra sites.
+	if cc.TotalSlotProbability() <= ccU.TotalSlotProbability() {
+		t.Fatal("non-uniform map did not increase total noise")
+	}
+	// Count injections landing on the hot qubit vs a cold one.
+	rng := prng.New(3)
+	var buf []circuit.Injection
+	hotHits, coldHits := 0, 0
+	for i := 0; i < 200000; i++ {
+		buf = cc.SampleInjections(rng, buf[:0])
+		for _, in := range buf {
+			q := cc.Instrs[in.Instr].Targets[in.Target]
+			if in.Kind == circuit.ErrFlip {
+				continue
+			}
+			if q == hot {
+				hotHits++
+			}
+			if q == hot+1 {
+				coldHits++
+			}
+		}
+	}
+	if coldHits == 0 || float64(hotHits)/float64(coldHits) < 5 {
+		t.Fatalf("hot/cold hit ratio %d/%d, want ~10x", hotHits, coldHits)
+	}
+}
+
+// Uniform maps via Memory must match MemoryZ exactly (same instruction
+// stream).
+func TestUniformMapEquivalence(t *testing.T) {
+	c := mustCode(t, 3)
+	a, err := c.MemoryZ(3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Memory(BasisZ, 3, Uniform(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instrs) != len(b.Instrs) || a.NumMeas != b.NumMeas {
+		t.Fatal("uniform Memory differs from MemoryZ")
+	}
+}
+
+func TestBasisString(t *testing.T) {
+	if BasisZ.String() != "Z" || BasisX.String() != "X" {
+		t.Fatal("basis names wrong")
+	}
+}
+
+// Temporal drift: a hot final round must concentrate detector events in
+// late detector rows.
+func TestRoundDrift(t *testing.T) {
+	c := mustCode(t, 3)
+	cc, err := c.Memory(BasisZ, 3, NoiseMap{Base: 1e-3, RoundScale: []float64{1, 1, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := prng.New(17)
+	f := cc.NewFrame()
+	det := bitvec.New(len(cc.Detectors))
+	var buf []circuit.Injection
+	early, late := 0, 0
+	for i := 0; i < 60000; i++ {
+		buf = cc.SampleInjections(rng, buf[:0])
+		cc.RunInjected(buf, f)
+		cc.DetectorEvents(f, det)
+		for _, idx := range det.Ones(nil) {
+			if idx/c.NumZ <= 1 {
+				early++
+			} else {
+				late++
+			}
+		}
+	}
+	if late < 5*early {
+		t.Fatalf("drifted noise did not concentrate late: early=%d late=%d", early, late)
+	}
+}
+
+func TestDriftValidation(t *testing.T) {
+	c := mustCode(t, 3)
+	if _, err := c.Memory(BasisZ, 3, NoiseMap{Base: 1e-3, RoundScale: []float64{1, 1}}); err == nil {
+		t.Fatal("short drift map accepted")
+	}
+	if _, err := c.Memory(BasisZ, 3, NoiseMap{Base: 0.5, RoundScale: []float64{1, 1, 3}}); err == nil {
+		t.Fatal("out-of-range drifted rate accepted")
+	}
+}
+
+func TestDraw(t *testing.T) {
+	c := mustCode(t, 3)
+	art := c.Draw()
+	// Counts: d^2 data marks ('o', 'z', 'x', '*'), (d^2-1)/2 of each ancilla.
+	counts := map[byte]int{}
+	for i := 0; i < len(art); i++ {
+		counts[art[i]]++
+	}
+	if counts['Z'] != c.NumZ || counts['X'] != c.NumX {
+		t.Fatalf("ancilla marks Z=%d X=%d, want %d/%d", counts['Z'], counts['X'], c.NumZ, c.NumX)
+	}
+	data := counts['o'] + counts['z'] + counts['x'] + counts['*']
+	if data != len(c.DataPos) {
+		t.Fatalf("data marks %d, want %d", data, len(c.DataPos))
+	}
+	if counts['*'] != 1 {
+		t.Fatalf("logical intersection marks %d, want 1", counts['*'])
+	}
+	if counts['z'] != c.Distance-1 || counts['x'] != c.Distance-1 {
+		t.Fatalf("logical marks z=%d x=%d, want %d each", counts['z'], counts['x'], c.Distance-1)
+	}
+}

@@ -1,0 +1,451 @@
+// Package surface builds rotated surface codes and their memory-experiment
+// circuits under the paper's circuit-level noise model (§2.1, §3.2).
+//
+// Geometry. A distance-d rotated surface code places d² data qubits at
+// odd-odd integer coordinates (2j+1, 2i+1) for row i, column j in [0, d),
+// and stabilizer ancillas at even-even coordinates (2a, 2b) for a, b in
+// [0, d]. The checkerboard parity of (a+b) picks the stabilizer basis, and
+// boundary trimming leaves (d²−1)/2 stabilizers of each type: weight-2 Z
+// stabilizers on the top/bottom boundaries and weight-2 X stabilizers on the
+// left/right boundaries (plus weight-4 interior plaquettes), matching
+// Table 1 of the paper.
+//
+// Logicals. Logical Z is the column of Z operators on the leftmost data
+// qubits; logical X is the row of X operators on the topmost data qubits.
+// In a memory-Z experiment a logical error is an undetected X chain crossing
+// left-to-right.
+package surface
+
+import (
+	"fmt"
+
+	"astrea/internal/circuit"
+)
+
+// StabType is a stabilizer basis.
+type StabType uint8
+
+// Stabilizer bases.
+const (
+	// ZType stabilizers measure products of Z and detect X errors; they are
+	// the ones decoded in a memory-Z experiment.
+	ZType StabType = iota
+	// XType stabilizers measure products of X and detect Z errors.
+	XType
+)
+
+func (t StabType) String() string {
+	if t == ZType {
+		return "Z"
+	}
+	return "X"
+}
+
+// Coord is an integer lattice position. Data qubits live at odd-odd
+// coordinates; stabilizer ancillas at even-even coordinates.
+type Coord struct {
+	X, Y int
+}
+
+// Stabilizer describes one parity check of the code.
+type Stabilizer struct {
+	Type StabType
+	Pos  Coord
+	// Data lists the supporting data-qubit indices.
+	Data []int
+	// Ancilla is the circuit qubit index of the measurement ancilla.
+	Ancilla int
+	// TypeIndex numbers this stabilizer among stabilizers of its own type
+	// (0 .. (d²−1)/2 − 1); Z-type indices number the decoding-graph
+	// detectors.
+	TypeIndex int
+}
+
+// Code is a rotated surface code layout.
+type Code struct {
+	Distance int
+	// DataPos[i] is the position of data qubit i (index = row*d + col).
+	DataPos []Coord
+	// Stabs lists all stabilizers, Z-type first (in TypeIndex order), then
+	// X-type.
+	Stabs []Stabilizer
+	// NumZ and NumX are the per-type stabilizer counts, each (d²−1)/2.
+	NumZ, NumX int
+	// LogicalZ and LogicalX are the supporting data-qubit indices of the
+	// logical operators.
+	LogicalZ, LogicalX []int
+
+	dataAt map[Coord]int
+}
+
+// New constructs the distance-d rotated surface code. d must be odd and at
+// least 3.
+func New(d int) (*Code, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, fmt.Errorf("surface: distance must be odd and >= 3, got %d", d)
+	}
+	c := &Code{
+		Distance: d,
+		dataAt:   make(map[Coord]int, d*d),
+	}
+	for i := 0; i < d; i++ { // row
+		for j := 0; j < d; j++ { // column
+			pos := Coord{X: 2*j + 1, Y: 2*i + 1}
+			c.dataAt[pos] = len(c.DataPos)
+			c.DataPos = append(c.DataPos, pos)
+		}
+	}
+
+	collect := func(want StabType) []Stabilizer {
+		var out []Stabilizer
+		for b := 0; b <= d; b++ { // y = 2b (row of plaquette corners)
+			for a := 0; a <= d; a++ { // x = 2a
+				typ := ZType
+				if (a+b)%2 == 1 {
+					typ = XType
+				}
+				if typ != want {
+					continue
+				}
+				// Trimming: Z stabilizers may not touch the left/right
+				// boundaries; X stabilizers may not touch top/bottom.
+				if typ == ZType && (a == 0 || a == d) {
+					continue
+				}
+				if typ == XType && (b == 0 || b == d) {
+					continue
+				}
+				pos := Coord{X: 2 * a, Y: 2 * b}
+				var data []int
+				for _, off := range plaquetteCorners {
+					if q, ok := c.dataAt[Coord{X: pos.X + off.X, Y: pos.Y + off.Y}]; ok {
+						data = append(data, q)
+					}
+				}
+				if len(data) < 2 {
+					continue
+				}
+				out = append(out, Stabilizer{Type: typ, Pos: pos, Data: data})
+			}
+		}
+		return out
+	}
+
+	zs := collect(ZType)
+	xs := collect(XType)
+	c.NumZ, c.NumX = len(zs), len(xs)
+	c.Stabs = append(zs, xs...)
+	for i := range c.Stabs {
+		s := &c.Stabs[i]
+		s.Ancilla = d*d + i
+		if s.Type == ZType {
+			s.TypeIndex = i
+		} else {
+			s.TypeIndex = i - c.NumZ
+		}
+	}
+
+	for i := 0; i < d; i++ {
+		c.LogicalZ = append(c.LogicalZ, i*d) // column 0
+	}
+	for j := 0; j < d; j++ {
+		c.LogicalX = append(c.LogicalX, j) // row 0
+	}
+	return c, nil
+}
+
+// plaquetteCorners are the data-qubit offsets around a plaquette center, in
+// reading order NW, NE, SW, SE.
+var plaquetteCorners = [4]Coord{{-1, -1}, {1, -1}, {-1, 1}, {1, 1}}
+
+// NumQubits is the total physical qubit count d² + (d²−1) (Table 1).
+func (c *Code) NumQubits() int { return len(c.DataPos) + len(c.Stabs) }
+
+// DataIndexAt returns the data-qubit index at the given position, if any.
+func (c *Code) DataIndexAt(pos Coord) (int, bool) {
+	q, ok := c.dataAt[pos]
+	return q, ok
+}
+
+// SyndromeVectorLen is the per-type syndrome-vector length for a d-round
+// memory experiment: (d+1)·(d²−1)/2, the d rounds plus the final detector
+// row derived from the transversal data measurement (Table 1).
+func (c *Code) SyndromeVectorLen() int {
+	return (c.Distance + 1) * c.NumZ
+}
+
+// CNOT step schedules, expressed as data-qubit offsets from the ancilla.
+// The X-stabilizer order leaves its "hook" pair vertically aligned
+// (perpendicular to the horizontal logical-X chains), preserving the full
+// circuit-level distance of the memory-Z experiment.
+var (
+	xStepOffsets = [4]Coord{{-1, -1}, {-1, 1}, {1, -1}, {1, 1}} // NW, SW, NE, SE
+	zStepOffsets = [4]Coord{{-1, -1}, {1, -1}, {-1, 1}, {1, 1}} // NW, NE, SW, SE
+)
+
+// NoiseMap assigns a depolarizing strength to every physical qubit and,
+// optionally, a per-round drift factor: qubit q's error sites in round r
+// use Base·Scale[q]·RoundScale[r]. It is how the reproduction exercises the
+// paper's §8.2 claim that the Global Weight Table natively handles
+// non-uniform error rates and error drift — the circuit carries the true
+// rates, and the GWT is (re)programmed from them.
+type NoiseMap struct {
+	Base float64
+	// Scale is a per-qubit multiplier (nil = spatially uniform).
+	Scale []float64
+	// RoundScale is a per-round multiplier modelling temporal drift
+	// (nil = stationary). The final data measurement uses the last round's
+	// factor.
+	RoundScale []float64
+}
+
+// Uniform returns the paper's default uniform, stationary noise at
+// strength p.
+func Uniform(p float64) NoiseMap { return NoiseMap{Base: p} }
+
+// At returns the noise strength at qubit q in round r.
+func (nm NoiseMap) At(q, r int) float64 {
+	p := nm.Base
+	if nm.Scale != nil {
+		p *= nm.Scale[q]
+	}
+	if nm.RoundScale != nil {
+		if r >= len(nm.RoundScale) {
+			r = len(nm.RoundScale) - 1
+		}
+		p *= nm.RoundScale[r]
+	}
+	return p
+}
+
+func (nm NoiseMap) validate(numQubits, rounds int) error {
+	if nm.Scale != nil && len(nm.Scale) != numQubits {
+		return fmt.Errorf("surface: noise map covers %d qubits, code has %d", len(nm.Scale), numQubits)
+	}
+	if nm.RoundScale != nil && len(nm.RoundScale) != rounds {
+		return fmt.Errorf("surface: drift map covers %d rounds, experiment has %d", len(nm.RoundScale), rounds)
+	}
+	for r := 0; r < rounds; r++ {
+		for q := 0; q < numQubits; q++ {
+			if p := nm.At(q, r); p < 0 || p > 1 {
+				return fmt.Errorf("surface: noise %v at qubit %d round %d out of [0,1]", p, q, r)
+			}
+		}
+	}
+	return nil
+}
+
+// Basis selects the memory experiment type.
+type Basis uint8
+
+// Memory experiment bases.
+const (
+	// BasisZ preserves |0⟩: Z-type detectors watch X errors, the observable
+	// is the logical-Z column.
+	BasisZ Basis = iota
+	// BasisX preserves |+⟩: X-type detectors watch Z errors, the observable
+	// is the logical-X row. Functionally equivalent to BasisZ under the
+	// paper's symmetric noise model (§3.4).
+	BasisX
+)
+
+func (b Basis) String() string {
+	if b == BasisZ {
+		return "Z"
+	}
+	return "X"
+}
+
+// MemoryZ builds the memory-Z experiment circuit: prepare |0…0⟩, run
+// `rounds` rounds of noisy syndrome extraction, then measure every data
+// qubit in the Z basis. Noise follows the paper's model: DEPOLARIZE1(p) on
+// each data qubit at the start of every round, DEPOLARIZE1(p) on both
+// operands after every CNOT, readout flips with probability p, and an
+// X error with probability p after every ancilla reset.
+//
+// Detectors are Z-type only (the paper decodes Z memory experiments), in
+// round-major order: detector r·NumZ + s compares stabilizer s between
+// rounds r−1 and r, with round 0 absolute and round `rounds` derived from
+// the data measurement. The single logical observable is the parity of the
+// final measurements of the logical-Z column.
+func (c *Code) MemoryZ(rounds int, p float64) (*circuit.Circuit, error) {
+	return c.Memory(BasisZ, rounds, Uniform(p))
+}
+
+// MemoryX is the X-basis counterpart of MemoryZ: prepare |+…+⟩, extract
+// for `rounds` rounds, measure the data in the X basis, and watch the
+// X-type detectors and logical-X observable.
+func (c *Code) MemoryX(rounds int, p float64) (*circuit.Circuit, error) {
+	return c.Memory(BasisX, rounds, Uniform(p))
+}
+
+// Memory builds a memory experiment in either basis under an arbitrary
+// per-qubit noise map.
+func (c *Code) Memory(basis Basis, rounds int, nm NoiseMap) (*circuit.Circuit, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("surface: rounds must be >= 1, got %d", rounds)
+	}
+	if err := nm.validate(c.NumQubits(), rounds); err != nil {
+		return nil, err
+	}
+	cc := circuit.New(c.NumQubits())
+
+	allData := make([]int, len(c.DataPos))
+	for i := range allData {
+		allData[i] = i
+	}
+	var xAnc, allAnc []int
+	for _, s := range c.Stabs {
+		allAnc = append(allAnc, s.Ancilla)
+		if s.Type == XType {
+			xAnc = append(xAnc, s.Ancilla)
+		}
+	}
+
+	// Noise emission groups targets by their strength so the sampler's
+	// geometric skipping keeps long equal-probability runs.
+	depolarize := func(r int, qs ...int) {
+		emitByStrength(cc, nm, r, qs, func(p float64, group []int) {
+			cc.Depolarize1(p, group...)
+		})
+	}
+	xerror := func(r int, qs ...int) {
+		emitByStrength(cc, nm, r, qs, func(p float64, group []int) {
+			cc.XError(p, group...)
+		})
+	}
+	// In the X basis the data qubits are prepared in and read out of |+⟩.
+	if basis == BasisX {
+		cc.H(allData...)
+	}
+
+	// measIdx[r][si] is the record index of stabilizer si in round r.
+	measIdx := make([][]int, rounds)
+
+	for r := 0; r < rounds; r++ {
+		depolarize(r, allData...)
+		cc.H(xAnc...)
+		for step := 0; step < 4; step++ {
+			var pairs, touched []int
+			for _, s := range c.Stabs {
+				var off Coord
+				if s.Type == XType {
+					off = xStepOffsets[step]
+				} else {
+					off = zStepOffsets[step]
+				}
+				q, ok := c.dataAt[Coord{X: s.Pos.X + off.X, Y: s.Pos.Y + off.Y}]
+				if !ok {
+					continue
+				}
+				if s.Type == XType {
+					pairs = append(pairs, s.Ancilla, q)
+				} else {
+					pairs = append(pairs, q, s.Ancilla)
+				}
+				touched = append(touched, q, s.Ancilla)
+			}
+			cc.CNOT(pairs...)
+			depolarize(r, touched...)
+		}
+		cc.H(xAnc...)
+		// Uniform-strength ancilla layers keep the record order equal to
+		// Stabs order; with a noise map, measure() may reorder groups, so
+		// resolve indices explicitly.
+		measIdx[r] = measureLayer(cc, nm, r, allAnc)
+		cc.Reset(allAnc...)
+		xerror(r, allAnc...)
+	}
+
+	if basis == BasisX {
+		cc.H(allData...)
+	}
+	dataIdx := measureLayer(cc, nm, rounds-1, allData)
+
+	wantType := ZType
+	if basis == BasisX {
+		wantType = XType
+	}
+	for r := 0; r <= rounds; r++ {
+		for si, s := range c.Stabs {
+			if s.Type != wantType {
+				continue
+			}
+			meta := circuit.DetMeta{Stab: s.TypeIndex, Round: r}
+			switch {
+			case r == 0:
+				cc.Detector(meta, measIdx[0][si])
+			case r < rounds:
+				cc.Detector(meta, measIdx[r][si], measIdx[r-1][si])
+			default:
+				refs := []int{measIdx[rounds-1][si]}
+				for _, q := range s.Data {
+					refs = append(refs, dataIdx[q])
+				}
+				cc.Detector(meta, refs...)
+			}
+		}
+	}
+
+	logical := c.LogicalZ
+	if basis == BasisX {
+		logical = c.LogicalX
+	}
+	obs := make([]int, len(logical))
+	for i, q := range logical {
+		obs[i] = dataIdx[q]
+	}
+	cc.Observable(obs...)
+
+	if err := cc.Finalize(); err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+// emitByStrength partitions qs into runs of equal noise strength
+// (preserving order within a run) and emits one instruction per strength.
+func emitByStrength(cc *circuit.Circuit, nm NoiseMap, r int, qs []int, emit func(p float64, group []int)) {
+	if nm.Scale == nil && nm.RoundScale == nil {
+		emit(nm.Base, qs)
+		return
+	}
+	groups := map[float64][]int{}
+	var order []float64
+	for _, q := range qs {
+		p := nm.At(q, r)
+		if _, ok := groups[p]; !ok {
+			order = append(order, p)
+		}
+		groups[p] = append(groups[p], q)
+	}
+	for _, p := range order {
+		emit(p, groups[p])
+	}
+}
+
+// measureLayer measures qs with per-qubit readout-flip strengths and
+// returns, indexed the same way as qs's values, each qubit's record index.
+// For the ancilla layer qs is allAnc (indexed by position in Stabs); for
+// the data layer qs is allData (indexed by data qubit id).
+func measureLayer(cc *circuit.Circuit, nm NoiseMap, r int, qs []int) []int {
+	idx := make([]int, len(qs))
+	posOf := make(map[int]int, len(qs))
+	for i, q := range qs {
+		posOf[q] = i
+	}
+	emitByStrength(cc, nm, r, qs, func(p float64, group []int) {
+		base := cc.Measure(p, group...)
+		for j, q := range group {
+			idx[posOf[q]] = base + j
+		}
+	})
+	return idx
+}
+
+// Table1Row reports the resource counts of Table 1 for this code: data
+// qubits, parity qubits (X+Z), total qubits, and the per-type syndrome
+// vector length for a distance-d experiment (d rounds plus the final row).
+func (c *Code) Table1Row() (data, parity, total, synLen int) {
+	return len(c.DataPos), len(c.Stabs), c.NumQubits(), (c.Distance + 1) * c.NumZ
+}

@@ -1,0 +1,182 @@
+package unionfind
+
+import (
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decodegraph"
+	"astrea/internal/dem"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+	"astrea/internal/surface"
+)
+
+func build(t testing.TB, d int, p float64) (*dem.Model, *decodegraph.Graph, *decodegraph.GWT) {
+	t.Helper()
+	code, err := surface.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := code.MemoryZ(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dem.FromCircuit(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := decodegraph.FromModel(m, cc.DetMetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwt, err := g.BuildGWT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, g, gwt
+}
+
+func TestEmptySyndrome(t *testing.T) {
+	_, g, _ := build(t, 3, 1e-3)
+	d := New(g, false)
+	r := d.Decode(bitvec.New(g.N))
+	if r.ObsPrediction != 0 {
+		t.Fatal("empty syndrome must predict no flip")
+	}
+}
+
+// Single-mechanism shots must be decoded perfectly by UF: the grown cluster
+// contains the true error chain.
+func TestSingleMechanismsDecoded(t *testing.T) {
+	m, g, _ := build(t, 3, 1e-3)
+	d := New(g, false)
+	s := bitvec.New(g.N)
+	for _, e := range m.Errors {
+		s.Reset()
+		for _, det := range e.Detectors {
+			s.Set(det)
+		}
+		r := d.Decode(s)
+		if r.ObsPrediction != e.ObsMask {
+			t.Fatalf("mechanism %v/%#x predicted %#x", e.Detectors, e.ObsMask, r.ObsPrediction)
+		}
+	}
+}
+
+// The decoder must terminate and produce a prediction for every sampled
+// syndrome, including dense ones.
+func TestTerminatesOnDenseSyndromes(t *testing.T) {
+	m, g, _ := build(t, 5, 8e-3)
+	d := New(g, false)
+	rng := prng.New(5)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(g.N)
+	for i := 0; i < 2000; i++ {
+		smp.Sample(rng, s)
+		_ = d.Decode(s) // must not hang or panic
+	}
+}
+
+// Accuracy ordering (the heart of Table 4 / Fig 4): Union-Find must be
+// strictly less accurate than MWPM, but still far better than no decoding.
+func TestAccuracyOrderingVsMWPM(t *testing.T) {
+	m, g, gwt := build(t, 5, 3e-3)
+	uf := New(g, false)
+	mw := mwpm.New(gwt)
+	rng := prng.New(51)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(g.N)
+	const shots = 40000
+	ufErr, mwErr, raw := 0, 0, 0
+	for i := 0; i < shots; i++ {
+		obs := smp.Sample(rng, s)
+		if obs&1 == 1 {
+			raw++
+		}
+		if uf.Decode(s).ObsPrediction != obs {
+			ufErr++
+		}
+		if mw.Decode(s).ObsPrediction != obs {
+			mwErr++
+		}
+	}
+	if mwErr == 0 || ufErr == 0 {
+		t.Skipf("not enough errors to compare (uf=%d mwpm=%d)", ufErr, mwErr)
+	}
+	if ufErr <= mwErr {
+		t.Fatalf("UF (%d errors) should be worse than MWPM (%d errors)", ufErr, mwErr)
+	}
+	if ufErr*2 >= raw {
+		t.Fatalf("UF barely decodes: %d errors vs %d raw flips", ufErr, raw)
+	}
+}
+
+// Weighted growth must beat unweighted growth on circuit-level noise.
+func TestWeightedBeatsUnweighted(t *testing.T) {
+	m, g, _ := build(t, 5, 3e-3)
+	uf := New(g, false)
+	ufw := New(g, true)
+	rng := prng.New(52)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(g.N)
+	const shots = 60000
+	e0, e1 := 0, 0
+	for i := 0; i < shots; i++ {
+		obs := smp.Sample(rng, s)
+		if uf.Decode(s).ObsPrediction != obs {
+			e0++
+		}
+		if ufw.Decode(s).ObsPrediction != obs {
+			e1++
+		}
+	}
+	if e1 >= e0 {
+		t.Fatalf("weighted UF (%d) not better than unweighted (%d)", e1, e0)
+	}
+}
+
+// Failure injection: a syndrome with odd parity in the bulk (physically
+// impossible without boundary chains) must not hang or panic.
+func TestPathologicalSyndromes(t *testing.T) {
+	_, g, _ := build(t, 3, 1e-3)
+	d := New(g, false)
+	s := bitvec.New(g.N)
+	s.Set(g.N / 2)
+	_ = d.Decode(s)
+	// All bits set.
+	for i := 0; i < g.N; i++ {
+		s.Set(i)
+	}
+	_ = d.Decode(s)
+}
+
+func TestSyndromeLengthMismatchPanics(t *testing.T) {
+	_, g, _ := build(t, 3, 1e-3)
+	d := New(g, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Decode(bitvec.New(3))
+}
+
+func BenchmarkDecodeD7(b *testing.B) {
+	m, g, _ := build(b, 7, 3e-3)
+	d := New(g, false)
+	rng := prng.New(1)
+	smp := dem.NewSampler(m)
+	pool := make([]bitvec.Vec, 0, 128)
+	for len(pool) < 128 {
+		s := bitvec.New(g.N)
+		smp.Sample(rng, s)
+		if s.Any() {
+			pool = append(pool, s)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Decode(pool[i%len(pool)])
+	}
+}
