@@ -28,6 +28,7 @@ import (
 	"astrea/internal/astreag"
 	"astrea/internal/bitvec"
 	"astrea/internal/clique"
+	"astrea/internal/compress"
 	"astrea/internal/decodegraph"
 	"astrea/internal/decoder"
 	"astrea/internal/dem"
@@ -37,6 +38,7 @@ import (
 	"astrea/internal/montecarlo"
 	"astrea/internal/mwpm"
 	"astrea/internal/prng"
+	"astrea/internal/server"
 	"astrea/internal/surface"
 	"astrea/internal/unionfind"
 )
@@ -244,6 +246,40 @@ func (s *System) EstimateLERStratified(maxK int, shotsPerK int64, seed uint64, f
 // LatencyNs converts a Result's cycle count to nanoseconds at the paper's
 // 250 MHz FPGA clock.
 func LatencyNs(r Result) float64 { return hwmodel.LatencyNs(r.Cycles) }
+
+// DecodeServer is the networked syndrome-decoding service: a TCP daemon
+// with per-distance decoder pools, a bounded batched request queue with
+// backpressure, and per-request deadline accounting against the 1 µs
+// real-time budget. See cmd/astread for the standalone binary.
+type DecodeServer = server.Server
+
+// DecodeServerConfig configures a DecodeServer.
+type DecodeServerConfig = server.Config
+
+// DecodeClient is one client stream to a DecodeServer; it negotiates a
+// syndrome codec at handshake and can pipeline requests.
+type DecodeClient = server.Client
+
+// DecodeResponse is the unified reply to one decode request: a result, a
+// backpressure rejection with a retry hint, or a per-request error.
+type DecodeResponse = server.Response
+
+// NewDecodeServer builds a decode service; call Serve or ListenAndServe to
+// accept connections and Close to drain.
+func NewDecodeServer(cfg DecodeServerConfig) (*DecodeServer, error) {
+	return server.New(cfg)
+}
+
+// DialDecode connects a client stream to a running decode service for one
+// code distance, negotiating the named syndrome codec ("dense", "sparse" or
+// "rice").
+func DialDecode(addr string, distance int, codecName string) (*DecodeClient, error) {
+	id, err := compress.IDByName(codecName)
+	if err != nil {
+		return nil, err
+	}
+	return server.Dial(addr, distance, id)
+}
 
 // ChainStep is one error mechanism of a physical correction chain.
 type ChainStep = decodegraph.ChainStep

@@ -1,0 +1,142 @@
+// Command astrea-loadgen drives an astread daemon with DEM-sampled
+// syndromes at a configurable open-loop arrival rate and reports a
+// Figure 3-style latency CDF plus achieved-vs-offered throughput — the
+// paper's "can software MWPM keep up with one syndrome per µs?" experiment,
+// re-measured end-to-end over a real network hop.
+//
+// Usage:
+//
+//	astrea-loadgen [flags]
+//
+// Flags:
+//
+//	-addr host:port   daemon address (default 127.0.0.1:7717)
+//	-d N              code distance (default 5)
+//	-p rate           physical error rate for the syndrome sampler (default 1e-3)
+//	-codec name       dense | sparse | rice (default sparse)
+//	-n N              syndromes to offer (default 10000)
+//	-rate R           arrival rate per second; 0 = as fast as possible (default 0)
+//	-deadline dur     per-request deadline; 0 = server default of 1µs (default 0)
+//	-seed N           sampler seed (default 2023)
+//	-verify           re-decode locally and count mismatches (default true)
+//	-verify-decoder   local decoder for -verify (default astrea)
+//
+// Exit status is non-zero if any verified response disagrees with the
+// local decoder.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"astrea/internal/compress"
+	"astrea/internal/report"
+	"astrea/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "astrea-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("astrea-loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7717", "daemon address")
+	d := fs.Int("d", 5, "code distance")
+	p := fs.Float64("p", 1e-3, "physical error rate")
+	codecName := fs.String("codec", "sparse", "syndrome codec: dense, sparse or rice")
+	n := fs.Int("n", 10_000, "syndromes to offer")
+	rate := fs.Float64("rate", 0, "arrival rate per second (0 = unpaced)")
+	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = server default)")
+	seed := fs.Uint64("seed", 2023, "sampler seed")
+	verify := fs.Bool("verify", true, "re-decode locally and count mismatches")
+	verifyDecoder := fs.String("verify-decoder", "astrea", "local decoder for -verify")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	codecID, err := compress.IDByName(*codecName)
+	if err != nil {
+		return err
+	}
+
+	cfg := server.LoadConfig{
+		Addr:          *addr,
+		Distance:      *d,
+		P:             *p,
+		Codec:         codecID,
+		Shots:         *n,
+		RatePerSec:    *rate,
+		DeadlineNs:    uint64(deadline.Nanoseconds()),
+		Seed:          *seed,
+		Verify:        *verify,
+		VerifyDecoder: *verifyDecoder,
+	}
+	fmt.Fprintf(os.Stderr, "astrea-loadgen: offering %d d=%d syndromes to %s (codec=%s, rate=%s)\n",
+		*n, *d, *addr, *codecName, rateLabel(*rate))
+	rep, err := server.RunLoad(cfg)
+	if err != nil {
+		return err
+	}
+	return render(rep, cfg)
+}
+
+func rateLabel(rate float64) string {
+	if rate <= 0 {
+		return "unpaced"
+	}
+	return fmt.Sprintf("%g/s", rate)
+}
+
+func render(rep *server.LoadReport, cfg server.LoadConfig) error {
+	out := os.Stdout
+	budget := float64(cfg.DeadlineNs)
+	if budget == 0 {
+		budget = 1000 // server default: the 1 µs window
+	}
+
+	t := report.Table{
+		Title:   "astread load report",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("offered", rep.Offered)
+	t.AddRow("accepted", rep.Accepted)
+	t.AddRow("rejected (backpressure)", rep.Rejected)
+	t.AddRow("errored", rep.Errored)
+	t.AddRow("offered/s", rep.OfferedPerSec)
+	t.AddRow("achieved/s", rep.AchievedPerSec)
+	t.AddRow("deadline misses (server)", fmt.Sprintf("%d (%.2f%% of accepted)",
+		rep.DeadlineMisses, 100*missRate(rep)))
+	if rep.Rejected > 0 {
+		t.AddRow("max retry-after", time.Duration(rep.MaxRetryAfterNs).String())
+	}
+	if cfg.Verify {
+		t.AddRow("verified mismatches", rep.Mismatches)
+	}
+	if err := t.Write(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	if err := report.CDF(out, "client round-trip latency", rep.RTTNs, budget); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	if err := report.CDF(out, "server-side sojourn (arrival→decode)", rep.ServerSojournNs, budget); err != nil {
+		return err
+	}
+	if rep.Mismatches > 0 {
+		return fmt.Errorf("%d responses disagree with the local %s decoder", rep.Mismatches, cfg.VerifyDecoder)
+	}
+	return nil
+}
+
+func missRate(rep *server.LoadReport) float64 {
+	if rep.Accepted == 0 {
+		return 0
+	}
+	return float64(rep.DeadlineMisses) / float64(rep.Accepted)
+}

@@ -1,0 +1,129 @@
+// Command astread is the syndrome-decoding daemon: it serves the wire
+// protocol of internal/server over TCP, decoding DEM syndromes with
+// per-distance decoder pools, a bounded batched queue with backpressure,
+// and per-request deadline accounting against the paper's 1 µs real-time
+// budget.
+//
+// Usage:
+//
+//	astread [flags]
+//
+// Flags:
+//
+//	-listen addr      TCP decode endpoint (default :7717)
+//	-http addr        stats endpoint, /stats + expvar /debug/vars (default :7718, "" disables)
+//	-distances list   comma-separated code distances to serve (default 3,5,7)
+//	-p rate           physical error rate the GWTs are programmed for (default 1e-3)
+//	-decoder name     astrea | astrea-g | mwpm | uf | uf-unweighted (default astrea)
+//	-queue N          request queue bound; overflow is rejected (default 1024)
+//	-batch N          max requests per worker wake-up (default 16)
+//	-workers N        decode workers (default GOMAXPROCS)
+//	-deadline dur     default per-request deadline (default 1µs)
+//
+// The daemon runs until SIGINT/SIGTERM, then drains and prints a final
+// stats snapshot.
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"astrea/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "astread:", err)
+		os.Exit(1)
+	}
+}
+
+// buildConfig parses flags into a server configuration plus the listen
+// addresses; split out for testing.
+func buildConfig(args []string) (cfg server.Config, listen, httpAddr string, err error) {
+	fs := flag.NewFlagSet("astread", flag.ContinueOnError)
+	fs.StringVar(&listen, "listen", ":7717", "TCP decode endpoint")
+	fs.StringVar(&httpAddr, "http", ":7718", "stats endpoint (empty disables)")
+	distances := fs.String("distances", "3,5,7", "comma-separated code distances")
+	p := fs.Float64("p", 1e-3, "physical error rate")
+	fs.StringVar(&cfg.Decoder, "decoder", "astrea", "decoder: astrea, astrea-g, mwpm, uf or uf-unweighted")
+	fs.IntVar(&cfg.QueueDepth, "queue", 1024, "request queue bound")
+	fs.IntVar(&cfg.BatchSize, "batch", 16, "max requests per worker wake-up")
+	fs.IntVar(&cfg.Workers, "workers", 0, "decode workers (0 = GOMAXPROCS)")
+	deadline := fs.Duration("deadline", time.Microsecond, "default per-request deadline")
+	if err = fs.Parse(args); err != nil {
+		return cfg, "", "", err
+	}
+	cfg.P = *p
+	cfg.DefaultDeadlineNs = uint64(deadline.Nanoseconds())
+	for _, part := range strings.Split(*distances, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, convErr := strconv.Atoi(part)
+		if convErr != nil {
+			return cfg, "", "", fmt.Errorf("bad distance %q: %w", part, convErr)
+		}
+		cfg.Distances = append(cfg.Distances, d)
+	}
+	return cfg, listen, httpAddr, nil
+}
+
+func run(args []string) error {
+	cfg, listen, httpAddr, err := buildConfig(args)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "astread: building decoder pools (decoder=%s, distances=%v, p=%g)...\n",
+		cfg.Decoder, cfg.Distances, cfg.P)
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	if httpAddr != "" {
+		expvar.Publish("astread", expvar.Func(func() interface{} { return srv.Snapshot() }))
+		mux := http.NewServeMux()
+		mux.Handle("/stats", srv.StatsHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			if err := http.ListenAndServe(httpAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "astread: stats endpoint:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "astread: stats on http://%s/stats\n", httpAddr)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(listen) }()
+	fmt.Fprintf(os.Stderr, "astread: decoding on %s\n", listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "astread: %v, draining\n", s)
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(srv.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, listen, httpAddr, err := buildConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listen != ":7717" || httpAddr != ":7718" {
+		t.Fatalf("default addrs: %q, %q", listen, httpAddr)
+	}
+	if got, want := len(cfg.Distances), 3; got != want {
+		t.Fatalf("default distances: %v", cfg.Distances)
+	}
+	if cfg.Decoder != "astrea" || cfg.QueueDepth != 1024 || cfg.BatchSize != 16 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.DefaultDeadlineNs != 1000 {
+		t.Fatalf("default deadline: %d ns", cfg.DefaultDeadlineNs)
+	}
+}
+
+func TestBuildConfigParsesFlags(t *testing.T) {
+	cfg, listen, _, err := buildConfig([]string{
+		"-listen", "127.0.0.1:0", "-distances", "5, 9", "-decoder", "uf",
+		"-queue", "8", "-deadline", "2us",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listen != "127.0.0.1:0" {
+		t.Fatalf("listen: %q", listen)
+	}
+	if len(cfg.Distances) != 2 || cfg.Distances[0] != 5 || cfg.Distances[1] != 9 {
+		t.Fatalf("distances: %v", cfg.Distances)
+	}
+	if cfg.Decoder != "uf" || cfg.QueueDepth != 8 || cfg.DefaultDeadlineNs != 2000 {
+		t.Fatalf("parsed: %+v", cfg)
+	}
+}
+
+func TestBuildConfigRejectsBadDistance(t *testing.T) {
+	if _, _, _, err := buildConfig([]string{"-distances", "3,x"}); err == nil {
+		t.Fatal("bad distance accepted")
+	}
+}

@@ -31,8 +31,9 @@ import (
 // MaxHW is the largest Hamming weight Astrea decodes (§5.3).
 const MaxHW = 10
 
-// Decoder is the Astrea exhaustive-search decoder. Not safe for concurrent
-// use; create one per goroutine.
+// Decoder is the Astrea exhaustive-search decoder. Decode is NOT safe for
+// concurrent use on one instance (per-decode scratch is reused); create one
+// Decoder per goroutine — the GWT they read may be shared freely.
 type Decoder struct {
 	gwt *decodegraph.GWT
 

@@ -37,7 +37,9 @@ import (
 // paper's noise regimes they are unobservably rare.
 const MaxNodes = 64
 
-// Decoder is the Astrea-G decoder. Not safe for concurrent use.
+// Decoder is the Astrea-G decoder. Decode is NOT safe for concurrent use on
+// one instance (the pipeline queues and LWT are per-decode scratch); create
+// one Decoder per goroutine — the GWT they read may be shared freely.
 type Decoder struct {
 	gwt  *decodegraph.GWT
 	cfg  hwmodel.AstreaGConfig

@@ -29,8 +29,10 @@ import (
 	"astrea/internal/mwpm"
 )
 
-// Decoder is the hierarchical Clique+MWPM decoder. Not safe for concurrent
-// use.
+// Decoder is the hierarchical Clique+MWPM decoder. Decode is NOT safe for
+// concurrent use on one instance (component scratch and the embedded MWPM
+// fallback are reused); create one Decoder per goroutine — the graph and
+// GWT they read may be shared freely.
 type Decoder struct {
 	gwt      *decodegraph.GWT
 	neighbor [][]int // direct graph neighbours per detector (boundary excluded)

@@ -290,6 +290,61 @@ func (r Rice) Decode(b []byte, out bitvec.Vec) (int, error) {
 	}
 }
 
+// Wire codec identifiers. The decode service negotiates the per-stream
+// codec by these IDs during its handshake (internal/server); they are part
+// of the wire protocol and must stay stable.
+const (
+	IDDense  uint8 = 0
+	IDSparse uint8 = 1
+	IDRice   uint8 = 2
+)
+
+// IDOf returns the wire identifier of a codec.
+func IDOf(c Codec) (uint8, bool) {
+	switch c.(type) {
+	case Dense:
+		return IDDense, true
+	case Sparse:
+		return IDSparse, true
+	case Rice:
+		return IDRice, true
+	}
+	return 0, false
+}
+
+// ForID builds the codec for a wire identifier. riceK is the Golomb–Rice
+// parameter carried alongside IDRice (ignored for the other codecs); both
+// peers must use the same K, so the server picks it and announces it in the
+// handshake.
+func ForID(id uint8, riceK uint) (Codec, error) {
+	switch id {
+	case IDDense:
+		return Dense{}, nil
+	case IDSparse:
+		return Sparse{}, nil
+	case IDRice:
+		if riceK > 32 {
+			return nil, fmt.Errorf("compress: rice parameter k=%d out of range", riceK)
+		}
+		return Rice{K: riceK}, nil
+	}
+	return nil, fmt.Errorf("compress: unknown codec id %d", id)
+}
+
+// IDByName maps a human codec name ("dense", "sparse", "rice") to its wire
+// identifier.
+func IDByName(name string) (uint8, error) {
+	switch name {
+	case "dense":
+		return IDDense, nil
+	case "sparse":
+		return IDSparse, nil
+	case "rice":
+		return IDRice, nil
+	}
+	return 0, fmt.Errorf("compress: unknown codec %q (want dense, sparse or rice)", name)
+}
+
 // Stats aggregates codec performance over a syndrome stream.
 type Stats struct {
 	Codec      string

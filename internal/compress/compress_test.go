@@ -165,3 +165,34 @@ func BenchmarkRiceEncode(b *testing.B) {
 		buf = c.Encode(s, buf[:0])
 	}
 }
+
+func TestCodecIDRegistry(t *testing.T) {
+	for _, c := range []Codec{Dense{}, Sparse{}, Rice{K: 4}} {
+		id, ok := IDOf(c)
+		if !ok {
+			t.Fatalf("%s has no wire ID", c.Name())
+		}
+		back, err := ForID(id, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Name() != c.Name() {
+			t.Fatalf("ID %d round-trip: %s != %s", id, back.Name(), c.Name())
+		}
+	}
+	if _, err := ForID(99, 0); err == nil {
+		t.Fatal("unknown codec ID must error")
+	}
+	if _, err := ForID(IDRice, 64); err == nil {
+		t.Fatal("absurd rice K must error")
+	}
+	for name, want := range map[string]uint8{"dense": IDDense, "sparse": IDSparse, "rice": IDRice} {
+		got, err := IDByName(name)
+		if err != nil || got != want {
+			t.Fatalf("IDByName(%q) = %d, %v", name, got, err)
+		}
+	}
+	if _, err := IDByName("zstd"); err == nil {
+		t.Fatal("unknown codec name must error")
+	}
+}

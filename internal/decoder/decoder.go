@@ -38,13 +38,35 @@ type Result struct {
 }
 
 // Decoder decodes detector-event syndromes into logical corrections.
-// Implementations are stateful and not safe for concurrent use; create one
-// per goroutine via its constructor.
+//
+// Concurrency contract: unless an implementation opts in via the
+// ConcurrencySafe capability below, Decode is stateful and NOT safe for
+// concurrent use — create one instance per goroutine via its constructor.
+// The immutable tables an instance reads (Global Weight Table, decoding
+// graph) may be shared freely across instances; only the per-instance
+// scratch state is goroutine-private. Serving pools (internal/server) rely
+// on this split: one GWT per distance, one decoder per worker.
 type Decoder interface {
 	// Name identifies the decoder in reports ("MWPM", "Astrea", …).
 	Name() string
 	// Decode decodes the syndrome (one bit per detector).
 	Decode(syndrome bitvec.Vec) Result
+}
+
+// ConcurrencySafe is the optional capability a Decoder implements to
+// declare that Decode may be called from multiple goroutines on the SAME
+// instance. Absence of the interface — or ConcurrentSafe() == false — means
+// callers must hold one instance per goroutine.
+type ConcurrencySafe interface {
+	ConcurrentSafe() bool
+}
+
+// IsConcurrentSafe reports whether d has declared its Decode method safe
+// for concurrent use on a single instance. It is conservative: decoders
+// that do not implement ConcurrencySafe are treated as unsafe.
+func IsConcurrentSafe(d Decoder) bool {
+	cs, ok := d.(ConcurrencySafe)
+	return ok && cs.ConcurrentSafe()
 }
 
 // Validate checks the structural sanity of a matching against the syndrome:

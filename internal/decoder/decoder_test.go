@@ -52,3 +52,24 @@ func TestValidateRejectsOutOfRange(t *testing.T) {
 		t.Fatal("out-of-range index accepted")
 	}
 }
+
+type fakeDecoder struct{ safe bool }
+
+func (f fakeDecoder) Name() string             { return "fake" }
+func (f fakeDecoder) Decode(bitvec.Vec) Result { return Result{} }
+
+type fakeSafeDecoder struct{ fakeDecoder }
+
+func (f fakeSafeDecoder) ConcurrentSafe() bool { return f.safe }
+
+func TestIsConcurrentSafe(t *testing.T) {
+	if IsConcurrentSafe(fakeDecoder{}) {
+		t.Fatal("decoder without the capability must default to unsafe")
+	}
+	if IsConcurrentSafe(fakeSafeDecoder{fakeDecoder{safe: false}}) {
+		t.Fatal("capability reporting false must be unsafe")
+	}
+	if !IsConcurrentSafe(fakeSafeDecoder{fakeDecoder{safe: true}}) {
+		t.Fatal("capability reporting true must be safe")
+	}
+}

@@ -205,6 +205,19 @@ func (m *Model) ExpectedErrors() float64 {
 	return total
 }
 
+// ExpectedDetectorFlips returns Σ p_i·|detectors_i|, the expected syndrome
+// Hamming weight if no two firings cancelled. It slightly overestimates the
+// true expectation (cancellation is rare at the paper's operating points),
+// which is exactly the right bias for sizing the Golomb–Rice gap parameter
+// of compress.NewRice.
+func (m *Model) ExpectedDetectorFlips() float64 {
+	total := 0.0
+	for _, e := range m.Errors {
+		total += e.P * float64(len(e.Detectors))
+	}
+	return total
+}
+
 // EdgeCount returns how many mechanisms are pair edges vs boundary edges.
 func (m *Model) EdgeCount() (pairs, boundary int) {
 	for _, e := range m.Errors {

@@ -269,3 +269,40 @@ func BenchmarkExtractD7(b *testing.B) {
 		}
 	}
 }
+
+func TestExpectedDetectorFlips(t *testing.T) {
+	code, err := surface.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := code.MemoryZ(3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromCircuit(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, e := range m.Errors {
+		want += e.P * float64(len(e.Detectors))
+	}
+	if got := m.ExpectedDetectorFlips(); math.Abs(got-want) > 1e-12 || got <= 0 {
+		t.Fatalf("ExpectedDetectorFlips = %v, want %v > 0", got, want)
+	}
+	// Empirical check: the mean sampled Hamming weight must sit at or just
+	// below the analytic bound (cancellation only removes flips).
+	rng := prng.New(7)
+	smp := NewSampler(m)
+	det := bitvec.New(m.NumDetectors)
+	total := 0
+	const shots = 20000
+	for i := 0; i < shots; i++ {
+		smp.Sample(rng, det)
+		total += det.PopCount()
+	}
+	mean := float64(total) / shots
+	if mean > want || mean < want*0.8 {
+		t.Fatalf("sampled mean weight %v vs expected ≤ %v", mean, want)
+	}
+}

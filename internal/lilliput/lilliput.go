@@ -21,12 +21,17 @@ import (
 // (2^24 entries ≈ 2 MiB of predictions ≈ a generous FPGA block-RAM budget).
 const DefaultMaxBits = 24
 
-// Decoder is a programmed lookup table. Safe for concurrent use after
-// construction (reads only).
+// Decoder is a programmed lookup table. Decode only reads the immutable
+// table, so a single instance IS safe for concurrent use after
+// construction; it declares so via decoder.ConcurrencySafe.
 type Decoder struct {
 	bits  int
 	table bitvec.Vec // predicted observable bit per syndrome index
 }
+
+// ConcurrentSafe implements decoder.ConcurrencySafe: decodes are pure table
+// reads.
+func (d *Decoder) ConcurrentSafe() bool { return true }
 
 // Build programs a lookup table for every syndrome over the given weight
 // table by running the software MWPM decoder offline, mirroring how

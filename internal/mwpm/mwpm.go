@@ -24,7 +24,9 @@ import (
 // quantisation, so the software baseline is effectively exact.
 const WeightScale = 1 << 16
 
-// Decoder is the software MWPM decoder. Not safe for concurrent use.
+// Decoder is the software MWPM decoder. Decode is NOT safe for concurrent
+// use on one instance (per-decode scratch is reused); create one Decoder
+// per goroutine — the GWT they read may be shared freely.
 type Decoder struct {
 	gwt *decodegraph.GWT
 	sv  blossom.Solver

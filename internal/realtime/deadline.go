@@ -1,0 +1,174 @@
+// Deadline accounting shared between the offline stream simulator
+// (Simulate) and the networked decode service (internal/server): both apply
+// the same real-time criterion — a decode is on time when its sojourn
+// (arrival to completion, queueing included) fits within the budget window,
+// 1 µs by default — so the service's deadline-miss rate is directly
+// comparable to Figure 3's offline numbers.
+
+package realtime
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"astrea/internal/hwmodel"
+)
+
+// histBuckets is the bucket count of Histogram: bucket i holds sojourns
+// whose nanosecond value has bit length i, i.e. [2^(i-1), 2^i). 64 buckets
+// cover every representable latency.
+const histBuckets = 64
+
+// Histogram is a log₂-spaced latency histogram in nanoseconds. All methods
+// are safe for concurrent use; Add is a single atomic increment, so it is
+// cheap enough for the decode service's hot path.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Add records one latency sample. Negative samples count as zero.
+func (h *Histogram) Add(ns float64) {
+	if ns < 0 || math.IsNaN(ns) {
+		ns = 0
+	}
+	v := int64(ns)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(v)
+	for {
+		cur := h.maxNs.Load()
+		if v <= cur || h.maxNs.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// MaxNs returns the largest recorded sample.
+func (h *Histogram) MaxNs() float64 { return float64(h.maxNs.Load()) }
+
+// MeanNs returns the mean recorded sample.
+func (h *Histogram) MeanNs() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumNs.Load()) / float64(n)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]) as the
+// geometric midpoint of the bucket holding that rank; resolution is the
+// histogram's factor-of-two bucket width.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(int64(1) << uint(i-1))
+			return lo * math.Sqrt2 // geometric midpoint of [2^(i-1), 2^i)
+		}
+	}
+	return h.MaxNs()
+}
+
+// Buckets returns a snapshot of the non-empty buckets as (upper bound ns,
+// count) pairs in ascending order — the raw material for a latency CDF.
+func (h *Histogram) Buckets() (uppersNs []float64, counts []int64) {
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		uppersNs = append(uppersNs, float64(int64(1)<<uint(i)))
+		counts = append(counts, c)
+	}
+	return uppersNs, counts
+}
+
+// Tracker applies the real-time criterion to an externally timed stream of
+// decodes: each observation is a sojourn time (arrival to completion), on
+// time when it fits the budget. Safe for concurrent use.
+type Tracker struct {
+	// BudgetNs is the default deadline; NewTracker defaults it to the 1 µs
+	// real-time window.
+	BudgetNs float64
+
+	total  atomic.Int64
+	onTime atomic.Int64
+	hist   *Histogram
+}
+
+// NewTracker returns a tracker with the given budget (0 means the 1 µs
+// real-time window).
+func NewTracker(budgetNs float64) *Tracker {
+	if budgetNs <= 0 {
+		budgetNs = hwmodel.RealTimeBudgetNs
+	}
+	return &Tracker{BudgetNs: budgetNs, hist: NewHistogram()}
+}
+
+// Observe records one sojourn against the tracker's own budget and reports
+// whether it was on time.
+func (t *Tracker) Observe(sojournNs float64) bool {
+	return t.ObserveBudget(sojournNs, t.BudgetNs)
+}
+
+// ObserveBudget records one sojourn against a per-request budget (0 means
+// the tracker default) and reports whether it was on time.
+func (t *Tracker) ObserveBudget(sojournNs, budgetNs float64) bool {
+	if budgetNs <= 0 {
+		budgetNs = t.BudgetNs
+	}
+	t.total.Add(1)
+	t.hist.Add(sojournNs)
+	on := sojournNs <= budgetNs
+	if on {
+		t.onTime.Add(1)
+	}
+	return on
+}
+
+// Total returns the number of observations.
+func (t *Tracker) Total() int64 { return t.total.Load() }
+
+// OnTime returns the number of on-time observations.
+func (t *Tracker) OnTime() int64 { return t.onTime.Load() }
+
+// MissRate returns the fraction of observations that missed their deadline;
+// 0 when nothing has been observed.
+func (t *Tracker) MissRate() float64 {
+	n := t.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(n-t.onTime.Load()) / float64(n)
+}
+
+// Hist returns the tracker's sojourn histogram.
+func (t *Tracker) Hist() *Histogram { return t.hist }

@@ -108,6 +108,10 @@ func Simulate(cfg Config, src LatencySource, next func(dst bitvec.Vec) bool, n i
 	}
 	res := Result{Source: src.Name()}
 	s := bitvec.New(n)
+	// The on-time criterion is delegated to Tracker so the offline simulator
+	// and the networked decode service (internal/server) share one
+	// definition of a deadline miss.
+	tracker := NewTracker(cfg.WindowNs)
 	var busyUntil float64 // absolute ns
 	var sumService, sumSojourn float64
 	for i := 0; next(s); i++ {
@@ -127,7 +131,7 @@ func Simulate(cfg Config, src LatencySource, next func(dst bitvec.Vec) bool, n i
 		}
 		sojourn := finish - arrival
 		sumSojourn += sojourn
-		if sojourn <= cfg.WindowNs {
+		if tracker.Observe(sojourn) {
 			res.OnTime++
 		}
 		// Backlog: completed work lags arrivals by this many windows.

@@ -1,6 +1,9 @@
 package realtime
 
 import (
+	"sync"
+
+	"astrea/internal/hwmodel"
 	"testing"
 
 	"astrea/internal/astrea"
@@ -133,5 +136,78 @@ func TestAstreaSustainsStreamSoftwareMWPMDoesNot(t *testing.T) {
 	}
 	if sw.OnTimeFraction() >= ast.OnTimeFraction() {
 		t.Fatalf("software (%v) not worse than Astrea (%v)", sw.OnTimeFraction(), ast.OnTimeFraction())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.MaxNs(); got != 1000 {
+		t.Fatalf("max %v", got)
+	}
+	if mean := h.MeanNs(); mean < 400 || mean > 600 {
+		t.Fatalf("mean %v far from 500.5", mean)
+	}
+	// Log2 buckets have factor-of-two resolution: the median of 1..1000 is
+	// ~500, whose bucket spans [256, 512).
+	if q := h.Quantile(0.5); q < 256 || q >= 1024 {
+		t.Fatalf("p50 %v outside the expected bucket range", q)
+	}
+	if q := h.Quantile(1); q < 512 {
+		t.Fatalf("p100 %v below the top occupied bucket", q)
+	}
+	uppers, counts := h.Buckets()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1000 || len(uppers) != len(counts) {
+		t.Fatalf("bucket snapshot inconsistent: %v %v", uppers, counts)
+	}
+}
+
+func TestHistogramConcurrentAdd(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Add(float64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("lost samples: %d", h.Count())
+	}
+}
+
+func TestTrackerMirrorsSimulateCriterion(t *testing.T) {
+	tr := NewTracker(0)
+	if tr.BudgetNs != hwmodel.RealTimeBudgetNs {
+		t.Fatalf("default budget %v", tr.BudgetNs)
+	}
+	// Exactly the Simulate rule: sojourn <= window is on time.
+	if !tr.Observe(hwmodel.RealTimeBudgetNs) {
+		t.Fatal("sojourn == budget must be on time")
+	}
+	if tr.Observe(hwmodel.RealTimeBudgetNs + 1) {
+		t.Fatal("sojourn > budget must miss")
+	}
+	if tr.ObserveBudget(5000, 10_000) != true {
+		t.Fatal("per-request budget not honoured")
+	}
+	if got := tr.MissRate(); got < 0.33 || got > 0.34 {
+		t.Fatalf("miss rate %v, want 1/3", got)
+	}
+	if tr.Total() != 3 || tr.OnTime() != 2 || tr.Hist().Count() != 3 {
+		t.Fatalf("counts %d/%d/%d", tr.Total(), tr.OnTime(), tr.Hist().Count())
 	}
 }

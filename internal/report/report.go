@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -112,6 +113,53 @@ func Sci(v float64) string {
 	default:
 		return fmt.Sprintf("%.2e", v)
 	}
+}
+
+// CDF renders a Figure 3-style cumulative latency distribution: one line
+// per percentile with a bar proportional to the cumulative fraction, plus
+// the fraction of samples inside the real-time budget (budgetNs ≤ 0 omits
+// the budget line). Samples are nanoseconds; the slice is not modified.
+func CDF(w io.Writer, title string, samplesNs []float64, budgetNs float64) error {
+	if _, err := fmt.Fprintf(w, "== %s ==  (latency CDF, %d samples)\n", title, len(samplesNs)); err != nil {
+		return err
+	}
+	if len(samplesNs) == 0 {
+		_, err := fmt.Fprintln(w, "(no samples)")
+		return err
+	}
+	sorted := append([]float64(nil), samplesNs...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1} {
+		label := fmt.Sprintf("p%g", q*100)
+		if q == 1 {
+			label = "max"
+		}
+		if _, err := fmt.Fprintf(w, "%-6s %10s ns |%s\n", label, Sci(at(q)), strings.Repeat("#", int(q*50))); err != nil {
+			return err
+		}
+	}
+	if budgetNs > 0 {
+		within := sort.SearchFloat64s(sorted, budgetNs)
+		for within < len(sorted) && sorted[within] == budgetNs {
+			within++
+		}
+		frac := float64(within) / float64(len(sorted))
+		if _, err := fmt.Fprintf(w, "within %s ns budget: %.2f%%  (deadline-miss rate %.2f%%)\n",
+			Sci(budgetNs), frac*100, (1-frac)*100); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Series renders a log-scale ASCII chart of (x, y) points, one line per

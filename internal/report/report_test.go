@@ -82,3 +82,31 @@ func TestSeriesAllZero(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCDF(t *testing.T) {
+	var buf bytes.Buffer
+	samples := make([]float64, 0, 100)
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, float64(i*100)) // 100..10000 ns
+	}
+	if err := CDF(&buf, "demo latency", samples, 1000); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p50", "p99", "max", "within 1000 ns budget: 10.00%", "deadline-miss rate 90.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CDF output missing %q:\n%s", want, out)
+		}
+	}
+	// Samples must not be reordered in place.
+	if samples[0] != 100 || samples[99] != 10000 {
+		t.Fatal("CDF mutated its input")
+	}
+	buf.Reset()
+	if err := CDF(&buf, "empty", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no samples") {
+		t.Fatalf("empty CDF output: %s", buf.String())
+	}
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/compress"
+)
+
+// Client is one decode stream against an astread daemon. Send and Recv are
+// independently locked, so one goroutine may pipeline requests while
+// another drains responses (the load generator's shape); a single Send or
+// Recv must not be called concurrently with itself.
+type Client struct {
+	conn  net.Conn
+	br    *bufio.Reader
+	codec compress.Codec
+	n     int
+	queue uint32
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	enc []byte
+
+	rmu sync.Mutex
+}
+
+// Dial connects, performs the handshake for the given distance and codec
+// wire ID (compress.IDDense/IDSparse/IDRice), and returns a ready stream.
+func Dial(addr string, distance int, codecID uint8) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(nc, distance, codecID)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient performs the handshake over an existing connection (loopback
+// pipes in tests, TCP in production).
+func NewClient(nc net.Conn, distance int, codecID uint8) (*Client, error) {
+	c := &Client{
+		conn: nc,
+		br:   bufio.NewReader(nc),
+		bw:   bufio.NewWriter(nc),
+	}
+	hello := Hello{Version: ProtocolVersion, Distance: uint16(distance), Codec: codecID}
+	if err := WriteFrame(c.bw, FrameHello, hello.AppendTo(nil)); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	t, payload, err := ReadFrame(c.br, 0)
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameHelloAck {
+		return nil, fmt.Errorf("server: expected hello-ack, got frame type %d", t)
+	}
+	ack, err := ParseHelloAck(payload)
+	if err != nil {
+		return nil, err
+	}
+	if ack.Status != StatusOK {
+		return nil, fmt.Errorf("server: handshake refused (status %d): %s", ack.Status, ack.Message)
+	}
+	codec, err := compress.ForID(ack.Codec, uint(ack.RiceK))
+	if err != nil {
+		return nil, err
+	}
+	c.codec = codec
+	c.n = int(ack.NumDetectors)
+	c.queue = ack.QueueDepth
+	return c, nil
+}
+
+// NumDetectors is the syndrome length of the negotiated distance.
+func (c *Client) NumDetectors() int { return c.n }
+
+// QueueDepth is the server's advertised queue bound.
+func (c *Client) QueueDepth() int { return int(c.queue) }
+
+// CodecName names the negotiated codec.
+func (c *Client) CodecName() string { return c.codec.Name() }
+
+// Send encodes and ships one syndrome. deadlineNs is the request's
+// real-time budget (0 uses the server default). The syndrome length must
+// equal NumDetectors.
+func (c *Client) Send(seq, deadlineNs uint64, s bitvec.Vec) error {
+	if s.Len() != c.n {
+		return fmt.Errorf("server: syndrome has %d bits, stream expects %d", s.Len(), c.n)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.enc = c.codec.Encode(s, c.enc[:0])
+	req := DecodeRequest{Seq: seq, DeadlineNs: deadlineNs, Payload: c.enc}
+	if err := WriteFrame(c.bw, FrameDecode, req.AppendTo(nil)); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Response is one server answer, a Result, Reject or Error frame in
+// unified form.
+type Response struct {
+	Seq uint64
+
+	// Rejected reports backpressure: nothing was decoded and the request
+	// should be retried after RetryAfterNs.
+	Rejected     bool
+	RetryAfterNs uint64
+
+	// Err carries a per-request server error (undecodable payload).
+	Err string
+
+	// Decode outcome (valid when !Rejected and Err == "").
+	ObsMask      uint64
+	WeightMilli  uint64
+	SojournNs    uint64
+	DeadlineMiss bool
+	RealTime     bool
+	Skipped      bool
+}
+
+// Recv blocks for the next response frame.
+func (c *Client) Recv() (Response, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	t, payload, err := ReadFrame(c.br, 0)
+	if err != nil {
+		return Response{}, err
+	}
+	switch t {
+	case FrameResult:
+		r, err := ParseResultFrame(payload)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{
+			Seq:          r.Seq,
+			ObsMask:      r.ObsMask,
+			WeightMilli:  r.WeightMilli,
+			SojournNs:    r.SojournNs,
+			DeadlineMiss: r.Flags&FlagDeadlineMiss != 0,
+			RealTime:     r.Flags&FlagRealTime != 0,
+			Skipped:      r.Flags&FlagSkipped != 0,
+		}, nil
+	case FrameReject:
+		r, err := ParseRejectFrame(payload)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Seq: r.Seq, Rejected: true, RetryAfterNs: r.RetryAfterNs}, nil
+	case FrameError:
+		e, err := ParseErrorFrame(payload)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Seq: e.Seq, Err: e.Message}, nil
+	}
+	return Response{}, fmt.Errorf("server: unexpected frame type %d", t)
+}
+
+// Decode is the synchronous convenience path: one request, one response.
+// It requires exclusive use of the stream (no concurrent Send/Recv).
+func (c *Client) Decode(seq, deadlineNs uint64, s bitvec.Vec) (Response, error) {
+	if err := c.Send(seq, deadlineNs, s); err != nil {
+		return Response{}, err
+	}
+	return c.Recv()
+}
+
+// Close tears the stream down.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/compress"
+)
+
+// FuzzFrame feeds arbitrary byte streams through the frame reader and every
+// payload parser, including the codec layer a Decode frame's payload passes
+// through on the daemon. Malformed lengths, truncated payloads and
+// out-of-range codec IDs must all surface as errors — never panics, never
+// unbounded allocations (the 64 KiB cap stands in for the daemon's frame
+// cap).
+func FuzzFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	var seed bytes.Buffer
+	WriteFrame(&seed, FrameHello, Hello{Version: ProtocolVersion, Distance: 5, Codec: compress.IDSparse}.AppendTo(nil))
+	WriteFrame(&seed, FrameDecode, DecodeRequest{Seq: 1, DeadlineNs: 1000, Payload: []byte{2, 3, 9}}.AppendTo(nil))
+	WriteFrame(&seed, FrameResult, ResultFrame{Seq: 1, ObsMask: 1}.AppendTo(nil))
+	WriteFrame(&seed, FrameReject, RejectFrame{Seq: 2, RetryAfterNs: 100}.AppendTo(nil))
+	WriteFrame(&seed, FrameError, ErrorFrame{Seq: 3, Message: "x"}.AppendTo(nil))
+	f.Add(seed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		out := bitvec.New(72) // d=5 syndrome length
+		for {
+			ft, payload, err := ReadFrame(r, 1<<16)
+			if err != nil {
+				return
+			}
+			switch ft {
+			case FrameHello:
+				ParseHello(payload)
+			case FrameHelloAck:
+				if ack, err := ParseHelloAck(payload); err == nil {
+					// The codec ID and Rice K travel the wire; building a
+					// codec from hostile values must fail cleanly too.
+					if codec, err := compress.ForID(ack.Codec, uint(ack.RiceK)); err == nil {
+						codec.Encode(out, nil)
+					}
+				}
+			case FrameDecode:
+				if req, err := ParseDecodeRequest(payload); err == nil {
+					// The daemon decodes the payload with each negotiable
+					// codec; arbitrary bytes must error or round-trip, not
+					// panic.
+					for _, id := range []uint8{compress.IDDense, compress.IDSparse, compress.IDRice} {
+						codec, err := compress.ForID(id, 3)
+						if err != nil {
+							t.Fatalf("known codec ID %d rejected: %v", id, err)
+						}
+						if consumed, err := codec.Decode(req.Payload, out); err == nil {
+							if consumed < 0 || consumed > len(req.Payload) {
+								t.Fatalf("codec %d consumed %d of %d", id, consumed, len(req.Payload))
+							}
+						}
+					}
+				}
+			case FrameResult:
+				ParseResultFrame(payload)
+			case FrameReject:
+				ParseRejectFrame(payload)
+			case FrameError:
+				ParseErrorFrame(payload)
+			}
+		}
+	})
+}

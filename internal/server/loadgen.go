@@ -1,0 +1,203 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decoder"
+	"astrea/internal/dem"
+	"astrea/internal/montecarlo"
+	"astrea/internal/prng"
+)
+
+// LoadConfig parameterises one load-generation run against a daemon.
+type LoadConfig struct {
+	// Addr is the daemon's TCP address.
+	Addr string
+	// Distance and P select the DEM the syndromes are sampled from; they
+	// must match a distance the daemon serves (P only shapes the client's
+	// sampler — the daemon's GWT is its own).
+	Distance int
+	P        float64
+	// Codec is the compress wire ID to negotiate.
+	Codec uint8
+	// Shots is the number of syndromes to offer.
+	Shots int
+	// RatePerSec is the open-loop arrival rate; 0 sends as fast as the
+	// socket accepts (closed only by TCP flow control).
+	RatePerSec float64
+	// DeadlineNs is the per-request real-time budget (0 uses the server
+	// default of 1 µs — expect near-total misses over a real network hop,
+	// which is precisely the paper's §2 argument).
+	DeadlineNs uint64
+	// Seed drives the syndrome sampler.
+	Seed uint64
+	// Verify re-decodes every accepted syndrome locally with the named
+	// decoder ("astrea", "mwpm", …; default the server default) and counts
+	// observable-prediction mismatches.
+	Verify        bool
+	VerifyDecoder string
+
+	// env shares a pre-built environment in tests.
+	env *montecarlo.Env
+}
+
+// LoadReport is the outcome of a load run.
+type LoadReport struct {
+	Offered  int
+	Accepted int // responses that carried a decode result
+	Rejected int // backpressure rejections
+	Errored  int // per-request server errors
+
+	// Mismatches counts verified responses whose observable prediction
+	// disagreed with the local decoder (Verify only).
+	Mismatches int
+
+	// RTTNs holds one client-observed latency (send → response) per
+	// non-rejected response, in arrival order of the responses.
+	RTTNs []float64
+	// ServerSojournNs holds the server-reported sojourn per accepted
+	// response.
+	ServerSojournNs []float64
+	// DeadlineMisses counts server-flagged misses among accepted responses.
+	DeadlineMisses int
+
+	ElapsedSec      float64
+	OfferedPerSec   float64
+	AchievedPerSec  float64
+	MaxRetryAfterNs uint64
+}
+
+// RunLoad samples DEM syndromes and drives them through the client path at
+// the configured arrival rate: a sender goroutine paces Send calls while
+// the caller's goroutine drains responses, so queueing happens at the
+// daemon, not in the generator.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Shots <= 0 {
+		cfg.Shots = 1000
+	}
+	if cfg.Distance == 0 {
+		cfg.Distance = 5
+	}
+	if cfg.P <= 0 {
+		cfg.P = 1e-3
+	}
+	env := cfg.env
+	if env == nil {
+		var err error
+		env, err = montecarlo.NewEnv(cfg.Distance, cfg.Distance, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	client, err := Dial(cfg.Addr, cfg.Distance, cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	if client.NumDetectors() != env.Model.NumDetectors {
+		return nil, fmt.Errorf("server: daemon syndrome length %d != local model %d (mismatched noise model?)",
+			client.NumDetectors(), env.Model.NumDetectors)
+	}
+
+	var local decoder.Decoder
+	if cfg.Verify {
+		name := cfg.VerifyDecoder
+		if name == "" {
+			name = "astrea"
+		}
+		factory, err := factoryFor(name)
+		if err != nil {
+			return nil, err
+		}
+		if local, err = factory(env); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pre-sample every syndrome so pacing measures the network and daemon,
+	// not the sampler; keep local predictions for verification.
+	rng := prng.New(cfg.Seed)
+	smp := dem.NewSampler(env.Model)
+	syndromes := make([]bitvec.Vec, cfg.Shots)
+	expected := make([]uint64, cfg.Shots)
+	buf := bitvec.New(env.Model.NumDetectors)
+	for i := 0; i < cfg.Shots; i++ {
+		smp.Sample(rng, buf)
+		syndromes[i] = buf.Clone()
+		if local != nil {
+			expected[i] = local.Decode(buf).ObsPrediction
+		}
+	}
+
+	rep := &LoadReport{Offered: cfg.Shots}
+	// Send timestamps are start-relative nanoseconds stored atomically: the
+	// sender and receiver goroutines synchronise only through the daemon, so
+	// plain slice elements would (correctly) trip the race detector.
+	sendAtNs := make([]int64, cfg.Shots)
+	sendErr := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		var gap time.Duration
+		if cfg.RatePerSec > 0 {
+			gap = time.Duration(float64(time.Second) / cfg.RatePerSec)
+		}
+		for i := 0; i < cfg.Shots; i++ {
+			if gap > 0 {
+				target := start.Add(time.Duration(i) * gap)
+				if d := time.Until(target); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			atomic.StoreInt64(&sendAtNs[i], time.Since(start).Nanoseconds())
+			if err := client.Send(uint64(i), cfg.DeadlineNs, syndromes[i]); err != nil {
+				sendErr <- fmt.Errorf("server: send %d: %w", i, err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	for got := 0; got < cfg.Shots; got++ {
+		resp, err := client.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("server: recv after %d responses: %w", got, err)
+		}
+		nowNs := time.Since(start).Nanoseconds()
+		if resp.Seq >= uint64(cfg.Shots) {
+			return nil, fmt.Errorf("server: response for unknown seq %d", resp.Seq)
+		}
+		switch {
+		case resp.Rejected:
+			rep.Rejected++
+			if resp.RetryAfterNs > rep.MaxRetryAfterNs {
+				rep.MaxRetryAfterNs = resp.RetryAfterNs
+			}
+		case resp.Err != "":
+			rep.Errored++
+		default:
+			rep.Accepted++
+			rep.RTTNs = append(rep.RTTNs, float64(nowNs-atomic.LoadInt64(&sendAtNs[resp.Seq])))
+			rep.ServerSojournNs = append(rep.ServerSojournNs, float64(resp.SojournNs))
+			if resp.DeadlineMiss {
+				rep.DeadlineMisses++
+			}
+			if local != nil && resp.ObsMask != expected[resp.Seq] {
+				rep.Mismatches++
+			}
+		}
+	}
+	if err := <-sendErr; err != nil {
+		return nil, err
+	}
+
+	rep.ElapsedSec = time.Since(start).Seconds()
+	if rep.ElapsedSec > 0 {
+		rep.OfferedPerSec = float64(rep.Offered) / rep.ElapsedSec
+		rep.AchievedPerSec = float64(rep.Accepted) / rep.ElapsedSec
+	}
+	return rep, nil
+}

@@ -1,0 +1,486 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/compress"
+	"astrea/internal/decoder"
+	"astrea/internal/experiments"
+	"astrea/internal/hwmodel"
+	"astrea/internal/montecarlo"
+	"astrea/internal/unionfind"
+)
+
+// Config parameterises a decode daemon.
+type Config struct {
+	// Distances lists the code distances the daemon serves; one immutable
+	// environment (circuit, DEM, decoding graph, GWT) is built per distance
+	// at startup and shared read-only by every worker. Default {3, 5, 7}.
+	Distances []int
+	// P is the physical error rate the Global Weight Tables are programmed
+	// for. Default 1e-3.
+	P float64
+	// Decoder selects the matcher: "astrea" (default), "astrea-g", "mwpm",
+	// "uf" (weighted Union-Find) or "uf-unweighted" (the AFS baseline).
+	Decoder string
+	// QueueDepth bounds the request queue; a request arriving with the
+	// queue full is rejected with a retry-after hint instead of queued
+	// (explicit backpressure). Default 1024.
+	QueueDepth int
+	// BatchSize is the largest batch one worker drains from the queue in a
+	// single wake-up. Default 16.
+	BatchSize int
+	// Workers is the decode worker count. Default GOMAXPROCS.
+	Workers int
+	// DefaultDeadlineNs is the per-request real-time budget applied when a
+	// request carries none; default is the paper's 1 µs window.
+	DefaultDeadlineNs uint64
+	// RetryAfterNs is the backpressure hint returned with rejections;
+	// default is QueueDepth × the default deadline (a full queue drained at
+	// one decode per budget window).
+	RetryAfterNs uint64
+	// MaxFrameBytes caps accepted frame sizes. Default DefaultMaxFrame.
+	MaxFrameBytes int
+
+	// factory overrides the decoder constructor (tests inject slow or
+	// instrumented decoders); nil uses Decoder.
+	factory montecarlo.Factory
+	// envs supplies pre-built environments keyed by distance (tests share
+	// one env between server and client to halve setup cost); missing
+	// distances are built normally.
+	envs map[int]*montecarlo.Env
+}
+
+func (c *Config) applyDefaults() {
+	if len(c.Distances) == 0 {
+		c.Distances = []int{3, 5, 7}
+	}
+	if c.P <= 0 {
+		c.P = 1e-3
+	}
+	if c.Decoder == "" {
+		c.Decoder = "astrea"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultDeadlineNs == 0 {
+		c.DefaultDeadlineNs = uint64(hwmodel.RealTimeBudgetNs)
+	}
+	if c.RetryAfterNs == 0 {
+		c.RetryAfterNs = uint64(c.QueueDepth) * c.DefaultDeadlineNs
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = DefaultMaxFrame
+	}
+}
+
+// distPool is one served distance: the shared immutable tables plus a pool
+// of per-worker decoder instances. Decoders are NOT concurrency-safe (see
+// decoder.Decoder's contract), so each worker checks one out for the
+// duration of a decode; instances declaring decoder.ConcurrencySafe could
+// be shared, but pooling is uniformly correct either way.
+type distPool struct {
+	env      *montecarlo.Env
+	riceK    uint8
+	decoders sync.Pool
+}
+
+func (p *distPool) get() decoder.Decoder  { return p.decoders.Get().(decoder.Decoder) }
+func (p *distPool) put(d decoder.Decoder) { p.decoders.Put(d) }
+
+// request is one accepted decode travelling the queue.
+type request struct {
+	conn       *conn
+	seq        uint64
+	pool       *distPool
+	syndrome   bitvec.Vec
+	deadlineNs uint64
+	arrival    time.Time
+}
+
+// conn is one client stream's server-side state.
+type conn struct {
+	net.Conn
+	wmu     sync.Mutex
+	pool    *distPool
+	codecID uint8
+}
+
+// writeFrame serialises a frame write against concurrent workers.
+func (c *conn) writeFrame(t FrameType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.Conn, t, payload)
+}
+
+// Server is the decode daemon.
+type Server struct {
+	cfg   Config
+	pools map[int]*distPool
+	queue chan *request
+	stats *stats
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New builds a daemon: one environment and decoder pool per configured
+// distance. The decoder choice is validated by constructing one instance
+// per distance eagerly.
+func New(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	factory := cfg.factory
+	if factory == nil {
+		var err error
+		factory, err = factoryFor(cfg.Decoder)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:   cfg,
+		pools: make(map[int]*distPool, len(cfg.Distances)),
+		queue: make(chan *request, cfg.QueueDepth),
+		stats: newStats(cfg, float64(cfg.DefaultDeadlineNs)),
+		conns: make(map[*conn]struct{}),
+	}
+	for _, d := range cfg.Distances {
+		if _, dup := s.pools[d]; dup {
+			return nil, fmt.Errorf("server: distance %d listed twice", d)
+		}
+		env := cfg.envs[d]
+		if env == nil {
+			var err error
+			env, err = montecarlo.NewEnv(d, d, cfg.P)
+			if err != nil {
+				return nil, err
+			}
+		}
+		p := &distPool{
+			env:   env,
+			riceK: uint8(compress.NewRice(env.Model.NumDetectors, env.Model.ExpectedDetectorFlips()).K),
+		}
+		factory := factory
+		p.decoders.New = func() interface{} {
+			dec, err := factory(env)
+			if err != nil {
+				// Construction was validated at startup; a later failure
+				// would be a programming error.
+				panic(fmt.Sprintf("server: decoder construction failed after startup validation: %v", err))
+			}
+			return dec
+		}
+		first, err := factory(env)
+		if err != nil {
+			return nil, fmt.Errorf("server: building %q decoder for d=%d: %w", cfg.Decoder, d, err)
+		}
+		p.put(first)
+		s.pools[d] = p
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// factoryFor maps a decoder name to its montecarlo factory.
+func factoryFor(name string) (montecarlo.Factory, error) {
+	switch name {
+	case "astrea":
+		return experiments.AstreaFactory, nil
+	case "astrea-g":
+		return experiments.AstreaGFactory, nil
+	case "mwpm":
+		return experiments.MWPMFactory, nil
+	case "uf":
+		return func(env *montecarlo.Env) (decoder.Decoder, error) {
+			return unionfind.New(env.Graph, true), nil
+		}, nil
+	case "uf-unweighted":
+		return experiments.UFFactory, nil
+	}
+	return nil, fmt.Errorf("server: unknown decoder %q (want astrea, astrea-g, mwpm, uf or uf-unweighted)", name)
+}
+
+// Distances returns the served distances in ascending order.
+func (s *Server) Distances() []int {
+	out := make([]int, 0, len(s.pools))
+	for d := range s.pools {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c := &conn{Conn: nc}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// workers to drain in-flight work.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	close(s.queue)
+	s.wg.Wait()
+	return nil
+}
+
+// serveConn runs one client stream: handshake, then decode frames until
+// the peer hangs up or misbehaves.
+func (s *Server) serveConn(c *conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	if err := s.handshake(c); err != nil {
+		return
+	}
+	codec, err := compress.ForID(c.codecID, uint(c.pool.riceK))
+	if err != nil {
+		return // unreachable: the handshake validated the ID
+	}
+	n := c.pool.env.Model.NumDetectors
+	for {
+		t, payload, err := ReadFrame(c.Conn, s.cfg.MaxFrameBytes)
+		if err != nil {
+			return
+		}
+		if t != FrameDecode {
+			return // protocol violation: only decode frames after handshake
+		}
+		arrival := time.Now()
+		req, err := ParseDecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		syndrome := bitvec.New(n)
+		consumed, err := codec.Decode(req.Payload, syndrome)
+		if err != nil || consumed != len(req.Payload) {
+			s.stats.malformed.Add(1)
+			c.writeFrame(FrameError, ErrorFrame{
+				Seq:     req.Seq,
+				Message: fmt.Sprintf("undecodable syndrome payload (%d bytes)", len(req.Payload)),
+			}.AppendTo(nil))
+			continue
+		}
+		deadline := req.DeadlineNs
+		if deadline == 0 {
+			deadline = s.cfg.DefaultDeadlineNs
+		}
+		r := &request{
+			conn:       c,
+			seq:        req.Seq,
+			pool:       c.pool,
+			syndrome:   syndrome,
+			deadlineNs: deadline,
+			arrival:    arrival,
+		}
+		s.stats.offered.Add(1)
+		s.stats.bytesIn.Add(int64(len(req.Payload)))
+		select {
+		case s.queue <- r:
+			s.stats.accepted.Add(1)
+		default:
+			// Backpressure: the bounded queue is full. Nothing is decoded;
+			// the client is told how long to back off.
+			s.stats.rejected.Add(1)
+			c.writeFrame(FrameReject, RejectFrame{
+				Seq:          req.Seq,
+				RetryAfterNs: s.cfg.RetryAfterNs,
+			}.AppendTo(nil))
+		}
+	}
+}
+
+// handshake runs the Hello/HelloAck exchange and pins the stream to a
+// distance and codec.
+func (s *Server) handshake(c *conn) error {
+	t, payload, err := ReadFrame(c.Conn, s.cfg.MaxFrameBytes)
+	if err != nil {
+		return err
+	}
+	refuse := func(status uint8, msg string) error {
+		c.writeFrame(FrameHelloAck, HelloAck{
+			Version: ProtocolVersion, Status: status, Message: msg,
+		}.AppendTo(nil))
+		return fmt.Errorf("server: handshake refused: %s", msg)
+	}
+	if t != FrameHello {
+		return refuse(StatusBadVersion, fmt.Sprintf("expected hello frame, got type %d", t))
+	}
+	h, err := ParseHello(payload)
+	if err != nil {
+		return refuse(StatusBadVersion, err.Error())
+	}
+	if h.Version != ProtocolVersion {
+		return refuse(StatusBadVersion, fmt.Sprintf("protocol version %d unsupported", h.Version))
+	}
+	pool, ok := s.pools[int(h.Distance)]
+	if !ok {
+		return refuse(StatusUnknownDistance,
+			fmt.Sprintf("distance %d not served (have %v)", h.Distance, s.Distances()))
+	}
+	if _, err := compress.ForID(h.Codec, uint(pool.riceK)); err != nil {
+		return refuse(StatusUnknownCodec, err.Error())
+	}
+	c.pool = pool
+	c.codecID = h.Codec
+	return c.writeFrame(FrameHelloAck, HelloAck{
+		Version:      ProtocolVersion,
+		Status:       StatusOK,
+		NumDetectors: uint32(pool.env.Model.NumDetectors),
+		Codec:        h.Codec,
+		RiceK:        pool.riceK,
+		QueueDepth:   uint32(s.cfg.QueueDepth),
+	}.AppendTo(nil))
+}
+
+// worker drains the queue in batches: one blocking receive, then up to
+// BatchSize-1 opportunistic receives, amortising wake-ups under load while
+// adding no latency when idle.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	batch := make([]*request, 0, s.cfg.BatchSize)
+	for {
+		r, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], r)
+	fill:
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+			default:
+				break fill
+			}
+		}
+		s.stats.batches.Add(1)
+		s.stats.batched.Add(int64(len(batch)))
+		for _, r := range batch {
+			s.decodeOne(r)
+		}
+	}
+}
+
+// decodeOne runs one request on a pooled decoder and writes its response.
+func (s *Server) decodeOne(r *request) {
+	dec := r.pool.get()
+	res := dec.Decode(r.syndrome)
+	r.pool.put(dec)
+
+	sojournNs := float64(time.Since(r.arrival).Nanoseconds())
+	onTime := s.stats.tracker.ObserveBudget(sojournNs, float64(r.deadlineNs))
+	var flags uint8
+	if !onTime {
+		flags |= FlagDeadlineMiss
+	}
+	if res.RealTime {
+		flags |= FlagRealTime
+	}
+	if res.Skipped {
+		flags |= FlagSkipped
+	}
+	weight := res.Weight * 1000
+	if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		weight = 0
+	}
+	s.stats.completed.Add(1)
+	r.conn.writeFrame(FrameResult, ResultFrame{
+		Seq:         r.seq,
+		ObsMask:     res.ObsPrediction,
+		WeightMilli: uint64(weight),
+		SojournNs:   uint64(sojournNs),
+		Flags:       flags,
+	}.AppendTo(nil))
+}

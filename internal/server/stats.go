@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"astrea/internal/realtime"
+)
+
+// stats is the daemon's hot-path instrumentation: plain atomic counters
+// plus the shared realtime.Tracker for deadline accounting (so the
+// service's miss rate is defined exactly as Figure 3's offline criterion).
+type stats struct {
+	start     time.Time
+	queueCap  int
+	deadline  float64
+	offered   atomic.Int64 // decode frames parsed (accepted + rejected)
+	accepted  atomic.Int64 // enqueued
+	rejected  atomic.Int64 // backpressure rejections
+	completed atomic.Int64 // results written
+	malformed atomic.Int64 // undecodable syndrome payloads (error frames)
+	batches   atomic.Int64 // worker wake-ups
+	batched   atomic.Int64 // requests drained across all batches
+	bytesIn   atomic.Int64 // compressed syndrome payload bytes received
+	tracker   *realtime.Tracker
+}
+
+func newStats(cfg Config, deadlineNs float64) *stats {
+	return &stats{
+		start:    time.Now(),
+		queueCap: cfg.QueueDepth,
+		deadline: deadlineNs,
+		tracker:  realtime.NewTracker(deadlineNs),
+	}
+}
+
+// Snapshot is a point-in-time export of the daemon's counters, shaped for
+// the /stats endpoint and expvar.
+type Snapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	// Admission accounting: Offered == Accepted + Rejected always holds.
+	Offered   int64 `json:"offered"`
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Malformed int64 `json:"malformed"`
+
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+
+	Batches   int64   `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+
+	BytesIn int64 `json:"bytes_in"`
+
+	// Deadline accounting over completed decodes (realtime semantics:
+	// on time ⇔ sojourn ≤ per-request budget).
+	DefaultDeadlineNs float64 `json:"default_deadline_ns"`
+	DeadlineMisses    int64   `json:"deadline_misses"`
+	DeadlineMissRate  float64 `json:"deadline_miss_rate"`
+
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+
+	LatencyNs LatencySummary `json:"latency_ns"`
+}
+
+// LatencySummary summarises the server-side sojourn histogram.
+type LatencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Snapshot exports the current counters.
+func (s *Server) Snapshot() Snapshot {
+	st := s.stats
+	up := time.Since(st.start).Seconds()
+	completed := st.completed.Load()
+	batches := st.batches.Load()
+	snap := Snapshot{
+		UptimeSec:         up,
+		Offered:           st.offered.Load(),
+		Accepted:          st.accepted.Load(),
+		Rejected:          st.rejected.Load(),
+		Completed:         completed,
+		Malformed:         st.malformed.Load(),
+		QueueDepth:        len(s.queue),
+		QueueCap:          st.queueCap,
+		Batches:           batches,
+		BytesIn:           st.bytesIn.Load(),
+		DefaultDeadlineNs: st.deadline,
+		DeadlineMisses:    st.tracker.Total() - st.tracker.OnTime(),
+		DeadlineMissRate:  st.tracker.MissRate(),
+	}
+	if batches > 0 {
+		snap.MeanBatch = float64(st.batched.Load()) / float64(batches)
+	}
+	if up > 0 {
+		snap.ThroughputPerSec = float64(completed) / up
+	}
+	h := st.tracker.Hist()
+	snap.LatencyNs = LatencySummary{
+		Mean: h.MeanNs(),
+		P50:  h.Quantile(0.50),
+		P90:  h.Quantile(0.90),
+		P99:  h.Quantile(0.99),
+		Max:  h.MaxNs(),
+	}
+	return snap
+}
+
+// StatsHandler serves the snapshot as JSON — mount it at /stats. The same
+// Snapshot also backs the daemon's expvar integration (cmd/astread
+// publishes it under the "astread" variable).
+func (s *Server) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Snapshot())
+	})
+}

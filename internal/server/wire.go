@@ -1,0 +1,285 @@
+// Package server is the networked syndrome-decoding service: the paper's
+// operating condition (§2) made literal. A control processor streams
+// syndromes to a decode daemon over TCP; the daemon keeps per-distance
+// decoder pools over shared immutable Global Weight Tables, a bounded
+// request queue with batching and explicit backpressure, and per-request
+// deadline accounting that reuses internal/realtime's 1 µs-budget
+// semantics — so Figure 3's "software MWPM misses ~96% of deadlines" claim
+// can be re-measured end-to-end across a real network hop.
+//
+// The wire protocol is length-prefixed binary frames. Every frame is
+//
+//	uint32 length (big endian, length of type byte + payload)
+//	uint8  type
+//	...    payload
+//
+// A stream opens with Hello/HelloAck, which negotiates the syndrome codec
+// (internal/compress, by wire ID — the Table 7 bandwidth model on a real
+// socket) and pins the stream to one code distance. After the handshake the
+// client sends Decode frames and receives exactly one Result, Reject or
+// Error frame per request, correlated by sequence number; responses may
+// arrive out of order across a batched queue.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is the wire protocol version carried in the handshake.
+const ProtocolVersion = 1
+
+// helloMagic guards against a non-astread peer; it spells "ASTR".
+const helloMagic uint32 = 0x41535452
+
+// DefaultMaxFrame bounds a frame's length prefix: larger claims are
+// rejected before any allocation, so a hostile peer cannot make the daemon
+// allocate unboundedly.
+const DefaultMaxFrame = 1 << 20
+
+// FrameType discriminates wire frames.
+type FrameType uint8
+
+// Wire frame types.
+const (
+	FrameHello    FrameType = 1 // client → server: open a decode stream
+	FrameHelloAck FrameType = 2 // server → client: accept/refuse the stream
+	FrameDecode   FrameType = 3 // client → server: one syndrome
+	FrameResult   FrameType = 4 // server → client: decode outcome
+	FrameReject   FrameType = 5 // server → client: backpressure, retry later
+	FrameError    FrameType = 6 // server → client: per-request failure
+)
+
+// Result flag bits.
+const (
+	FlagDeadlineMiss uint8 = 1 << 0 // sojourn exceeded the request deadline
+	FlagRealTime     uint8 = 1 << 1 // decoder's real-time path (Result.RealTime)
+	FlagSkipped      uint8 = 1 << 2 // decoder declined (Result.Skipped)
+)
+
+// WriteFrame writes one frame. payload may be nil.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, rejecting length prefixes of zero or beyond
+// maxFrame (0 means DefaultMaxFrame) before allocating.
+func ReadFrame(r io.Reader, maxFrame int) (FrameType, []byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("server: zero-length frame")
+	}
+	if int64(n) > int64(maxFrame) {
+		return 0, nil, fmt.Errorf("server: frame of %d bytes exceeds the %d-byte cap", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("server: truncated frame: %w", err)
+	}
+	return FrameType(body[0]), body[1:], nil
+}
+
+// Hello is the client's stream-opening request.
+type Hello struct {
+	Version  uint8
+	Distance uint16
+	Codec    uint8 // compress.ID*
+}
+
+// AppendTo serialises the hello payload.
+func (h Hello) AppendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, helloMagic)
+	dst = append(dst, h.Version)
+	dst = binary.BigEndian.AppendUint16(dst, h.Distance)
+	return append(dst, h.Codec)
+}
+
+// ParseHello deserialises a hello payload.
+func ParseHello(b []byte) (Hello, error) {
+	if len(b) != 8 {
+		return Hello{}, fmt.Errorf("server: hello payload is %d bytes, want 8", len(b))
+	}
+	if magic := binary.BigEndian.Uint32(b[:4]); magic != helloMagic {
+		return Hello{}, fmt.Errorf("server: bad hello magic %#x", magic)
+	}
+	return Hello{
+		Version:  b[4],
+		Distance: binary.BigEndian.Uint16(b[5:7]),
+		Codec:    b[7],
+	}, nil
+}
+
+// HelloAck is the server's handshake reply. Status 0 accepts the stream;
+// any other status refuses it with Message explaining why, after which the
+// server closes the connection.
+type HelloAck struct {
+	Version      uint8
+	Status       uint8
+	NumDetectors uint32 // syndrome length for the pinned distance
+	Codec        uint8  // the accepted codec ID
+	RiceK        uint8  // Golomb–Rice parameter when Codec == IDRice
+	QueueDepth   uint32 // the server's queue bound (backpressure threshold)
+	Message      string
+}
+
+// HelloAck status codes.
+const (
+	StatusOK              uint8 = 0
+	StatusBadVersion      uint8 = 1
+	StatusUnknownDistance uint8 = 2
+	StatusUnknownCodec    uint8 = 3
+)
+
+// AppendTo serialises the hello-ack payload.
+func (a HelloAck) AppendTo(dst []byte) []byte {
+	dst = append(dst, a.Version, a.Status)
+	dst = binary.BigEndian.AppendUint32(dst, a.NumDetectors)
+	dst = append(dst, a.Codec, a.RiceK)
+	dst = binary.BigEndian.AppendUint32(dst, a.QueueDepth)
+	return append(dst, a.Message...)
+}
+
+// ParseHelloAck deserialises a hello-ack payload.
+func ParseHelloAck(b []byte) (HelloAck, error) {
+	if len(b) < 12 {
+		return HelloAck{}, fmt.Errorf("server: hello-ack payload is %d bytes, want ≥ 12", len(b))
+	}
+	return HelloAck{
+		Version:      b[0],
+		Status:       b[1],
+		NumDetectors: binary.BigEndian.Uint32(b[2:6]),
+		Codec:        b[6],
+		RiceK:        b[7],
+		QueueDepth:   binary.BigEndian.Uint32(b[8:12]),
+		Message:      string(b[12:]),
+	}, nil
+}
+
+// DecodeRequest is one syndrome to decode. Payload is the stream codec's
+// encoding of the syndrome; DeadlineNs is this request's real-time budget
+// in nanoseconds from server-side arrival (0 means the server default).
+type DecodeRequest struct {
+	Seq        uint64
+	DeadlineNs uint64
+	Payload    []byte
+}
+
+// AppendTo serialises the decode payload.
+func (d DecodeRequest) AppendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, d.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, d.DeadlineNs)
+	return append(dst, d.Payload...)
+}
+
+// ParseDecodeRequest deserialises a decode payload. The syndrome bytes are
+// aliased, not copied.
+func ParseDecodeRequest(b []byte) (DecodeRequest, error) {
+	if len(b) < 16 {
+		return DecodeRequest{}, fmt.Errorf("server: decode payload is %d bytes, want ≥ 16", len(b))
+	}
+	return DecodeRequest{
+		Seq:        binary.BigEndian.Uint64(b[:8]),
+		DeadlineNs: binary.BigEndian.Uint64(b[8:16]),
+		Payload:    b[16:],
+	}, nil
+}
+
+// ResultFrame is the server's answer to one accepted request. SojournNs is
+// the server-side latency from frame arrival to decode completion —
+// internal/realtime's on-time criterion applied to it yields the
+// FlagDeadlineMiss bit. WeightMilli is the matching weight in
+// milli-decades.
+type ResultFrame struct {
+	Seq         uint64
+	ObsMask     uint64
+	WeightMilli uint64
+	SojournNs   uint64
+	Flags       uint8
+}
+
+// AppendTo serialises the result payload.
+func (r ResultFrame) AppendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, r.ObsMask)
+	dst = binary.BigEndian.AppendUint64(dst, r.WeightMilli)
+	dst = binary.BigEndian.AppendUint64(dst, r.SojournNs)
+	return append(dst, r.Flags)
+}
+
+// ParseResultFrame deserialises a result payload.
+func ParseResultFrame(b []byte) (ResultFrame, error) {
+	if len(b) != 33 {
+		return ResultFrame{}, fmt.Errorf("server: result payload is %d bytes, want 33", len(b))
+	}
+	return ResultFrame{
+		Seq:         binary.BigEndian.Uint64(b[:8]),
+		ObsMask:     binary.BigEndian.Uint64(b[8:16]),
+		WeightMilli: binary.BigEndian.Uint64(b[16:24]),
+		SojournNs:   binary.BigEndian.Uint64(b[24:32]),
+		Flags:       b[32],
+	}, nil
+}
+
+// RejectFrame is the server's backpressure answer: the queue was full when
+// the request arrived, nothing was decoded, and the client should retry no
+// sooner than RetryAfterNs from receipt.
+type RejectFrame struct {
+	Seq          uint64
+	RetryAfterNs uint64
+}
+
+// AppendTo serialises the reject payload.
+func (r RejectFrame) AppendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	return binary.BigEndian.AppendUint64(dst, r.RetryAfterNs)
+}
+
+// ParseRejectFrame deserialises a reject payload.
+func ParseRejectFrame(b []byte) (RejectFrame, error) {
+	if len(b) != 16 {
+		return RejectFrame{}, fmt.Errorf("server: reject payload is %d bytes, want 16", len(b))
+	}
+	return RejectFrame{
+		Seq:          binary.BigEndian.Uint64(b[:8]),
+		RetryAfterNs: binary.BigEndian.Uint64(b[8:16]),
+	}, nil
+}
+
+// ErrorFrame reports a per-request failure (e.g. an undecodable payload).
+type ErrorFrame struct {
+	Seq     uint64
+	Message string
+}
+
+// AppendTo serialises the error payload.
+func (e ErrorFrame) AppendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, e.Seq)
+	return append(dst, e.Message...)
+}
+
+// ParseErrorFrame deserialises an error payload.
+func ParseErrorFrame(b []byte) (ErrorFrame, error) {
+	if len(b) < 8 {
+		return ErrorFrame{}, fmt.Errorf("server: error payload is %d bytes, want ≥ 8", len(b))
+	}
+	return ErrorFrame{Seq: binary.BigEndian.Uint64(b[:8]), Message: string(b[8:])}, nil
+}

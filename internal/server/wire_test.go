@@ -1,0 +1,133 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := map[FrameType][]byte{
+		FrameHello:  Hello{Version: 1, Distance: 7, Codec: 2}.AppendTo(nil),
+		FrameDecode: DecodeRequest{Seq: 42, DeadlineNs: 1000, Payload: []byte{1, 2, 3}}.AppendTo(nil),
+		FrameResult: ResultFrame{Seq: 42, ObsMask: 1, WeightMilli: 12345, SojournNs: 987, Flags: FlagDeadlineMiss}.AppendTo(nil),
+	}
+	for ft, p := range payloads {
+		if err := WriteFrame(&buf, ft, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[FrameType][]byte{}
+	for i := 0; i < len(payloads); i++ {
+		ft, p, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[ft] = p
+	}
+	for ft, want := range payloads {
+		if !bytes.Equal(seen[ft], want) {
+			t.Fatalf("frame %d payload mismatch: %x != %x", ft, seen[ft], want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d stray bytes after reading all frames", buf.Len())
+	}
+}
+
+func TestReadFrameRejectsOversizeAndZero(t *testing.T) {
+	// Oversize claim: must fail before allocating the claimed size.
+	oversize := []byte{0xFF, 0xFF, 0xFF, 0xFF, 1}
+	if _, _, err := ReadFrame(bytes.NewReader(oversize), 1<<16); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("oversize frame accepted: %v", err)
+	}
+	zero := []byte{0, 0, 0, 0}
+	if _, _, err := ReadFrame(bytes.NewReader(zero), 0); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	truncated := []byte{0, 0, 0, 10, 1, 2}
+	if _, _, err := ReadFrame(bytes.NewReader(truncated), 0); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Fatal("empty stream must yield EOF")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Version: ProtocolVersion, Distance: 11, Codec: 1}
+	got, err := ParseHello(h.AppendTo(nil))
+	if err != nil || got != h {
+		t.Fatalf("hello round trip: %+v, %v", got, err)
+	}
+	if _, err := ParseHello([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short hello accepted")
+	}
+	bad := h.AppendTo(nil)
+	bad[0] ^= 0xFF // corrupt magic
+	if _, err := ParseHello(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	a := HelloAck{
+		Version: ProtocolVersion, Status: StatusOK, NumDetectors: 72,
+		Codec: 2, RiceK: 5, QueueDepth: 1024, Message: "ok",
+	}
+	got, err := ParseHelloAck(a.AppendTo(nil))
+	if err != nil || got != a {
+		t.Fatalf("hello-ack round trip: %+v, %v", got, err)
+	}
+	if _, err := ParseHelloAck(make([]byte, 11)); err == nil {
+		t.Fatal("short hello-ack accepted")
+	}
+}
+
+func TestDecodeRequestRoundTrip(t *testing.T) {
+	d := DecodeRequest{Seq: 7, DeadlineNs: 123456, Payload: []byte{9, 8, 7}}
+	got, err := ParseDecodeRequest(d.AppendTo(nil))
+	if err != nil || got.Seq != d.Seq || got.DeadlineNs != d.DeadlineNs || !bytes.Equal(got.Payload, d.Payload) {
+		t.Fatalf("decode round trip: %+v, %v", got, err)
+	}
+	// Empty payload is legal (an all-zero dense syndrome of length 0 is
+	// not, but that is the codec's concern, not the framing's).
+	empty := DecodeRequest{Seq: 1}
+	if _, err := ParseDecodeRequest(empty.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseDecodeRequest(make([]byte, 15)); err == nil {
+		t.Fatal("short decode request accepted")
+	}
+}
+
+func TestResultRejectErrorRoundTrip(t *testing.T) {
+	r := ResultFrame{Seq: 3, ObsMask: 5, WeightMilli: 700, SojournNs: 456, Flags: FlagRealTime | FlagSkipped}
+	gotR, err := ParseResultFrame(r.AppendTo(nil))
+	if err != nil || gotR != r {
+		t.Fatalf("result round trip: %+v, %v", gotR, err)
+	}
+	if _, err := ParseResultFrame(make([]byte, 32)); err == nil {
+		t.Fatal("short result accepted")
+	}
+
+	j := RejectFrame{Seq: 9, RetryAfterNs: 5000}
+	gotJ, err := ParseRejectFrame(j.AppendTo(nil))
+	if err != nil || gotJ != j {
+		t.Fatalf("reject round trip: %+v, %v", gotJ, err)
+	}
+	if _, err := ParseRejectFrame(make([]byte, 15)); err == nil {
+		t.Fatal("short reject accepted")
+	}
+
+	e := ErrorFrame{Seq: 2, Message: "bad payload"}
+	gotE, err := ParseErrorFrame(e.AppendTo(nil))
+	if err != nil || gotE != e {
+		t.Fatalf("error round trip: %+v, %v", gotE, err)
+	}
+	if _, err := ParseErrorFrame(make([]byte, 7)); err == nil {
+		t.Fatal("short error accepted")
+	}
+}

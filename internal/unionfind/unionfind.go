@@ -25,7 +25,10 @@ type edge struct {
 	obs    uint64
 }
 
-// Decoder is a Union-Find decoder instance. Not safe for concurrent use.
+// Decoder is a Union-Find decoder instance. Decode is NOT safe for
+// concurrent use on one instance (cluster state is reused across decodes);
+// create one Decoder per goroutine — the decoding graph they are built from
+// may be shared freely.
 type Decoder struct {
 	n        int // detector count; boundary node index == n
 	edges    []edge
