@@ -33,13 +33,23 @@ type Histogram struct {
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram { return &Histogram{} }
 
-// Add records one latency sample. Negative samples count as zero.
+// Add records one latency sample. Negative or NaN samples count as zero;
+// samples at or beyond 2^63 ns (including +Inf) clamp to the top bucket —
+// the float64→int64 conversion is implementation-defined out of range, so
+// it must never be reached.
 func (h *Histogram) Add(ns float64) {
 	if ns < 0 || math.IsNaN(ns) {
 		ns = 0
 	}
-	v := int64(ns)
-	h.buckets[bits.Len64(uint64(v))].Add(1)
+	v := int64(math.MaxInt64)
+	if ns < math.MaxInt64 { // false for +Inf; float64(MaxInt64) is exactly 2^63
+		v = int64(ns)
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sumNs.Add(v)
 	for {

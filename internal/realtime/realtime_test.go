@@ -1,6 +1,7 @@
 package realtime
 
 import (
+	"math"
 	"sync"
 
 	"astrea/internal/hwmodel"
@@ -168,6 +169,33 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 	if total != 1000 || len(uppers) != len(counts) {
 		t.Fatalf("bucket snapshot inconsistent: %v %v", uppers, counts)
+	}
+}
+
+// TestHistogramExtremeSamples checks that pathological inputs (NaN, ±Inf,
+// values at and beyond 2^63 ns) are clamped rather than panicking on an
+// out-of-range bucket index.
+func TestHistogramExtremeSamples(t *testing.T) {
+	h := NewHistogram()
+	for _, ns := range []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1), -1,
+		math.MaxFloat64, float64(math.MaxInt64), float64(math.MaxInt64) * 2,
+	} {
+		h.Add(ns)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count %d, want 7", h.Count())
+	}
+	if got := h.MaxNs(); got != math.MaxInt64 {
+		t.Fatalf("max %v, want clamp to MaxInt64", got)
+	}
+	uppers, counts := h.Buckets()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 7 {
+		t.Fatalf("bucket snapshot holds %d samples, want 7 (%v %v)", total, uppers, counts)
 	}
 }
 

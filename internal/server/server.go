@@ -140,7 +140,11 @@ type Server struct {
 	conns  map[*conn]struct{}
 	closed bool
 
-	wg sync.WaitGroup
+	// connWG tracks serveConn goroutines (the queue's only senders) and
+	// workerWG the queue's receivers; Close waits for the former before
+	// close(queue) so no send can race the close.
+	connWG   sync.WaitGroup
+	workerWG sync.WaitGroup
 }
 
 // New builds a daemon: one environment and decoder pool per configured
@@ -197,7 +201,7 @@ func New(cfg Config) (*Server, error) {
 		s.pools[d] = p
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
+		s.workerWG.Add(1)
 		go s.worker()
 	}
 	return s, nil
@@ -270,8 +274,10 @@ func (s *Server) Serve(ln net.Listener) error {
 			return nil
 		}
 		s.conns[c] = struct{}{}
+		// Add under mu: Close sets closed under the same lock, so a Wait
+		// can never start between this Add and the closed check above.
+		s.connWG.Add(1)
 		s.mu.Unlock()
-		s.wg.Add(1)
 		go s.serveConn(c)
 	}
 }
@@ -303,15 +309,20 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	// The queue's senders are the serveConn goroutines; closing their conns
+	// above makes each exit on its next read, but one may already hold a
+	// parsed frame it is about to enqueue. Wait for all of them before
+	// closing the queue, then drain the workers.
+	s.connWG.Wait()
 	close(s.queue)
-	s.wg.Wait()
+	s.workerWG.Wait()
 	return nil
 }
 
 // serveConn runs one client stream: handshake, then decode frames until
 // the peer hangs up or misbehaves.
 func (s *Server) serveConn(c *conn) {
-	defer s.wg.Done()
+	defer s.connWG.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, c)
@@ -392,11 +403,11 @@ func (s *Server) handshake(c *conn) error {
 		return fmt.Errorf("server: handshake refused: %s", msg)
 	}
 	if t != FrameHello {
-		return refuse(StatusBadVersion, fmt.Sprintf("expected hello frame, got type %d", t))
+		return refuse(StatusProtocolError, fmt.Sprintf("expected hello frame, got type %d", t))
 	}
 	h, err := ParseHello(payload)
 	if err != nil {
-		return refuse(StatusBadVersion, err.Error())
+		return refuse(StatusProtocolError, err.Error())
 	}
 	if h.Version != ProtocolVersion {
 		return refuse(StatusBadVersion, fmt.Sprintf("protocol version %d unsupported", h.Version))
@@ -425,7 +436,7 @@ func (s *Server) handshake(c *conn) error {
 // BatchSize-1 opportunistic receives, amortising wake-ups under load while
 // adding no latency when idle.
 func (s *Server) worker() {
-	defer s.wg.Done()
+	defer s.workerWG.Done()
 	batch := make([]*request, 0, s.cfg.BatchSize)
 	for {
 		r, ok := <-s.queue

@@ -246,6 +246,24 @@ func TestHandshakeRefusals(t *testing.T) {
 	if err != nil || ack.Status != StatusBadVersion {
 		t.Fatalf("expected bad-version refusal, got %+v (%v)", ack, err)
 	}
+	// Non-Hello first frame: refused as a protocol-sequence violation,
+	// distinct from a version mismatch.
+	nc2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	if err := WriteFrame(nc2, FrameDecode, DecodeRequest{Seq: 1}.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err = ReadFrame(nc2, 0)
+	if err != nil || ft != FrameHelloAck {
+		t.Fatalf("expected hello-ack, got %d (%v)", ft, err)
+	}
+	ack, err = ParseHelloAck(payload)
+	if err != nil || ack.Status != StatusProtocolError {
+		t.Fatalf("expected protocol-error refusal, got %+v (%v)", ack, err)
+	}
 }
 
 // TestMalformedPayloadGetsErrorFrame checks that an undecodable syndrome
@@ -359,6 +377,58 @@ func TestConcurrentStreamsShareGWT(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestCloseUnderLoad is a regression test for a shutdown race: Close used
+// to close(s.queue) while serveConn goroutines could still be holding a
+// parsed frame they were about to enqueue, so a SIGTERM-style drain under
+// live traffic could panic with "send on closed channel". Flood the server
+// with decode frames from raw writers that never read responses, then
+// close it mid-stream; any surviving send would crash the test process.
+func TestCloseUnderLoad(t *testing.T) {
+	env := testEnv(t, 3)
+	payload := (compress.Sparse{}).Encode(bitvec.New(env.Model.NumDetectors), nil)
+	for iter := 0; iter < 5; iter++ {
+		srv := startServer(t, Config{
+			Distances:  []int{3},
+			P:          1e-3,
+			Workers:    2,
+			QueueDepth: 4,
+			envs:       map[int]*montecarlo.Env{3: env},
+		})
+		addr := srv.Addr().String()
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				nc, err := net.Dial("tcp", addr)
+				if err != nil {
+					return
+				}
+				defer nc.Close()
+				if err := WriteFrame(nc, FrameHello, Hello{Version: ProtocolVersion, Distance: 3, Codec: compress.IDSparse}.AppendTo(nil)); err != nil {
+					return
+				}
+				if ft, _, err := ReadFrame(nc, 0); err != nil || ft != FrameHelloAck {
+					return
+				}
+				// Flood without reading responses so serveConn stays busy
+				// parsing and enqueueing until its conn is torn down.
+				for i := uint64(0); ; i++ {
+					req := DecodeRequest{Seq: i, Payload: payload}
+					if err := WriteFrame(nc, FrameDecode, req.AppendTo(nil)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(5 * time.Millisecond)
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
 	}
 }
 

@@ -147,6 +147,10 @@ const (
 	StatusBadVersion      uint8 = 1
 	StatusUnknownDistance uint8 = 2
 	StatusUnknownCodec    uint8 = 3
+	// StatusProtocolError refuses a stream whose first frame is not a
+	// well-formed Hello (wrong frame type or unparseable payload) — a
+	// protocol-sequence violation, distinct from a version mismatch.
+	StatusProtocolError uint8 = 4
 )
 
 // AppendTo serialises the hello-ack payload.
