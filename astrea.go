@@ -281,6 +281,22 @@ func DialDecode(addr string, distance int, codecName string) (*DecodeClient, err
 	return server.Dial(addr, distance, id)
 }
 
+// RetryingDecodeClient is the self-healing synchronous client: it dials
+// lazily, reconnects after connection loss, and honours backpressure
+// rejections with jittered, capped exponential backoff (raised to the
+// server's retry-after hint). Not safe for concurrent use.
+type RetryingDecodeClient = server.RetryingClient
+
+// DialDecodeRetrying builds a RetryingDecodeClient with default timeouts
+// and retry policy; no connection is made until the first Decode.
+func DialDecodeRetrying(addr string, distance int, codecName string) (*RetryingDecodeClient, error) {
+	id, err := compress.IDByName(codecName)
+	if err != nil {
+		return nil, err
+	}
+	return server.NewRetryingClient(addr, distance, id, server.ClientOptions{}, server.RetryPolicy{}), nil
+}
+
 // ChainStep is one error mechanism of a physical correction chain.
 type ChainStep = decodegraph.ChainStep
 

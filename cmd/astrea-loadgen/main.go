@@ -20,9 +20,15 @@
 //	-seed N           sampler seed (default 2023)
 //	-verify           re-decode locally and count mismatches (default true)
 //	-verify-decoder   local decoder for -verify (default astrea)
+//	-chaos            route traffic through an in-process fault-injecting
+//	                  proxy (latency spikes, corruption, short reads,
+//	                  partial writes, disconnects) — a chaos smoke test
+//	                  against a live daemon (default false)
+//	-chaos-seed N     fault schedule seed for -chaos (default 1)
 //
 // Exit status is non-zero if any verified response disagrees with the
-// local decoder.
+// local decoder (degraded responses are checked against Union-Find, the
+// server's degradation fallback).
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"astrea/internal/compress"
+	"astrea/internal/faultinject"
 	"astrea/internal/report"
 	"astrea/internal/server"
 )
@@ -55,6 +62,8 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 2023, "sampler seed")
 	verify := fs.Bool("verify", true, "re-decode locally and count mismatches")
 	verifyDecoder := fs.String("verify-decoder", "astrea", "local decoder for -verify")
+	chaos := fs.Bool("chaos", false, "route traffic through a fault-injecting proxy")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "fault schedule seed for -chaos")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,8 +72,28 @@ func run(args []string) error {
 		return err
 	}
 
+	target := *addr
+	if *chaos {
+		proxy, err := faultinject.NewProxy(*addr, faultinject.Config{
+			Seed:       *chaosSeed,
+			StallP:     0.02,
+			StallMin:   100 * time.Microsecond,
+			StallMax:   2 * time.Millisecond,
+			CorruptP:   0.005,
+			DropP:      0.002,
+			PartialP:   0.005,
+			ShortReadP: 0.05,
+		})
+		if err != nil {
+			return err
+		}
+		defer proxy.Close()
+		target = proxy.Addr()
+		fmt.Fprintf(os.Stderr, "astrea-loadgen: chaos proxy on %s (seed=%d)\n", target, *chaosSeed)
+	}
+
 	cfg := server.LoadConfig{
-		Addr:          *addr,
+		Addr:          target,
 		Distance:      *d,
 		P:             *p,
 		Codec:         codecID,
@@ -79,7 +108,22 @@ func run(args []string) error {
 		*n, *d, *addr, *codecName, rateLabel(*rate))
 	rep, err := server.RunLoad(cfg)
 	if err != nil {
-		return err
+		if !*chaos {
+			return err
+		}
+		// Under -chaos a severed stream IS the injected fault, not a failed
+		// run; the smoke-test question is whether the daemon survived it.
+		// Probe it with a short fault-free run straight at the real address.
+		fmt.Fprintf(os.Stderr, "astrea-loadgen: chaos severed the stream (%v); probing the daemon directly\n", err)
+		probe := cfg
+		probe.Addr = *addr
+		probe.Shots = 100
+		probe.RatePerSec = 0
+		if rep, err = server.RunLoad(probe); err != nil {
+			return fmt.Errorf("daemon did not survive the chaos run: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "astrea-loadgen: daemon survived; reporting the post-chaos probe")
+		cfg = probe
 	}
 	return render(rep, cfg)
 }
@@ -106,6 +150,7 @@ func render(rep *server.LoadReport, cfg server.LoadConfig) error {
 	t.AddRow("accepted", rep.Accepted)
 	t.AddRow("rejected (backpressure)", rep.Rejected)
 	t.AddRow("errored", rep.Errored)
+	t.AddRow("degraded (UF fallback)", rep.Degraded)
 	t.AddRow("offered/s", rep.OfferedPerSec)
 	t.AddRow("achieved/s", rep.AchievedPerSec)
 	t.AddRow("deadline misses (server)", fmt.Sprintf("%d (%.2f%% of accepted)",

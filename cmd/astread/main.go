@@ -19,9 +19,18 @@
 //	-batch N          max requests per worker wake-up (default 16)
 //	-workers N        decode workers (default GOMAXPROCS)
 //	-deadline dur     default per-request deadline (default 1µs)
+//	-max-conns N      concurrent connection cap; excess refused (default 4096, 0 = unlimited)
+//	-handshake-timeout dur  Hello exchange bound per connection (default 10s, 0 disables)
+//	-idle-timeout dur       reap connections idle this long (default 5m, 0 disables)
+//	-write-timeout dur      per-response write bound (default 30s, 0 disables)
+//	-degrade frac     fraction of the deadline budget the queue sojourn may
+//	                  consume before decoding with the fast Union-Find
+//	                  fallback (FlagDegraded) (default 0.75, 0 disables)
+//	-drain-timeout dur      SIGTERM drain bound; requests still queued when it
+//	                  expires are abandoned and counted (default 10s, 0 = unbounded)
 //
-// The daemon runs until SIGINT/SIGTERM, then drains and prints a final
-// stats snapshot.
+// The daemon runs until SIGINT/SIGTERM, then drains (bounded by
+// -drain-timeout) and prints a final stats snapshot.
 package main
 
 import (
@@ -48,8 +57,10 @@ func main() {
 }
 
 // buildConfig parses flags into a server configuration plus the listen
-// addresses; split out for testing.
-func buildConfig(args []string) (cfg server.Config, listen, httpAddr string, err error) {
+// addresses and drain bound; split out for testing. Flags use 0 to mean
+// "disabled/unlimited", mapped onto the Config convention where zero means
+// default and negative means disabled.
+func buildConfig(args []string) (cfg server.Config, listen, httpAddr string, drain time.Duration, err error) {
 	fs := flag.NewFlagSet("astread", flag.ContinueOnError)
 	fs.StringVar(&listen, "listen", ":7717", "TCP decode endpoint")
 	fs.StringVar(&httpAddr, "http", ":7718", "stats endpoint (empty disables)")
@@ -60,11 +71,26 @@ func buildConfig(args []string) (cfg server.Config, listen, httpAddr string, err
 	fs.IntVar(&cfg.BatchSize, "batch", 16, "max requests per worker wake-up")
 	fs.IntVar(&cfg.Workers, "workers", 0, "decode workers (0 = GOMAXPROCS)")
 	deadline := fs.Duration("deadline", time.Microsecond, "default per-request deadline")
+	maxConns := fs.Int("max-conns", 4096, "concurrent connection cap (0 = unlimited)")
+	handshakeTO := fs.Duration("handshake-timeout", 10*time.Second, "handshake bound per connection (0 disables)")
+	idleTO := fs.Duration("idle-timeout", 5*time.Minute, "reap connections idle this long (0 disables)")
+	writeTO := fs.Duration("write-timeout", 30*time.Second, "per-response write bound (0 disables)")
+	degrade := fs.Float64("degrade", 0.75, "deadline fraction before Union-Find fallback (0 disables)")
+	fs.DurationVar(&drain, "drain-timeout", 10*time.Second, "SIGTERM drain bound (0 = unbounded)")
 	if err = fs.Parse(args); err != nil {
-		return cfg, "", "", err
+		return cfg, "", "", 0, err
 	}
 	cfg.P = *p
 	cfg.DefaultDeadlineNs = uint64(deadline.Nanoseconds())
+	cfg.MaxConns = orDisabledInt(*maxConns)
+	cfg.HandshakeTimeout = orDisabled(*handshakeTO)
+	cfg.IdleTimeout = orDisabled(*idleTO)
+	cfg.WriteTimeout = orDisabled(*writeTO)
+	if *degrade <= 0 {
+		cfg.DegradeFraction = -1
+	} else {
+		cfg.DegradeFraction = *degrade
+	}
 	for _, part := range strings.Split(*distances, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -72,15 +98,29 @@ func buildConfig(args []string) (cfg server.Config, listen, httpAddr string, err
 		}
 		d, convErr := strconv.Atoi(part)
 		if convErr != nil {
-			return cfg, "", "", fmt.Errorf("bad distance %q: %w", part, convErr)
+			return cfg, "", "", 0, fmt.Errorf("bad distance %q: %w", part, convErr)
 		}
 		cfg.Distances = append(cfg.Distances, d)
 	}
-	return cfg, listen, httpAddr, nil
+	return cfg, listen, httpAddr, drain, nil
+}
+
+func orDisabled(d time.Duration) time.Duration {
+	if d <= 0 {
+		return -1
+	}
+	return d
+}
+
+func orDisabledInt(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
 }
 
 func run(args []string) error {
-	cfg, listen, httpAddr, err := buildConfig(args)
+	cfg, listen, httpAddr, drain, err := buildConfig(args)
 	if err != nil {
 		return err
 	}
@@ -117,7 +157,25 @@ func run(args []string) error {
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "astread: %v, draining\n", s)
 	}
-	if err := srv.Close(); err != nil {
+	// Bounded drain: Close waits for in-flight work, but a wedged peer or a
+	// pathological queue must not stall shutdown forever. On timeout the
+	// still-queued requests are abandoned and reported, and the process
+	// exits anyway (kubelet-style SIGKILL comes next regardless).
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	if drain > 0 {
+		select {
+		case err := <-done:
+			if err != nil {
+				return err
+			}
+		case <-time.After(drain):
+			snap := srv.Snapshot()
+			abandoned := snap.Accepted - snap.Completed - snap.Panics
+			fmt.Fprintf(os.Stderr, "astread: drain timeout (%v) expired, abandoning %d queued request(s)\n",
+				drain, abandoned)
+		}
+	} else if err := <-done; err != nil {
 		return err
 	}
 	out, err := json.MarshalIndent(srv.Snapshot(), "", "  ")

@@ -1,9 +1,12 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestBuildConfigDefaults(t *testing.T) {
-	cfg, listen, httpAddr, err := buildConfig(nil)
+	cfg, listen, httpAddr, drain, err := buildConfig(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,12 +22,23 @@ func TestBuildConfigDefaults(t *testing.T) {
 	if cfg.DefaultDeadlineNs != 1000 {
 		t.Fatalf("default deadline: %d ns", cfg.DefaultDeadlineNs)
 	}
+	if cfg.MaxConns != 4096 || cfg.DegradeFraction != 0.75 {
+		t.Fatalf("robustness defaults: %+v", cfg)
+	}
+	if cfg.HandshakeTimeout != 10*time.Second || cfg.IdleTimeout != 5*time.Minute || cfg.WriteTimeout != 30*time.Second {
+		t.Fatalf("timeout defaults: %+v", cfg)
+	}
+	if drain != 10*time.Second {
+		t.Fatalf("default drain: %v", drain)
+	}
 }
 
 func TestBuildConfigParsesFlags(t *testing.T) {
-	cfg, listen, _, err := buildConfig([]string{
+	cfg, listen, _, drain, err := buildConfig([]string{
 		"-listen", "127.0.0.1:0", "-distances", "5, 9", "-decoder", "uf",
 		"-queue", "8", "-deadline", "2us",
+		"-max-conns", "2", "-idle-timeout", "30s", "-degrade", "0.5",
+		"-drain-timeout", "3s",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -38,10 +52,37 @@ func TestBuildConfigParsesFlags(t *testing.T) {
 	if cfg.Decoder != "uf" || cfg.QueueDepth != 8 || cfg.DefaultDeadlineNs != 2000 {
 		t.Fatalf("parsed: %+v", cfg)
 	}
+	if cfg.MaxConns != 2 || cfg.IdleTimeout != 30*time.Second || cfg.DegradeFraction != 0.5 {
+		t.Fatalf("robustness flags: %+v", cfg)
+	}
+	if drain != 3*time.Second {
+		t.Fatalf("drain: %v", drain)
+	}
+}
+
+// TestBuildConfigDisabledSentinels: flag value 0 means "disabled", which
+// the server Config spells as negative (its zero means "use the default").
+func TestBuildConfigDisabledSentinels(t *testing.T) {
+	cfg, _, _, drain, err := buildConfig([]string{
+		"-max-conns", "0", "-handshake-timeout", "0", "-idle-timeout", "0",
+		"-write-timeout", "0", "-degrade", "0", "-drain-timeout", "0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxConns >= 0 || cfg.DegradeFraction >= 0 {
+		t.Fatalf("0 flags not mapped to disabled: %+v", cfg)
+	}
+	if cfg.HandshakeTimeout >= 0 || cfg.IdleTimeout >= 0 || cfg.WriteTimeout >= 0 {
+		t.Fatalf("0 timeouts not mapped to disabled: %+v", cfg)
+	}
+	if drain != 0 {
+		t.Fatalf("drain: %v", drain)
+	}
 }
 
 func TestBuildConfigRejectsBadDistance(t *testing.T) {
-	if _, _, _, err := buildConfig([]string{"-distances", "3,x"}); err == nil {
+	if _, _, _, _, err := buildConfig([]string{"-distances", "3,x"}); err == nil {
 		t.Fatal("bad distance accepted")
 	}
 }

@@ -46,6 +46,13 @@ type Result struct {
 // graph) may be shared freely across instances; only the per-instance
 // scratch state is goroutine-private. Serving pools (internal/server) rely
 // on this split: one GWT per distance, one decoder per worker.
+//
+// Fault contract: Decode has no error return — a decoder that cannot
+// proceed either returns the identity correction with Skipped set, or
+// panics. The serving layer treats a panic as a poisoned instance: the
+// request is answered with an internal-error frame, the instance is
+// discarded rather than recycled into its pool (its scratch state is
+// unknowable mid-panic), and the worker keeps serving.
 type Decoder interface {
 	// Name identifies the decoder in reports ("MWPM", "Astrea", …).
 	Name() string

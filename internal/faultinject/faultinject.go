@@ -1,0 +1,365 @@
+// Package faultinject provides deterministic, seeded chaos wrappers used to
+// harden the decode service (internal/server) against hostile peers and
+// internal faults: a net.Conn / net.Listener pair that injects latency
+// spikes, short reads, partial writes, byte corruption and mid-frame
+// disconnects; a TCP proxy that funnels real client traffic through such a
+// connection; and a decoder.Decoder wrapper that panics, errors or stalls
+// on a seeded schedule. Every fault draws from an internal/prng stream, so
+// a failing chaos run replays exactly from its seed.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decoder"
+	"astrea/internal/montecarlo"
+	"astrea/internal/prng"
+)
+
+// ErrDropped is returned by a chaos Conn whose fault schedule closed the
+// connection mid-operation.
+var ErrDropped = errors.New("faultinject: connection dropped by fault schedule")
+
+// ErrInjected is the value a FlakyDecoder panics with on its scheduled
+// error faults, so containment layers can tell injected faults from
+// genuine decoder bugs.
+var ErrInjected = errors.New("faultinject: injected decoder fault")
+
+// Config is a chaos connection's fault schedule. All probabilities are
+// per-operation (one Read or Write call); zero disables the fault.
+type Config struct {
+	// Seed drives the fault schedule; the same seed replays the same
+	// faults against the same operation sequence.
+	Seed uint64
+	// StallP delays the operation by a uniform duration in
+	// [StallMin, StallMax] — a latency spike.
+	StallP             float64
+	StallMin, StallMax time.Duration
+	// CorruptP flips one random bit in the bytes moved by the operation.
+	CorruptP float64
+	// DropP closes the connection instead of performing the operation.
+	DropP float64
+	// PartialP (writes only) writes a strict prefix of the buffer and then
+	// closes — a mid-frame disconnect as seen by the peer.
+	PartialP float64
+	// ShortReadP (reads only) fills at most a prefix of the buffer,
+	// exercising the peer-facing io.ReadFull loops in frame readers.
+	ShortReadP float64
+}
+
+// Conn wraps a net.Conn with the fault schedule. It satisfies the net.Conn
+// concurrency contract (one concurrent Read plus one concurrent Write);
+// the fault stream itself is mutex-protected.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu  sync.Mutex
+	rng *prng.Source
+}
+
+// WrapConn wraps nc with a fault schedule seeded from cfg.Seed.
+func WrapConn(nc net.Conn, cfg Config) *Conn {
+	return newConn(nc, cfg, prng.New(cfg.Seed))
+}
+
+func newConn(nc net.Conn, cfg Config, rng *prng.Source) *Conn {
+	return &Conn{Conn: nc, cfg: cfg, rng: rng}
+}
+
+// faults is one operation's sampled fault set.
+type faults struct {
+	stall   time.Duration
+	drop    bool
+	corrupt bool
+	partial bool
+	short   bool
+}
+
+func (c *Conn) decide(write bool) faults {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var f faults
+	if c.cfg.StallP > 0 && c.rng.Bernoulli(c.cfg.StallP) {
+		f.stall = c.cfg.StallMin
+		if span := c.cfg.StallMax - c.cfg.StallMin; span > 0 {
+			f.stall += time.Duration(c.rng.Float64() * float64(span))
+		}
+	}
+	f.drop = c.cfg.DropP > 0 && c.rng.Bernoulli(c.cfg.DropP)
+	f.corrupt = c.cfg.CorruptP > 0 && c.rng.Bernoulli(c.cfg.CorruptP)
+	if write {
+		f.partial = c.cfg.PartialP > 0 && c.rng.Bernoulli(c.cfg.PartialP)
+	} else {
+		f.short = c.cfg.ShortReadP > 0 && c.rng.Bernoulli(c.cfg.ShortReadP)
+	}
+	return f
+}
+
+func (c *Conn) intn(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// Read implements net.Conn with scheduled stalls, short reads, byte
+// corruption and drops.
+func (c *Conn) Read(b []byte) (int, error) {
+	f := c.decide(false)
+	if f.stall > 0 {
+		time.Sleep(f.stall)
+	}
+	if f.drop {
+		c.Conn.Close()
+		return 0, ErrDropped
+	}
+	if f.short && len(b) > 1 {
+		b = b[:1+c.intn(len(b)-1)]
+	}
+	n, err := c.Conn.Read(b)
+	if f.corrupt && n > 0 {
+		i := c.intn(n * 8)
+		b[i/8] ^= 1 << (i % 8)
+	}
+	return n, err
+}
+
+// Write implements net.Conn with scheduled stalls, partial-write
+// disconnects, byte corruption and drops. Corruption mutates a copy, never
+// the caller's buffer.
+func (c *Conn) Write(b []byte) (int, error) {
+	f := c.decide(true)
+	if f.stall > 0 {
+		time.Sleep(f.stall)
+	}
+	if f.drop {
+		c.Conn.Close()
+		return 0, ErrDropped
+	}
+	if f.partial && len(b) > 1 {
+		n, _ := c.Conn.Write(b[:c.intn(len(b))])
+		c.Conn.Close()
+		return n, ErrDropped
+	}
+	if f.corrupt && len(b) > 0 {
+		mut := append([]byte(nil), b...)
+		i := c.intn(len(mut) * 8)
+		mut[i/8] ^= 1 << (i % 8)
+		return c.Conn.Write(mut)
+	}
+	return c.Conn.Write(b)
+}
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// fault schedule, each with an independent seed-derived fault stream.
+type Listener struct {
+	net.Listener
+	cfg  Config
+	base *prng.Source
+	n    atomic.Uint64
+}
+
+// WrapListener wraps ln with the fault schedule.
+func WrapListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg, base: prng.New(cfg.Seed)}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newConn(nc, l.cfg, l.base.Split(l.n.Add(1))), nil
+}
+
+// Proxy is a chaos TCP proxy: it accepts client connections on a loopback
+// listener and pipes each through a fault-injecting Conn to the backend,
+// so unmodified clients and servers both experience the fault schedule on
+// the wire between them.
+type Proxy struct {
+	ln      net.Listener
+	backend string
+	cfg     Config
+	base    *prng.Source
+	n       atomic.Uint64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy listens on an ephemeral loopback port and forwards every
+// connection to backend through the fault schedule.
+func NewProxy(backend string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:      ln,
+		backend: backend,
+		cfg:     cfg,
+		base:    prng.New(cfg.Seed),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address; point clients here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting, severs every proxied connection and waits for the
+// pump goroutines to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// track registers c for teardown; it reports false (and closes c) if the
+// proxy is already closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		front, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		back, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			front.Close()
+			continue
+		}
+		chaos := newConn(front, p.cfg, p.base.Split(p.n.Add(1)))
+		if !p.track(chaos) || !p.track(back) {
+			chaos.Close()
+			back.Close()
+			return
+		}
+		p.wg.Add(2)
+		go p.pump(back, chaos)
+		go p.pump(chaos, back)
+	}
+}
+
+// pump copies one direction until either side fails, then severs both so
+// the peer sees the disconnect.
+func (p *Proxy) pump(dst, src net.Conn) {
+	defer p.wg.Done()
+	io.Copy(dst, src)
+	dst.Close()
+	src.Close()
+	p.untrack(dst)
+	p.untrack(src)
+}
+
+// FlakyConfig is a flaky decoder's fault schedule; probabilities are per
+// Decode call.
+type FlakyConfig struct {
+	// Seed drives the schedule; factory-built instances derive independent
+	// child streams from it.
+	Seed uint64
+	// PanicP panics with a descriptive string — a stand-in for a decoder
+	// implementation bug.
+	PanicP float64
+	// ErrP panics with ErrInjected — a stand-in for a decoder raising an
+	// internal error mid-decode.
+	ErrP float64
+	// SlowP sleeps a uniform duration in [SlowMin, SlowMax] before
+	// decoding — a stand-in for a pathological slow path.
+	SlowP            float64
+	SlowMin, SlowMax time.Duration
+}
+
+// FlakyDecoder injects the schedule in front of a real decoder. Like most
+// decoders it is not safe for concurrent use on one instance.
+type FlakyDecoder struct {
+	inner decoder.Decoder
+	cfg   FlakyConfig
+	rng   *prng.Source
+}
+
+// NewFlaky wraps inner with the fault schedule.
+func NewFlaky(inner decoder.Decoder, cfg FlakyConfig) *FlakyDecoder {
+	return &FlakyDecoder{inner: inner, cfg: cfg, rng: prng.New(cfg.Seed)}
+}
+
+// Name implements decoder.Decoder.
+func (f *FlakyDecoder) Name() string { return f.inner.Name() + " (flaky)" }
+
+// Decode implements decoder.Decoder, applying at most one scheduled fault
+// before delegating.
+func (f *FlakyDecoder) Decode(s bitvec.Vec) decoder.Result {
+	if f.cfg.SlowP > 0 && f.rng.Bernoulli(f.cfg.SlowP) {
+		d := f.cfg.SlowMin
+		if span := f.cfg.SlowMax - f.cfg.SlowMin; span > 0 {
+			d += time.Duration(f.rng.Float64() * float64(span))
+		}
+		time.Sleep(d)
+	}
+	if f.cfg.PanicP > 0 && f.rng.Bernoulli(f.cfg.PanicP) {
+		panic(fmt.Sprintf("faultinject: injected panic in %s", f.inner.Name()))
+	}
+	if f.cfg.ErrP > 0 && f.rng.Bernoulli(f.cfg.ErrP) {
+		panic(ErrInjected)
+	}
+	return f.inner.Decode(s)
+}
+
+// Flaky wraps a decoder factory so every constructed instance carries its
+// own seed-derived fault stream (instance i replays deterministically for
+// a fixed construction order).
+func Flaky(inner montecarlo.Factory, cfg FlakyConfig) montecarlo.Factory {
+	base := prng.New(cfg.Seed)
+	var mu sync.Mutex
+	var n uint64
+	return func(env *montecarlo.Env) (decoder.Decoder, error) {
+		dec, err := inner(env)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		n++
+		rng := base.Split(n)
+		mu.Unlock()
+		return &FlakyDecoder{inner: dec, cfg: cfg, rng: rng}, nil
+	}
+}

@@ -1,0 +1,266 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decoder"
+)
+
+// recorderConn is a net.Conn sink that records written bytes and whether it
+// was closed; reads return a fixed script.
+type recorderConn struct {
+	wrote  bytes.Buffer
+	read   *bytes.Reader
+	closed bool
+}
+
+func newRecorder(read []byte) *recorderConn {
+	return &recorderConn{read: bytes.NewReader(read)}
+}
+
+func (r *recorderConn) Read(b []byte) (int, error)         { return r.read.Read(b) }
+func (r *recorderConn) Write(b []byte) (int, error)        { return r.wrote.Write(b) }
+func (r *recorderConn) Close() error                       { r.closed = true; return nil }
+func (r *recorderConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (r *recorderConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (r *recorderConn) SetDeadline(t time.Time) error      { return nil }
+func (r *recorderConn) SetReadDeadline(t time.Time) error  { return nil }
+func (r *recorderConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestWriteCorruptionIsDeterministic checks the core replay property: the
+// same seed against the same operation sequence injects the same faults,
+// and corruption flips exactly one bit of a copy (never the caller's
+// buffer).
+func TestWriteCorruptionIsDeterministic(t *testing.T) {
+	run := func() []byte {
+		rec := newRecorder(nil)
+		c := WrapConn(rec, Config{Seed: 3, CorruptP: 1})
+		msg := []byte{0x00, 0xFF, 0x55, 0xAA}
+		orig := append([]byte(nil), msg...)
+		if n, err := c.Write(msg); err != nil || n != len(msg) {
+			t.Fatalf("write: %d, %v", n, err)
+		}
+		if !bytes.Equal(msg, orig) {
+			t.Fatal("corruption mutated the caller's buffer")
+		}
+		return rec.wrote.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different corruption: %x vs %x", a, b)
+	}
+	diff := 0
+	orig := []byte{0x00, 0xFF, 0x55, 0xAA}
+	for i := range a {
+		for bit := 0; bit < 8; bit++ {
+			if (a[i]^orig[i])>>bit&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diff)
+	}
+}
+
+// TestPartialWriteDisconnects checks the mid-frame disconnect fault: a
+// strict prefix is written, the underlying connection is closed, and the
+// caller sees ErrDropped.
+func TestPartialWriteDisconnects(t *testing.T) {
+	rec := newRecorder(nil)
+	c := WrapConn(rec, Config{Seed: 1, PartialP: 1})
+	msg := make([]byte, 64)
+	n, err := c.Write(msg)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("want ErrDropped, got %v", err)
+	}
+	if n >= len(msg) {
+		t.Fatalf("partial write wrote %d of %d bytes (not a strict prefix)", n, len(msg))
+	}
+	if rec.wrote.Len() != n {
+		t.Fatalf("reported %d bytes written, underlying saw %d", n, rec.wrote.Len())
+	}
+	if !rec.closed {
+		t.Fatal("partial write did not close the connection")
+	}
+}
+
+// TestDropClosesOnRead checks the drop fault on the read path.
+func TestDropClosesOnRead(t *testing.T) {
+	rec := newRecorder([]byte{1, 2, 3})
+	c := WrapConn(rec, Config{Seed: 1, DropP: 1})
+	if _, err := c.Read(make([]byte, 3)); !errors.Is(err, ErrDropped) {
+		t.Fatalf("want ErrDropped, got %v", err)
+	}
+	if !rec.closed {
+		t.Fatal("drop did not close the connection")
+	}
+}
+
+// TestShortRead checks that the short-read fault delivers a strict prefix
+// of the requested bytes without losing any: the rest stays readable.
+func TestShortRead(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	rec := newRecorder(payload)
+	c := WrapConn(rec, Config{Seed: 2, ShortReadP: 1})
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("short reads lost bytes: %v", got)
+	}
+}
+
+// TestZeroConfigIsTransparent checks that an all-zero schedule passes
+// traffic through untouched.
+func TestZeroConfigIsTransparent(t *testing.T) {
+	rec := newRecorder([]byte{9, 8, 7})
+	c := WrapConn(rec, Config{})
+	if n, err := c.Write([]byte{1, 2, 3}); err != nil || n != 3 {
+		t.Fatalf("write: %d, %v", n, err)
+	}
+	if !bytes.Equal(rec.wrote.Bytes(), []byte{1, 2, 3}) {
+		t.Fatalf("zero config altered the write: %v", rec.wrote.Bytes())
+	}
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(c, buf); err != nil || !bytes.Equal(buf, []byte{9, 8, 7}) {
+		t.Fatalf("zero config altered the read: %v, %v", buf, err)
+	}
+}
+
+// TestProxyRoundTrip runs a fault-free proxy in front of an echo server and
+// checks bytes survive both directions; Close must tear everything down.
+func TestProxyRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				io.Copy(nc, nc)
+			}(nc)
+		}
+	}()
+
+	p, err := NewProxy(ln.Addr().String(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	msg := []byte("through the chaos proxy and back")
+	if _, err := nc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("echo mangled: %q", buf)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the proxied connection is severed.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("proxied connection survived proxy Close")
+	}
+}
+
+// fixedDecoder returns a constant result.
+type fixedDecoder struct{}
+
+func (fixedDecoder) Name() string { return "fixed" }
+func (fixedDecoder) Decode(s bitvec.Vec) decoder.Result {
+	return decoder.Result{ObsPrediction: 42}
+}
+
+// TestFlakyDecoderSchedule checks each fault kind fires per its schedule
+// and that a zero schedule delegates untouched.
+func TestFlakyDecoderSchedule(t *testing.T) {
+	s := bitvec.New(8)
+
+	clean := NewFlaky(fixedDecoder{}, FlakyConfig{})
+	if got := clean.Decode(s); got.ObsPrediction != 42 {
+		t.Fatalf("zero schedule altered the result: %+v", got)
+	}
+	if clean.Name() != "fixed (flaky)" {
+		t.Fatalf("name %q", clean.Name())
+	}
+
+	mustPanic := func(cfg FlakyConfig, check func(v interface{}) bool) {
+		t.Helper()
+		defer func() {
+			if v := recover(); v == nil || !check(v) {
+				t.Fatalf("expected scheduled panic, recovered %v", v)
+			}
+		}()
+		NewFlaky(fixedDecoder{}, cfg).Decode(s)
+	}
+	mustPanic(FlakyConfig{PanicP: 1}, func(v interface{}) bool {
+		_, ok := v.(string)
+		return ok
+	})
+	mustPanic(FlakyConfig{ErrP: 1}, func(v interface{}) bool {
+		err, ok := v.(error)
+		return ok && errors.Is(err, ErrInjected)
+	})
+
+	slow := NewFlaky(fixedDecoder{}, FlakyConfig{SlowP: 1, SlowMin: 10 * time.Millisecond, SlowMax: 10 * time.Millisecond})
+	start := time.Now()
+	slow.Decode(s)
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("slow fault finished in %v, want ≥ 10ms", elapsed)
+	}
+}
+
+// TestListenerWrapsAccepted checks accepted connections carry the schedule.
+func TestListenerWrapsAccepted(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(inner, Config{Seed: 5, DropP: 1})
+	defer ln.Close()
+	accepted := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			accepted <- err
+			return
+		}
+		defer nc.Close()
+		_, err = nc.Read(make([]byte, 1))
+		accepted <- err
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Write([]byte{1})
+	if err := <-accepted; !errors.Is(err, ErrDropped) {
+		t.Fatalf("accepted conn not wrapped: %v", err)
+	}
+}

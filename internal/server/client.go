@@ -5,21 +5,49 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"astrea/internal/bitvec"
 	"astrea/internal/compress"
 )
+
+// DefaultHandshakeTimeout bounds Dial/NewClient's connect-and-hello
+// exchange unless overridden: a server that accepts the TCP connection but
+// never answers the Hello must fail the dial, not hang it forever.
+const DefaultHandshakeTimeout = 10 * time.Second
+
+// ClientOptions tunes a client stream's timeouts.
+type ClientOptions struct {
+	// HandshakeTimeout bounds the TCP connect plus Hello/HelloAck
+	// exchange. 0 means DefaultHandshakeTimeout; negative disables.
+	HandshakeTimeout time.Duration
+	// CallTimeout bounds each Send and Recv (and therefore Decode). 0
+	// disables — pipelining callers often want to block on Recv
+	// indefinitely while a sender goroutine keeps the stream fed.
+	CallTimeout time.Duration
+}
+
+func (o ClientOptions) handshakeTimeout() time.Duration {
+	switch {
+	case o.HandshakeTimeout == 0:
+		return DefaultHandshakeTimeout
+	case o.HandshakeTimeout < 0:
+		return 0
+	}
+	return o.HandshakeTimeout
+}
 
 // Client is one decode stream against an astread daemon. Send and Recv are
 // independently locked, so one goroutine may pipeline requests while
 // another drains responses (the load generator's shape); a single Send or
 // Recv must not be called concurrently with itself.
 type Client struct {
-	conn  net.Conn
-	br    *bufio.Reader
-	codec compress.Codec
-	n     int
-	queue uint32
+	conn        net.Conn
+	br          *bufio.Reader
+	codec       compress.Codec
+	n           int
+	queue       uint32
+	callTimeout time.Duration
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
@@ -30,12 +58,25 @@ type Client struct {
 
 // Dial connects, performs the handshake for the given distance and codec
 // wire ID (compress.IDDense/IDSparse/IDRice), and returns a ready stream.
+// The handshake is bounded by DefaultHandshakeTimeout; use DialOptions to
+// change it.
 func Dial(addr string, distance int, codecID uint8) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialOptions(addr, distance, codecID, ClientOptions{})
+}
+
+// DialOptions is Dial with explicit timeouts.
+func DialOptions(addr string, distance int, codecID uint8, o ClientOptions) (*Client, error) {
+	var nc net.Conn
+	var err error
+	if to := o.handshakeTimeout(); to > 0 {
+		nc, err = net.DialTimeout("tcp", addr, to)
+	} else {
+		nc, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, err
 	}
-	c, err := NewClient(nc, distance, codecID)
+	c, err := NewClientOptions(nc, distance, codecID, o)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -44,12 +85,24 @@ func Dial(addr string, distance int, codecID uint8) (*Client, error) {
 }
 
 // NewClient performs the handshake over an existing connection (loopback
-// pipes in tests, TCP in production).
+// pipes in tests, TCP in production) with default timeouts.
 func NewClient(nc net.Conn, distance int, codecID uint8) (*Client, error) {
+	return NewClientOptions(nc, distance, codecID, ClientOptions{})
+}
+
+// NewClientOptions is NewClient with explicit timeouts.
+func NewClientOptions(nc net.Conn, distance int, codecID uint8, o ClientOptions) (*Client, error) {
 	c := &Client{
-		conn: nc,
-		br:   bufio.NewReader(nc),
-		bw:   bufio.NewWriter(nc),
+		conn:        nc,
+		br:          bufio.NewReader(nc),
+		bw:          bufio.NewWriter(nc),
+		callTimeout: o.CallTimeout,
+	}
+	// One deadline covers the whole exchange, so a server that accepts the
+	// connection but never sends a Hello-ack cannot hang the dial.
+	if to := o.handshakeTimeout(); to > 0 {
+		nc.SetDeadline(time.Now().Add(to))
+		defer nc.SetDeadline(time.Time{})
 	}
 	hello := Hello{Version: ProtocolVersion, Distance: uint16(distance), Codec: codecID}
 	if err := WriteFrame(c.bw, FrameHello, hello.AppendTo(nil)); err != nil {
@@ -100,6 +153,9 @@ func (c *Client) Send(seq, deadlineNs uint64, s bitvec.Vec) error {
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.callTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.callTimeout))
+	}
 	c.enc = c.codec.Encode(s, c.enc[:0])
 	req := DecodeRequest{Seq: seq, DeadlineNs: deadlineNs, Payload: c.enc}
 	if err := WriteFrame(c.bw, FrameDecode, req.AppendTo(nil)); err != nil {
@@ -118,8 +174,11 @@ type Response struct {
 	Rejected     bool
 	RetryAfterNs uint64
 
-	// Err carries a per-request server error (undecodable payload).
-	Err string
+	// Err carries a per-request server error: an undecodable payload
+	// (ErrCode StatusProtocolError) or a contained decoder fault (ErrCode
+	// StatusInternalError). Either way the stream stays usable.
+	Err     string
+	ErrCode uint8
 
 	// Decode outcome (valid when !Rejected and Err == "").
 	ObsMask      uint64
@@ -128,12 +187,18 @@ type Response struct {
 	DeadlineMiss bool
 	RealTime     bool
 	Skipped      bool
+	// Degraded reports the server answered with its fast fallback decoder
+	// because the queue sojourn had consumed most of the deadline budget.
+	Degraded bool
 }
 
 // Recv blocks for the next response frame.
 func (c *Client) Recv() (Response, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
+	if c.callTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.callTimeout))
+	}
 	t, payload, err := ReadFrame(c.br, 0)
 	if err != nil {
 		return Response{}, err
@@ -152,6 +217,7 @@ func (c *Client) Recv() (Response, error) {
 			DeadlineMiss: r.Flags&FlagDeadlineMiss != 0,
 			RealTime:     r.Flags&FlagRealTime != 0,
 			Skipped:      r.Flags&FlagSkipped != 0,
+			Degraded:     r.Flags&FlagDegraded != 0,
 		}, nil
 	case FrameReject:
 		r, err := ParseRejectFrame(payload)
@@ -164,7 +230,7 @@ func (c *Client) Recv() (Response, error) {
 		if err != nil {
 			return Response{}, err
 		}
-		return Response{Seq: e.Seq, Err: e.Message}, nil
+		return Response{Seq: e.Seq, Err: e.Message, ErrCode: e.Code}, nil
 	}
 	return Response{}, fmt.Errorf("server: unexpected frame type %d", t)
 }

@@ -1,8 +1,11 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
+	"net"
 	"testing"
+	"time"
 
 	"astrea/internal/bitvec"
 	"astrea/internal/compress"
@@ -68,6 +71,85 @@ func FuzzFrame(f *testing.F) {
 				ParseRejectFrame(payload)
 			case FrameError:
 				ParseErrorFrame(payload)
+			}
+		}
+	})
+}
+
+// fakeConn is a net.Conn whose reads replay a fixed byte script and whose
+// writes vanish — a stand-in for a hostile or broken server in client-side
+// fuzzing.
+type fakeConn struct {
+	r *bytes.Reader
+}
+
+func (f *fakeConn) Read(b []byte) (int, error)         { return f.r.Read(b) }
+func (f *fakeConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (f *fakeConn) Close() error                       { return nil }
+func (f *fakeConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (f *fakeConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (f *fakeConn) SetDeadline(t time.Time) error      { return nil }
+func (f *fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (f *fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// FuzzClientHandshake drives NewClient against arbitrary server bytes in
+// place of the Hello-ack: truncated acks, refusal statuses, hostile codec
+// parameters and garbage frames must all surface as errors, never panics.
+func FuzzClientHandshake(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	ok := HelloAck{Version: ProtocolVersion, Status: StatusOK, NumDetectors: 8,
+		Codec: compress.IDDense, QueueDepth: 4}
+	var seed bytes.Buffer
+	WriteFrame(&seed, FrameHelloAck, ok.AppendTo(nil))
+	f.Add(seed.Bytes())
+	seed.Reset()
+	WriteFrame(&seed, FrameHelloAck, HelloAck{Version: ProtocolVersion,
+		Status: StatusOverloaded, Message: "connection limit (1) reached"}.AppendTo(nil))
+	f.Add(seed.Bytes())
+	seed.Reset()
+	WriteFrame(&seed, FrameHelloAck, HelloAck{Version: ProtocolVersion, Status: StatusOK,
+		NumDetectors: 1 << 30, Codec: 99, RiceK: 200}.AppendTo(nil))
+	f.Add(seed.Bytes())
+	seed.Reset()
+	WriteFrame(&seed, FrameResult, ResultFrame{Seq: 1}.AppendTo(nil))
+	f.Add(seed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := NewClientOptions(&fakeConn{r: bytes.NewReader(data)}, 5, compress.IDSparse,
+			ClientOptions{HandshakeTimeout: -1})
+		if err == nil {
+			c.Close()
+		}
+	})
+}
+
+// FuzzClientResponse drives Client.Recv over arbitrary server bytes: the
+// response parsers (ParseResultFrame, ParseRejectFrame, ParseErrorFrame)
+// must reject malformed frames with an error, never a panic, regardless of
+// what a compromised or buggy server streams back.
+func FuzzClientResponse(f *testing.F) {
+	f.Add([]byte{})
+	var seed bytes.Buffer
+	WriteFrame(&seed, FrameResult, ResultFrame{Seq: 1, ObsMask: 3, WeightMilli: 12,
+		SojournNs: 900, Flags: FlagDegraded | FlagDeadlineMiss}.AppendTo(nil))
+	WriteFrame(&seed, FrameReject, RejectFrame{Seq: 2, RetryAfterNs: 5000}.AppendTo(nil))
+	WriteFrame(&seed, FrameError, ErrorFrame{Seq: 3, Code: StatusInternalError,
+		Message: "decoder panicked"}.AppendTo(nil))
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 0, 2, byte(FrameResult), 1}) // truncated result payload
+	f.Add([]byte{0, 0, 0, 1, 77})                   // unknown frame type
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fc := &fakeConn{r: bytes.NewReader(data)}
+		codec, err := compress.ForID(compress.IDSparse, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &Client{conn: fc, br: bufio.NewReader(fc), bw: bufio.NewWriter(fc), codec: codec, n: 8}
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
 			}
 		}
 	})

@@ -10,6 +10,7 @@ import (
 	"astrea/internal/dem"
 	"astrea/internal/montecarlo"
 	"astrea/internal/prng"
+	"astrea/internal/unionfind"
 )
 
 // LoadConfig parameterises one load-generation run against a daemon.
@@ -52,8 +53,14 @@ type LoadReport struct {
 	Errored  int // per-request server errors
 
 	// Mismatches counts verified responses whose observable prediction
-	// disagreed with the local decoder (Verify only).
+	// disagreed with the local decoder (Verify only). Degraded responses
+	// are checked against a local weighted Union-Find decoder — the
+	// server's degradation fallback — instead of VerifyDecoder.
 	Mismatches int
+
+	// Degraded counts responses the server answered with its fast
+	// fallback decoder (FlagDegraded).
+	Degraded int
 
 	// RTTNs holds one client-observed latency (send → response) per
 	// non-rejected response, in arrival order of the responses.
@@ -103,7 +110,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			client.NumDetectors(), env.Model.NumDetectors)
 	}
 
-	var local decoder.Decoder
+	var local, localUF decoder.Decoder
 	if cfg.Verify {
 		name := cfg.VerifyDecoder
 		if name == "" {
@@ -116,6 +123,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		if local, err = factory(env); err != nil {
 			return nil, err
 		}
+		// Degraded responses were decoded by the server's weighted
+		// Union-Find fallback; verify them against the same algorithm.
+		localUF = unionfind.New(env.Graph, true)
 	}
 
 	// Pre-sample every syndrome so pacing measures the network and daemon,
@@ -124,12 +134,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	smp := dem.NewSampler(env.Model)
 	syndromes := make([]bitvec.Vec, cfg.Shots)
 	expected := make([]uint64, cfg.Shots)
+	expectedUF := make([]uint64, cfg.Shots)
 	buf := bitvec.New(env.Model.NumDetectors)
 	for i := 0; i < cfg.Shots; i++ {
 		smp.Sample(rng, buf)
 		syndromes[i] = buf.Clone()
 		if local != nil {
 			expected[i] = local.Decode(buf).ObsPrediction
+			expectedUF[i] = localUF.Decode(buf).ObsPrediction
 		}
 	}
 
@@ -185,7 +197,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			if resp.DeadlineMiss {
 				rep.DeadlineMisses++
 			}
-			if local != nil && resp.ObsMask != expected[resp.Seq] {
+			want := expected
+			if resp.Degraded {
+				rep.Degraded++
+				want = expectedUF
+			}
+			if local != nil && resp.ObsMask != want[resp.Seq] {
 				rep.Mismatches++
 			}
 		}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/prng"
+)
+
+// RetryPolicy tunes a RetryingClient's reconnect-and-backoff behaviour.
+type RetryPolicy struct {
+	// MaxAttempts bounds the tries per Decode call (connection attempts
+	// and backpressure rejections both consume one). Default 6.
+	MaxAttempts int
+	// BaseBackoff is the first wait; attempt k waits roughly
+	// BaseBackoff·2^k, jittered to half-to-full of that value so synced
+	// clients fan out instead of retrying in lockstep. Default 1ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps every wait, including server RetryAfterNs hints.
+	// Default 500ms.
+	MaxBackoff time.Duration
+	// Seed drives the jitter stream (deterministic replay in tests).
+	Seed uint64
+}
+
+func (p *RetryPolicy) applyDefaults() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 6
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+}
+
+// ErrRetriesExhausted is wrapped by RetryingClient.Decode when every
+// attempt failed or was rejected.
+var ErrRetriesExhausted = errors.New("server: retries exhausted")
+
+// RetryingClient is a self-healing synchronous decode client: it dials
+// lazily, reconnects after connection loss (the stream's in-flight state
+// is unrecoverable, so the failed call is retried on the new connection),
+// and honours backpressure rejections by waiting out the server's
+// RetryAfterNs hint under jittered, capped exponential backoff. Not safe
+// for concurrent use; pipelining callers should use Client directly.
+type RetryingClient struct {
+	addr     string
+	distance int
+	codecID  uint8
+	opts     ClientOptions
+	pol      RetryPolicy
+
+	mu     sync.Mutex
+	c      *Client
+	rng    *prng.Source
+	closed bool
+	sleep  func(time.Duration) // test hook
+}
+
+// NewRetryingClient builds a retrying client; no connection is made until
+// the first Decode.
+func NewRetryingClient(addr string, distance int, codecID uint8, opts ClientOptions, pol RetryPolicy) *RetryingClient {
+	pol.applyDefaults()
+	return &RetryingClient{
+		addr:     addr,
+		distance: distance,
+		codecID:  codecID,
+		opts:     opts,
+		pol:      pol,
+		rng:      prng.New(pol.Seed),
+		sleep:    time.Sleep,
+	}
+}
+
+// client returns the live connection, dialing if needed.
+func (r *RetryingClient) client() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errors.New("server: retrying client is closed")
+	}
+	if r.c != nil {
+		return r.c, nil
+	}
+	c, err := DialOptions(r.addr, r.distance, r.codecID, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	r.c = c
+	return c, nil
+}
+
+// discard drops a connection whose stream state is unrecoverable.
+func (r *RetryingClient) discard(c *Client) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c == c {
+		r.c = nil
+	}
+	c.Close()
+}
+
+// backoff sleeps before attempt+1. hintNs, when nonzero, is the server's
+// retry-after hint and raises the exponential base wait; the result is
+// jittered into [w/2, w) and capped at MaxBackoff.
+func (r *RetryingClient) backoff(attempt int, hintNs uint64) {
+	w := r.pol.BaseBackoff << uint(attempt)
+	if w <= 0 || w > r.pol.MaxBackoff { // shift overflow or past the cap
+		w = r.pol.MaxBackoff
+	}
+	if hint := time.Duration(hintNs); hint > w {
+		w = hint
+	}
+	if w > r.pol.MaxBackoff {
+		w = r.pol.MaxBackoff
+	}
+	r.mu.Lock()
+	jitter := r.rng.Float64()
+	r.mu.Unlock()
+	r.sleep(w/2 + time.Duration(jitter*float64(w/2)))
+}
+
+// Decode sends one syndrome and waits for its terminal answer, retrying
+// through connection loss and backpressure. A per-request server error
+// (Response.Err) is terminal and returned without retry — the server
+// answered; the answer is the error.
+func (r *RetryingClient) Decode(seq, deadlineNs uint64, s bitvec.Vec) (Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+		c, err := r.client()
+		if err != nil {
+			lastErr = err
+			r.backoff(attempt, 0)
+			continue
+		}
+		resp, err := c.Decode(seq, deadlineNs, s)
+		if err != nil {
+			// Transport fault mid-call: responses may be lost or
+			// half-read, so the connection is discarded and the request
+			// retried on a fresh one.
+			lastErr = err
+			r.discard(c)
+			r.backoff(attempt, 0)
+			continue
+		}
+		if resp.Rejected {
+			lastErr = fmt.Errorf("server: rejected seq %d (retry after %v)",
+				seq, time.Duration(resp.RetryAfterNs))
+			r.backoff(attempt, resp.RetryAfterNs)
+			continue
+		}
+		return resp, nil
+	}
+	return Response{}, fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, r.pol.MaxAttempts, lastErr)
+}
+
+// Close tears down the current connection; subsequent Decodes fail.
+func (r *RetryingClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	if r.c == nil {
+		return nil
+	}
+	err := r.c.Close()
+	r.c = nil
+	return err
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"astrea/internal/bitvec"
@@ -50,6 +51,32 @@ type Config struct {
 	// MaxFrameBytes caps accepted frame sizes. Default DefaultMaxFrame.
 	MaxFrameBytes int
 
+	// HandshakeTimeout bounds the Hello/HelloAck exchange on a new
+	// connection; a peer that connects and never sends a well-formed Hello
+	// is dropped when it expires. Default 10s; negative disables.
+	HandshakeTimeout time.Duration
+	// IdleTimeout reaps connections that complete no frame for this long:
+	// a per-frame read deadline catches idle and slow-loris peers, and a
+	// background reaper catches connections wedged outside a read. Default
+	// 5m; negative disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response-frame write so a peer that stops
+	// reading cannot wedge a worker. A failed or timed-out write closes
+	// the connection — the stream framing is unrecoverable mid-frame.
+	// Default 30s; negative disables.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrent client connections; excess connections are
+	// refused with a StatusOverloaded hello-ack. Default 4096; negative
+	// disables the cap.
+	MaxConns int
+	// DegradeFraction is the fraction of a request's deadline budget its
+	// queue sojourn may consume before the worker decodes with the fast
+	// weighted Union-Find fallback instead of the configured decoder,
+	// marking the result FlagDegraded: under overload the service trades
+	// accuracy for on-time answers instead of going silent. Default 0.75;
+	// negative disables degradation.
+	DegradeFraction float64
+
 	// factory overrides the decoder constructor (tests inject slow or
 	// instrumented decoders); nil uses Decoder.
 	factory montecarlo.Factory
@@ -87,6 +114,34 @@ func (c *Config) applyDefaults() {
 	if c.MaxFrameBytes <= 0 {
 		c.MaxFrameBytes = DefaultMaxFrame
 	}
+	// Zero means "use the default"; negative means "explicitly disabled"
+	// and is normalised to the disabled sentinel (0 for durations, 0 for
+	// MaxConns, 0 for DegradeFraction).
+	c.HandshakeTimeout = defaultDuration(c.HandshakeTimeout, 10*time.Second)
+	c.IdleTimeout = defaultDuration(c.IdleTimeout, 5*time.Minute)
+	c.WriteTimeout = defaultDuration(c.WriteTimeout, 30*time.Second)
+	switch {
+	case c.MaxConns == 0:
+		c.MaxConns = 4096
+	case c.MaxConns < 0:
+		c.MaxConns = 0
+	}
+	switch {
+	case c.DegradeFraction == 0:
+		c.DegradeFraction = 0.75
+	case c.DegradeFraction < 0:
+		c.DegradeFraction = 0
+	}
+}
+
+func defaultDuration(d, def time.Duration) time.Duration {
+	switch {
+	case d == 0:
+		return def
+	case d < 0:
+		return 0
+	}
+	return d
 }
 
 // distPool is one served distance: the shared immutable tables plus a pool
@@ -98,10 +153,33 @@ type distPool struct {
 	env      *montecarlo.Env
 	riceK    uint8
 	decoders sync.Pool
+	// fallback pools fast weighted Union-Find instances for deadline-aware
+	// degradation (nil when degradation is disabled).
+	fallback *sync.Pool
 }
 
 func (p *distPool) get() decoder.Decoder  { return p.decoders.Get().(decoder.Decoder) }
 func (p *distPool) put(d decoder.Decoder) { p.decoders.Put(d) }
+
+// decode runs one syndrome on a pooled instance — the fallback pool when
+// degraded — containing any panic: the request fails with an error instead
+// of killing the worker, and the panicking instance is discarded rather
+// than recycled into the pool (its scratch state is unknowable mid-panic).
+func (p *distPool) decode(s bitvec.Vec, degraded bool) (res decoder.Result, err error) {
+	pool := &p.decoders
+	if degraded {
+		pool = p.fallback
+	}
+	dec := pool.Get().(decoder.Decoder)
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("decoder panicked: %v", v)
+			return
+		}
+		pool.Put(dec)
+	}()
+	return dec.Decode(s), nil
+}
 
 // request is one accepted decode travelling the queue.
 type request struct {
@@ -119,13 +197,30 @@ type conn struct {
 	wmu     sync.Mutex
 	pool    *distPool
 	codecID uint8
+	// wTimeout bounds each frame write (0 disables).
+	wTimeout time.Duration
+	// lastActive is the UnixNano of the last completed inbound frame; the
+	// idle reaper closes connections whose lastActive is too old.
+	lastActive atomic.Int64
 }
 
-// writeFrame serialises a frame write against concurrent workers.
+func (c *conn) touch() { c.lastActive.Store(time.Now().UnixNano()) }
+
+// writeFrame serialises a frame write against concurrent workers. A failed
+// or timed-out write closes the connection: a partial frame corrupts the
+// stream framing, so the only safe degradation is a disconnect the client
+// can observe and retry.
 func (c *conn) writeFrame(t FrameType, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return WriteFrame(c.Conn, t, payload)
+	if c.wTimeout > 0 {
+		c.Conn.SetWriteDeadline(time.Now().Add(c.wTimeout))
+	}
+	err := WriteFrame(c.Conn, t, payload)
+	if err != nil {
+		c.Conn.Close()
+	}
+	return err
 }
 
 // Server is the decode daemon.
@@ -145,6 +240,10 @@ type Server struct {
 	// close(queue) so no send can race the close.
 	connWG   sync.WaitGroup
 	workerWG sync.WaitGroup
+
+	// reaperStop ends the idle-connection reaper; reaperWG waits for it.
+	reaperStop chan struct{}
+	reaperWG   sync.WaitGroup
 }
 
 // New builds a daemon: one environment and decoder pool per configured
@@ -161,11 +260,12 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:   cfg,
-		pools: make(map[int]*distPool, len(cfg.Distances)),
-		queue: make(chan *request, cfg.QueueDepth),
-		stats: newStats(cfg, float64(cfg.DefaultDeadlineNs)),
-		conns: make(map[*conn]struct{}),
+		cfg:        cfg,
+		pools:      make(map[int]*distPool, len(cfg.Distances)),
+		queue:      make(chan *request, cfg.QueueDepth),
+		stats:      newStats(cfg, float64(cfg.DefaultDeadlineNs)),
+		conns:      make(map[*conn]struct{}),
+		reaperStop: make(chan struct{}),
 	}
 	for _, d := range cfg.Distances {
 		if _, dup := s.pools[d]; dup {
@@ -198,13 +298,58 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: building %q decoder for d=%d: %w", cfg.Decoder, d, err)
 		}
 		p.put(first)
+		if cfg.DegradeFraction > 0 {
+			graph := env.Graph
+			p.fallback = &sync.Pool{New: func() interface{} {
+				return unionfind.New(graph, true)
+			}}
+		}
 		s.pools[d] = p
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
+	if cfg.IdleTimeout > 0 {
+		s.reaperWG.Add(1)
+		go s.reaper(cfg.IdleTimeout)
+	}
 	return s, nil
+}
+
+// reaper periodically closes connections that have completed no frame for
+// longer than the idle timeout. The per-frame read deadline already covers
+// peers parked in a read; the reaper is the backstop for connections
+// wedged anywhere else (e.g. a disabled write timeout against a peer that
+// stopped reading).
+func (s *Server) reaper(idle time.Duration) {
+	defer s.reaperWG.Done()
+	tick := idle / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reaperStop:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-idle).UnixNano()
+			var stale []*conn
+			s.mu.Lock()
+			for c := range s.conns {
+				if c.lastActive.Load() < cutoff {
+					stale = append(stale, c)
+				}
+			}
+			s.mu.Unlock()
+			for _, c := range stale {
+				s.stats.idleReaped.Add(1)
+				c.Conn.Close()
+			}
+		}
+	}
 }
 
 // factoryFor maps a decoder name to its montecarlo factory.
@@ -266,12 +411,23 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		c := &conn{Conn: nc}
+		c := &conn{Conn: nc, wTimeout: s.cfg.WriteTimeout}
+		c.touch()
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			nc.Close()
 			return nil
+		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			// Over the connection cap: refuse with an unsolicited
+			// overloaded hello-ack instead of silently dropping, off the
+			// accept loop so a non-reading peer cannot stall Accept.
+			s.connWG.Add(1)
+			s.mu.Unlock()
+			s.stats.overCap.Add(1)
+			go s.refuseOverCap(nc)
+			continue
 		}
 		s.conns[c] = struct{}{}
 		// Add under mu: Close sets closed under the same lock, so a Wait
@@ -280,6 +436,26 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		go s.serveConn(c)
 	}
+}
+
+// refuseOverCap answers a connection beyond the cap with StatusOverloaded
+// and closes it.
+func (s *Server) refuseOverCap(nc net.Conn) {
+	defer s.connWG.Done()
+	defer nc.Close()
+	nc.SetWriteDeadline(time.Now().Add(time.Second))
+	WriteFrame(nc, FrameHelloAck, HelloAck{
+		Version: ProtocolVersion,
+		Status:  StatusOverloaded,
+		Message: fmt.Sprintf("connection limit (%d) reached", s.cfg.MaxConns),
+	}.AppendTo(nil))
+}
+
+// activeConns counts live client connections.
+func (s *Server) activeConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
 }
 
 // Addr returns the bound listener address (nil before Serve).
@@ -312,10 +488,12 @@ func (s *Server) Close() error {
 	// The queue's senders are the serveConn goroutines; closing their conns
 	// above makes each exit on its next read, but one may already hold a
 	// parsed frame it is about to enqueue. Wait for all of them before
-	// closing the queue, then drain the workers.
+	// closing the queue, then drain the workers and stop the reaper.
 	s.connWG.Wait()
 	close(s.queue)
 	s.workerWG.Wait()
+	close(s.reaperStop)
+	s.reaperWG.Wait()
 	return nil
 }
 
@@ -338,10 +516,21 @@ func (s *Server) serveConn(c *conn) {
 	}
 	n := c.pool.env.Model.NumDetectors
 	for {
+		// The per-frame read deadline doubles as the idle cutoff: a peer
+		// that completes no frame within IdleTimeout — whether silent or
+		// trickling bytes slow-loris style — is disconnected.
+		if s.cfg.IdleTimeout > 0 {
+			c.Conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		t, payload, err := ReadFrame(c.Conn, s.cfg.MaxFrameBytes)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.stats.idleReaped.Add(1)
+			}
 			return
 		}
+		c.touch()
 		if t != FrameDecode {
 			return // protocol violation: only decode frames after handshake
 		}
@@ -356,6 +545,7 @@ func (s *Server) serveConn(c *conn) {
 			s.stats.malformed.Add(1)
 			c.writeFrame(FrameError, ErrorFrame{
 				Seq:     req.Seq,
+				Code:    StatusProtocolError,
 				Message: fmt.Sprintf("undecodable syndrome payload (%d bytes)", len(req.Payload)),
 			}.AppendTo(nil))
 			continue
@@ -392,6 +582,13 @@ func (s *Server) serveConn(c *conn) {
 // handshake runs the Hello/HelloAck exchange and pins the stream to a
 // distance and codec.
 func (s *Server) handshake(c *conn) error {
+	// One deadline covers the whole exchange (Hello read + ack write): a
+	// peer that connects and never speaks, or trickles the Hello, is
+	// dropped instead of pinning a connection slot forever.
+	if to := s.cfg.HandshakeTimeout; to > 0 {
+		c.Conn.SetDeadline(time.Now().Add(to))
+		defer c.Conn.SetDeadline(time.Time{})
+	}
 	t, payload, err := ReadFrame(c.Conn, s.cfg.MaxFrameBytes)
 	if err != nil {
 		return err
@@ -465,12 +662,26 @@ func (s *Server) worker() {
 }
 
 // decodeOne runs one request on a pooled decoder and writes its response.
+// A decoder panic is contained here: the request is answered with a
+// StatusInternalError frame, the poisoned instance is discarded, and the
+// worker (and the client's stream) keep going. When the queue sojourn has
+// already consumed most of the deadline budget, the fast fallback decoder
+// answers instead of the configured one (FlagDegraded).
 func (s *Server) decodeOne(r *request) {
-	dec := r.pool.get()
-	res := dec.Decode(r.syndrome)
-	r.pool.put(dec)
-
+	queuedNs := float64(time.Since(r.arrival).Nanoseconds())
+	degraded := r.pool.fallback != nil &&
+		queuedNs >= s.cfg.DegradeFraction*float64(r.deadlineNs)
+	res, err := r.pool.decode(r.syndrome, degraded)
 	sojournNs := float64(time.Since(r.arrival).Nanoseconds())
+	if err != nil {
+		s.stats.panics.Add(1)
+		r.conn.writeFrame(FrameError, ErrorFrame{
+			Seq:     r.seq,
+			Code:    StatusInternalError,
+			Message: err.Error(),
+		}.AppendTo(nil))
+		return
+	}
 	onTime := s.stats.tracker.ObserveBudget(sojournNs, float64(r.deadlineNs))
 	var flags uint8
 	if !onTime {
@@ -481,6 +692,10 @@ func (s *Server) decodeOne(r *request) {
 	}
 	if res.Skipped {
 		flags |= FlagSkipped
+	}
+	if degraded {
+		s.stats.degraded.Add(1)
+		flags |= FlagDegraded
 	}
 	weight := res.Weight * 1000
 	if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {

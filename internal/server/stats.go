@@ -13,18 +13,22 @@ import (
 // plus the shared realtime.Tracker for deadline accounting (so the
 // service's miss rate is defined exactly as Figure 3's offline criterion).
 type stats struct {
-	start     time.Time
-	queueCap  int
-	deadline  float64
-	offered   atomic.Int64 // decode frames parsed (accepted + rejected)
-	accepted  atomic.Int64 // enqueued
-	rejected  atomic.Int64 // backpressure rejections
-	completed atomic.Int64 // results written
-	malformed atomic.Int64 // undecodable syndrome payloads (error frames)
-	batches   atomic.Int64 // worker wake-ups
-	batched   atomic.Int64 // requests drained across all batches
-	bytesIn   atomic.Int64 // compressed syndrome payload bytes received
-	tracker   *realtime.Tracker
+	start      time.Time
+	queueCap   int
+	deadline   float64
+	offered    atomic.Int64 // decode frames parsed (accepted + rejected)
+	accepted   atomic.Int64 // enqueued
+	rejected   atomic.Int64 // backpressure rejections
+	completed  atomic.Int64 // results written
+	malformed  atomic.Int64 // undecodable syndrome payloads (error frames)
+	panics     atomic.Int64 // contained decoder panics (internal-error frames)
+	degraded   atomic.Int64 // results decoded by the fallback decoder
+	idleReaped atomic.Int64 // connections closed for idleness
+	overCap    atomic.Int64 // connections refused at the MaxConns cap
+	batches    atomic.Int64 // worker wake-ups
+	batched    atomic.Int64 // requests drained across all batches
+	bytesIn    atomic.Int64 // compressed syndrome payload bytes received
+	tracker    *realtime.Tracker
 }
 
 func newStats(cfg Config, deadlineNs float64) *stats {
@@ -41,12 +45,21 @@ func newStats(cfg Config, deadlineNs float64) *stats {
 type Snapshot struct {
 	UptimeSec float64 `json:"uptime_sec"`
 
-	// Admission accounting: Offered == Accepted + Rejected always holds.
+	// Admission accounting: Offered == Accepted + Rejected always holds,
+	// and after a drain Accepted == Completed + Panics (every accepted
+	// request is answered with a result or an internal-error frame).
 	Offered   int64 `json:"offered"`
 	Accepted  int64 `json:"accepted"`
 	Rejected  int64 `json:"rejected"`
 	Completed int64 `json:"completed"`
 	Malformed int64 `json:"malformed"`
+
+	// Fault containment and degradation accounting.
+	Panics       int64 `json:"panics"`         // contained decoder panics
+	Degraded     int64 `json:"degraded"`       // fallback-decoded results
+	IdleReaped   int64 `json:"idle_reaped"`    // connections closed for idleness
+	ConnsOverCap int64 `json:"conns_over_cap"` // refused at the connection cap
+	ActiveConns  int   `json:"active_conns"`
 
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
@@ -89,6 +102,11 @@ func (s *Server) Snapshot() Snapshot {
 		Rejected:          st.rejected.Load(),
 		Completed:         completed,
 		Malformed:         st.malformed.Load(),
+		Panics:            st.panics.Load(),
+		Degraded:          st.degraded.Load(),
+		IdleReaped:        st.idleReaped.Load(),
+		ConnsOverCap:      st.overCap.Load(),
+		ActiveConns:       s.activeConns(),
 		QueueDepth:        len(s.queue),
 		QueueCap:          st.queueCap,
 		Batches:           batches,

@@ -56,6 +56,11 @@ const (
 	FlagDeadlineMiss uint8 = 1 << 0 // sojourn exceeded the request deadline
 	FlagRealTime     uint8 = 1 << 1 // decoder's real-time path (Result.RealTime)
 	FlagSkipped      uint8 = 1 << 2 // decoder declined (Result.Skipped)
+	// FlagDegraded marks a result decoded by the fast fallback decoder
+	// instead of the configured one: the request's queue sojourn had
+	// consumed most of its deadline budget, so the server traded accuracy
+	// for an on-time answer (graceful degradation under overload).
+	FlagDegraded uint8 = 1 << 3
 )
 
 // WriteFrame writes one frame. payload may be nil.
@@ -149,8 +154,19 @@ const (
 	StatusUnknownCodec    uint8 = 3
 	// StatusProtocolError refuses a stream whose first frame is not a
 	// well-formed Hello (wrong frame type or unparseable payload) — a
-	// protocol-sequence violation, distinct from a version mismatch.
+	// protocol-sequence violation, distinct from a version mismatch. As an
+	// ErrorFrame code it marks a per-request client fault (undecodable
+	// syndrome payload).
 	StatusProtocolError uint8 = 4
+	// StatusInternalError is the ErrorFrame code for a server-side decode
+	// failure (a decoder panicked mid-request). The request is terminal
+	// but the stream stays usable; the fault was contained to this one
+	// request.
+	StatusInternalError uint8 = 5
+	// StatusOverloaded refuses a new stream because the daemon is at its
+	// concurrent-connection cap; retry against a less loaded endpoint or
+	// after backing off.
+	StatusOverloaded uint8 = 6
 )
 
 // AppendTo serialises the hello-ack payload.
@@ -268,22 +284,27 @@ func ParseRejectFrame(b []byte) (RejectFrame, error) {
 	}, nil
 }
 
-// ErrorFrame reports a per-request failure (e.g. an undecodable payload).
+// ErrorFrame reports a per-request failure. Code classifies it with the
+// Status* constants: StatusProtocolError for client faults (undecodable
+// payload), StatusInternalError for contained server faults (a decoder
+// panic). Either way the request is terminal and the stream stays usable.
 type ErrorFrame struct {
 	Seq     uint64
+	Code    uint8
 	Message string
 }
 
 // AppendTo serialises the error payload.
 func (e ErrorFrame) AppendTo(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, e.Seq)
+	dst = append(dst, e.Code)
 	return append(dst, e.Message...)
 }
 
 // ParseErrorFrame deserialises an error payload.
 func ParseErrorFrame(b []byte) (ErrorFrame, error) {
-	if len(b) < 8 {
-		return ErrorFrame{}, fmt.Errorf("server: error payload is %d bytes, want ≥ 8", len(b))
+	if len(b) < 9 {
+		return ErrorFrame{}, fmt.Errorf("server: error payload is %d bytes, want ≥ 9", len(b))
 	}
-	return ErrorFrame{Seq: binary.BigEndian.Uint64(b[:8]), Message: string(b[8:])}, nil
+	return ErrorFrame{Seq: binary.BigEndian.Uint64(b[:8]), Code: b[8], Message: string(b[9:])}, nil
 }
