@@ -28,6 +28,7 @@ import (
 	"astrea/internal/astreag"
 	"astrea/internal/bitvec"
 	"astrea/internal/clique"
+	"astrea/internal/cluster"
 	"astrea/internal/compress"
 	"astrea/internal/decodegraph"
 	"astrea/internal/decoder"
@@ -295,6 +296,37 @@ func DialDecodeRetrying(addr string, distance int, codecName string) (*RetryingD
 		return nil, err
 	}
 	return server.NewRetryingClient(addr, distance, id, server.ClientOptions{}, server.RetryPolicy{}), nil
+}
+
+// DecodeFleet is a replica-aware decode client: it pools connections to N
+// astread endpoints, health-checks each one, fails over past dead or
+// ejected replicas, optionally hedges slow requests, and quarantines any
+// replica whose configuration fingerprint disagrees with the fleet's.
+// Safe for concurrent use.
+type DecodeFleet = cluster.Fleet
+
+// DecodeFleetConfig parameterises a DecodeFleet (see cluster.Config).
+type DecodeFleetConfig = cluster.Config
+
+// Fingerprint is a stable digest of a server's decoding configuration
+// (detector error model + quantised weight table). Two replicas with the
+// same fingerprint produce interchangeable corrections.
+type Fingerprint = decodegraph.Fingerprint
+
+// ParseFingerprint parses the 16-hex-digit rendering a server prints at
+// startup, for pinning via DecodeFleetConfig.ExpectedFingerprint.
+func ParseFingerprint(s string) (Fingerprint, error) { return decodegraph.ParseFingerprint(s) }
+
+// DialDecodeFleet builds a DecodeFleet over the given replica addresses
+// with defaults (failover across all replicas, hedging off, first
+// replica's fingerprint adopted fleet-wide). Connections are dialed
+// lazily, so a dead replica surfaces on first use, not here.
+func DialDecodeFleet(addrs []string, distance int, codecName string) (*DecodeFleet, error) {
+	id, err := compress.IDByName(codecName)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{Addrs: addrs, Distance: distance, CodecID: id})
 }
 
 // ChainStep is one error mechanism of a physical correction chain.

@@ -26,6 +26,19 @@
 //	                  against a live daemon (default false)
 //	-chaos-seed N     fault schedule seed for -chaos (default 1)
 //
+// Fleet mode (replicated daemons):
+//
+//	-servers a,b,c        comma-separated replica addresses; enables the
+//	                      cluster client instead of the single-daemon path
+//	-failover             re-send unanswered requests to the next healthy
+//	                      replica (default true in fleet mode)
+//	-hedge                race a second replica when the first is slow
+//	-hedge-after dur      hedge trigger before RTT history warms up (default 2ms)
+//	-call-timeout dur     per-attempt timeout, the failover trigger (default 250ms)
+//	-workers N            concurrent decode workers in fleet mode (default 4)
+//	-expect-fingerprint F pin the decoding-configuration digest (16 hex chars);
+//	                      replicas advertising a different one are quarantined
+//
 // Exit status is non-zero if any verified response disagrees with the
 // local decoder (degraded responses are checked against Union-Find, the
 // server's degradation fallback).
@@ -35,9 +48,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"astrea/internal/cluster"
 	"astrea/internal/compress"
+	"astrea/internal/decodegraph"
 	"astrea/internal/faultinject"
 	"astrea/internal/report"
 	"astrea/internal/server"
@@ -64,12 +80,60 @@ func run(args []string) error {
 	verifyDecoder := fs.String("verify-decoder", "astrea", "local decoder for -verify")
 	chaos := fs.Bool("chaos", false, "route traffic through a fault-injecting proxy")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "fault schedule seed for -chaos")
+	servers := fs.String("servers", "", "comma-separated replica addresses (fleet mode)")
+	failover := fs.Bool("failover", true, "fleet mode: re-send unanswered requests to the next healthy replica")
+	hedge := fs.Bool("hedge", false, "fleet mode: race a second replica when the first is slow")
+	hedgeAfter := fs.Duration("hedge-after", 2*time.Millisecond, "fleet mode: hedge trigger before RTT history warms up")
+	callTimeout := fs.Duration("call-timeout", 250*time.Millisecond, "fleet mode: per-attempt timeout (the failover trigger)")
+	workers := fs.Int("workers", 4, "fleet mode: concurrent decode workers")
+	expectFP := fs.String("expect-fingerprint", "", "fleet mode: pin the decoding-configuration digest (16 hex chars)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	codecID, err := compress.IDByName(*codecName)
 	if err != nil {
 		return err
+	}
+
+	if *servers != "" {
+		if *chaos {
+			return fmt.Errorf("-chaos applies to the single-daemon path; fleet mode injects faults server-side")
+		}
+		var fp decodegraph.Fingerprint
+		if *expectFP != "" {
+			if fp, err = decodegraph.ParseFingerprint(*expectFP); err != nil {
+				return err
+			}
+		}
+		addrs := strings.Split(*servers, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		cfg := cluster.LoadConfig{
+			Addrs:               addrs,
+			Distance:            *d,
+			P:                   *p,
+			Codec:               codecID,
+			Shots:               *n,
+			Concurrency:         *workers,
+			RatePerSec:          *rate,
+			DeadlineNs:          uint64(deadline.Nanoseconds()),
+			Seed:                *seed,
+			Verify:              *verify,
+			VerifyDecoder:       *verifyDecoder,
+			Failover:            *failover,
+			Hedge:               *hedge,
+			HedgeAfter:          *hedgeAfter,
+			CallTimeout:         *callTimeout,
+			ExpectedFingerprint: fp,
+		}
+		fmt.Fprintf(os.Stderr, "astrea-loadgen: offering %d d=%d syndromes across %d replicas (codec=%s, rate=%s, failover=%v, hedge=%v)\n",
+			*n, *d, len(addrs), *codecName, rateLabel(*rate), *failover, *hedge)
+		rep, err := cluster.RunLoad(cfg)
+		if err != nil {
+			return err
+		}
+		return renderFleet(rep, cfg)
 	}
 
 	target := *addr
@@ -175,6 +239,59 @@ func render(rep *server.LoadReport, cfg server.LoadConfig) error {
 	}
 	if rep.Mismatches > 0 {
 		return fmt.Errorf("%d responses disagree with the local %s decoder", rep.Mismatches, cfg.VerifyDecoder)
+	}
+	return nil
+}
+
+func renderFleet(rep *cluster.LoadReport, cfg cluster.LoadConfig) error {
+	out := os.Stdout
+	budget := float64(cfg.DeadlineNs)
+	if budget == 0 {
+		budget = 1000 // server default: the 1 µs window
+	}
+
+	t := report.Table{
+		Title:   "astread fleet load report",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("offered", rep.Offered)
+	t.AddRow("answered", rep.Answered)
+	t.AddRow("rejected (all replicas shed)", rep.Rejected)
+	t.AddRow("errored (server error)", rep.Errored)
+	t.AddRow("failed (no replica answered)", rep.Failed)
+	t.AddRow("degraded (UF fallback)", rep.Degraded)
+	t.AddRow("achieved/s", rep.AchievedPerSec)
+	if cfg.Verify {
+		t.AddRow("verified mismatches", rep.Mismatches)
+	}
+	if err := t.Write(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// Per-replica traffic split: how failover, hedging and the breaker
+	// actually distributed the load.
+	rt := report.Table{
+		Title:   "replica traffic split",
+		Headers: []string{"replica", "state", "req", "ok", "fail", "rej", "hedge", "probes ok/total"},
+	}
+	for _, rs := range rep.Replicas {
+		rt.AddRow(rs.Addr, rs.State, rs.Requests, rs.Successes, rs.Failures, rs.Rejections,
+			rs.Hedges, fmt.Sprintf("%d/%d", rs.Probes-rs.ProbeFailures, rs.Probes))
+	}
+	if err := rt.Write(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	if err := report.CDF(out, "fleet round-trip latency (incl. failover/hedge)", rep.RTTNs, budget); err != nil {
+		return err
+	}
+	if rep.Mismatches > 0 {
+		return fmt.Errorf("%d responses disagree with the local decoder", rep.Mismatches)
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d requests exhausted every replica", rep.Failed)
 	}
 	return nil
 }

@@ -131,6 +131,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Print each distance's configuration fingerprint so operators can pin
+	// it fleet-wide (astrea-loadgen -expect-fingerprint, cluster clients):
+	// replicas built from a different DEM or weight table advertise a
+	// different digest and are quarantined instead of silently disagreeing.
+	fps := srv.Fingerprints()
+	for _, d := range cfg.Distances {
+		if fp, ok := fps[d]; ok {
+			fmt.Fprintf(os.Stderr, "astread: fingerprint d=%d %s\n", d, fp)
+		}
+	}
 
 	if httpAddr != "" {
 		expvar.Publish("astread", expvar.Func(func() interface{} { return srv.Snapshot() }))

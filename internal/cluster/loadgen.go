@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/dem"
+	"astrea/internal/montecarlo"
+	"astrea/internal/prng"
+	"astrea/internal/server"
+	"astrea/internal/unionfind"
+)
+
+// LoadConfig parameterises one load run against a replica fleet.
+type LoadConfig struct {
+	// Addrs lists the replica endpoints.
+	Addrs []string
+	// Distance and P select the DEM the syndromes are sampled from (they
+	// must match a distance every replica serves).
+	Distance int
+	P        float64
+	// Codec is the compress wire ID to negotiate.
+	Codec uint8
+	// Shots is the number of syndromes to offer.
+	Shots int
+	// Concurrency is the number of synchronous decode workers driving the
+	// fleet (each Fleet.Decode borrows its own connection). Default 4.
+	Concurrency int
+	// RatePerSec is the open-loop arrival rate across all workers; 0 sends
+	// as fast as the fleet accepts.
+	RatePerSec float64
+	// DeadlineNs is the per-request real-time budget (0 = server default).
+	DeadlineNs uint64
+	// Seed drives the syndrome sampler.
+	Seed uint64
+	// Verify re-decodes every answered syndrome locally with the named
+	// decoder (default "astrea") and counts observable-prediction
+	// mismatches; degraded responses are checked against the server's
+	// weighted Union-Find fallback instead.
+	Verify        bool
+	VerifyDecoder string
+
+	// Failover allows re-sending an unanswered request to the next healthy
+	// replica; false pins each request to a single attempt.
+	Failover bool
+	// Hedge races a second replica after HedgeAfter (see Config.Hedge).
+	Hedge      bool
+	HedgeAfter time.Duration
+	// CallTimeout bounds each attempt (the failover trigger).
+	CallTimeout time.Duration
+	// ExpectedFingerprint pins the configuration digest (0 adopts the
+	// first replica's).
+	ExpectedFingerprint decodegraph.Fingerprint
+	// HealthInterval overrides the fleet's probe period (0 = default).
+	HealthInterval time.Duration
+
+	// env shares a pre-built environment in tests.
+	env *montecarlo.Env
+}
+
+// LoadReport is the outcome of a fleet load run.
+type LoadReport struct {
+	Offered  int
+	Answered int // responses carrying a decode result
+	Rejected int // requests every attempted replica shed
+	Errored  int // per-request server errors (terminal)
+	Failed   int // requests no replica answered (transport exhaustion)
+
+	// Mismatches counts verified responses whose observable prediction
+	// disagreed with the local decoder (Verify only).
+	Mismatches int
+	// Degraded counts responses answered by a replica's fallback decoder.
+	Degraded int
+
+	// RTTNs holds one client-observed fleet latency (Decode call to
+	// answer) per answered response.
+	RTTNs []float64
+
+	// Replicas is each endpoint's final health and traffic split — the
+	// per-replica request/success counts expose how failover and hedging
+	// distributed the load.
+	Replicas []ReplicaStats
+
+	ElapsedSec     float64
+	AchievedPerSec float64
+}
+
+// RunLoad samples DEM syndromes and drives them through a Fleet with the
+// configured concurrency, collecting per-replica traffic splits.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Shots <= 0 {
+		cfg.Shots = 1000
+	}
+	if cfg.Distance == 0 {
+		cfg.Distance = 5
+	}
+	if cfg.P <= 0 {
+		cfg.P = 1e-3
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	env := cfg.env
+	if env == nil {
+		var err error
+		env, err = montecarlo.NewEnv(cfg.Distance, cfg.Distance, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	maxAttempts := 1
+	if cfg.Failover {
+		maxAttempts = len(cfg.Addrs)
+	}
+	// A stalled replica must not hold a dial longer than it may hold a
+	// call, so the failover timeout bounds the handshake too.
+	opts := server.ClientOptions{CallTimeout: cfg.CallTimeout}
+	if cfg.CallTimeout > 0 {
+		opts.HandshakeTimeout = cfg.CallTimeout
+	}
+	fleet, err := New(Config{
+		Addrs:               cfg.Addrs,
+		Distance:            cfg.Distance,
+		CodecID:             cfg.Codec,
+		Client:              opts,
+		MaxAttempts:         maxAttempts,
+		Hedge:               cfg.Hedge,
+		HedgeAfter:          cfg.HedgeAfter,
+		ExpectedFingerprint: cfg.ExpectedFingerprint,
+		HealthInterval:      cfg.HealthInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+
+	var local, localUF decoder.Decoder
+	if cfg.Verify {
+		name := cfg.VerifyDecoder
+		if name == "" {
+			name = "astrea"
+		}
+		factory, err := server.FactoryFor(name)
+		if err != nil {
+			return nil, err
+		}
+		if local, err = factory(env); err != nil {
+			return nil, err
+		}
+		localUF = unionfind.New(env.Graph, true)
+	}
+
+	// Pre-sample every syndrome so the run measures the fleet, not the
+	// sampler; keep local predictions for verification.
+	rng := prng.New(cfg.Seed)
+	smp := dem.NewSampler(env.Model)
+	syndromes := make([]bitvec.Vec, cfg.Shots)
+	expected := make([]uint64, cfg.Shots)
+	expectedUF := make([]uint64, cfg.Shots)
+	buf := bitvec.New(env.Model.NumDetectors)
+	for i := 0; i < cfg.Shots; i++ {
+		smp.Sample(rng, buf)
+		syndromes[i] = buf.Clone()
+		if local != nil {
+			expected[i] = local.Decode(buf).ObsPrediction
+			expectedUF[i] = localUF.Decode(buf).ObsPrediction
+		}
+	}
+
+	rep := &LoadReport{Offered: cfg.Shots}
+	var mu sync.Mutex // guards rep during the run
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var gap time.Duration
+	if cfg.RatePerSec > 0 {
+		gap = time.Duration(float64(time.Second) / cfg.RatePerSec)
+	}
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Shots {
+					return
+				}
+				if gap > 0 {
+					if d := time.Until(start.Add(time.Duration(i) * gap)); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				t0 := time.Now()
+				resp, err := fleet.Decode(uint64(i), cfg.DeadlineNs, syndromes[i])
+				rtt := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					rep.Failed++
+				case resp.Rejected:
+					rep.Rejected++
+				case resp.Err != "":
+					rep.Errored++
+				default:
+					rep.Answered++
+					rep.RTTNs = append(rep.RTTNs, float64(rtt.Nanoseconds()))
+					want := expected
+					if resp.Degraded {
+						rep.Degraded++
+						want = expectedUF
+					}
+					if local != nil && resp.ObsMask != want[i] {
+						rep.Mismatches++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep.ElapsedSec = time.Since(start).Seconds()
+	if rep.ElapsedSec > 0 {
+		rep.AchievedPerSec = float64(rep.Answered) / rep.ElapsedSec
+	}
+	rep.Replicas = fleet.Stats()
+	return rep, nil
+}
+
+// Summary renders the report's headline numbers for CLI output.
+func (r *LoadReport) Summary() string {
+	s := fmt.Sprintf("offered %d  answered %d  rejected %d  errored %d  failed %d (%.0f/s)",
+		r.Offered, r.Answered, r.Rejected, r.Errored, r.Failed, r.AchievedPerSec)
+	for _, rs := range r.Replicas {
+		s += fmt.Sprintf("\n  %-22s %-11s req %-6d ok %-6d fail %-4d rej %-4d hedge %-4d probes %d/%d",
+			rs.Addr, rs.State, rs.Requests, rs.Successes, rs.Failures, rs.Rejections,
+			rs.Hedges, rs.Probes-rs.ProbeFailures, rs.Probes)
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package compress
+
+import (
+	"fmt"
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/prng"
+)
+
+// truncVectors builds syndromes covering each codec's structural edges:
+// empty, single bit at each end, alternating, random, and (for n ≥ 255)
+// the high-weight case that drives Sparse into its 0xFF dense fallback.
+func truncVectors(n int) []bitvec.Vec {
+	vs := []bitvec.Vec{bitvec.New(n)}
+	one := bitvec.New(n)
+	one.Set(0)
+	vs = append(vs, one)
+	last := bitvec.New(n)
+	last.Set(n - 1)
+	vs = append(vs, last)
+	alt := bitvec.New(n)
+	for i := 0; i < n; i += 2 {
+		alt.Set(i)
+	}
+	vs = append(vs, alt)
+	rng := prng.New(uint64(n))
+	rnd := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Bernoulli(0.1) {
+			rnd.Set(i)
+		}
+	}
+	vs = append(vs, rnd)
+	if n >= 256 {
+		heavy := bitvec.New(n)
+		for i := 0; i < 255; i++ {
+			heavy.Set(i)
+		}
+		vs = append(vs, heavy) // weight ≥ 255 ⇒ Sparse emits the 0xFF fallback
+	}
+	return vs
+}
+
+// decodeCut decodes a byte-capped slice, converting any panic into an
+// error so one bad boundary doesn't abort the sweep. The full-capacity
+// re-slice b[:k:k] makes an over-read a bounds panic instead of a silent
+// read of bytes the caller never handed over.
+func decodeCut(c Codec, b []byte, k int, out bitvec.Vec) (consumed int, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("panic: %v", v)
+			consumed = -1
+		}
+	}()
+	return c.Decode(b[:k:k], out)
+}
+
+// TestDecodeTruncatedErrors cuts every valid encoding at every byte
+// boundary: each strict prefix must return an error — never panic, never
+// read past the cut, never succeed on partial data.
+func TestDecodeTruncatedErrors(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 9, 63, 64, 65, 300} {
+		codecs := []Codec{Dense{}, Sparse{}, NewRice(n, 2), Rice{K: 0}}
+		for _, c := range codecs {
+			for vi, s := range truncVectors(n) {
+				enc := c.Encode(s, nil)
+				out := bitvec.New(n)
+				for k := 0; k < len(enc); k++ {
+					consumed, err := decodeCut(c, enc, k, out)
+					if consumed == -1 {
+						t.Errorf("%s n=%d vec=%d cut=%d/%d: decode panicked: %v",
+							c.Name(), n, vi, k, len(enc), err)
+						continue
+					}
+					if err == nil {
+						t.Errorf("%s n=%d vec=%d cut=%d/%d: truncated decode succeeded",
+							c.Name(), n, vi, k, len(enc))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeOversizedConsumesExactly appends garbage past every valid
+// encoding: the decode must succeed, consume exactly the original length
+// (frame reassembly depends on it), and reproduce the syndrome untouched
+// by the trailing bytes.
+func TestDecodeOversizedConsumesExactly(t *testing.T) {
+	garbage := []byte{0xAA, 0x55, 0xFF, 0x00, 0x81}
+	for _, n := range []int{1, 8, 65, 300} {
+		codecs := []Codec{Dense{}, Sparse{}, NewRice(n, 2), Rice{K: 0}}
+		for _, c := range codecs {
+			for vi, s := range truncVectors(n) {
+				enc := c.Encode(s, nil)
+				padded := append(append([]byte(nil), enc...), garbage...)
+				out := bitvec.New(n)
+				consumed, err := decodeCut(c, padded, len(padded), out)
+				if consumed == -1 || err != nil {
+					t.Errorf("%s n=%d vec=%d: oversized decode failed: %v", c.Name(), n, vi, err)
+					continue
+				}
+				if consumed != len(enc) {
+					t.Errorf("%s n=%d vec=%d: consumed %d bytes, want exactly %d",
+						c.Name(), n, vi, consumed, len(enc))
+				}
+				if !out.Equal(s) {
+					t.Errorf("%s n=%d vec=%d: oversized decode corrupted the syndrome", c.Name(), n, vi)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package decodegraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFingerprint throws arbitrary strings at the fingerprint parser.
+// It must accept exactly the 16-hex-digit renderings String produces —
+// anything it does accept has to survive a String/Parse round trip, and a
+// canonical (lower-case) input must reproduce itself verbatim. Operators
+// paste fingerprints into -expect-fingerprint flags, so the parser is a
+// trust boundary, not a convenience.
+func FuzzParseFingerprint(f *testing.F) {
+	f.Add("")
+	f.Add("0000000000000000")
+	f.Add("ffffffffffffffff")
+	f.Add("DEADBEEFcafef00d")
+	f.Add("deadbeefcafef00")   // 15 chars
+	f.Add("deadbeefcafef00dd") // 17 chars
+	f.Add("deadbeefcafeg00d")  // non-hex char
+	f.Add(Fingerprint(0x0123456789ABCDEF).String())
+
+	f.Fuzz(func(t *testing.T, s string) {
+		fp, err := ParseFingerprint(s)
+		if err != nil {
+			return
+		}
+		if len(s) != 16 {
+			t.Fatalf("accepted %d-char input %q", len(s), s)
+		}
+		back, err := ParseFingerprint(fp.String())
+		if err != nil || back != fp {
+			t.Fatalf("round trip diverged for %q: %v vs %v (%v)", s, back, fp, err)
+		}
+		if lower := strings.ToLower(s); fp.String() != lower {
+			t.Fatalf("canonical form of %q is %q, want %q", s, fp.String(), lower)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Valve is a flow gate shared by every connection of one wrapped listener:
+// Stall blocks all reads and writes on those connections until Resume.
+// Stalling a replica this way models a wedged-but-connected server — the
+// TCP sessions stay up, nothing errors, nothing answers — which is the
+// failure mode deadline-aware failover exists for (a killed replica is
+// detected by connection errors; a stalled one only by the timeout).
+type Valve struct {
+	mu      sync.Mutex
+	gate    chan struct{} // closed channel ⇒ flowing
+	stalled bool
+}
+
+// NewValve returns an open (flowing) valve.
+func NewValve() *Valve {
+	open := make(chan struct{})
+	close(open)
+	return &Valve{gate: open}
+}
+
+// Stall blocks all traffic through the valve until Resume. Idempotent.
+func (v *Valve) Stall() {
+	v.mu.Lock()
+	if !v.stalled {
+		v.stalled = true
+		v.gate = make(chan struct{})
+	}
+	v.mu.Unlock()
+}
+
+// Resume releases a stalled valve. Idempotent.
+func (v *Valve) Resume() {
+	v.mu.Lock()
+	if v.stalled {
+		v.stalled = false
+		close(v.gate)
+	}
+	v.mu.Unlock()
+}
+
+// WrapListener gates every connection accepted from ln through the valve.
+func (v *Valve) WrapListener(ln net.Listener) net.Listener {
+	return &valveListener{Listener: ln, v: v}
+}
+
+type valveListener struct {
+	net.Listener
+	v *Valve
+}
+
+func (l *valveListener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &valveConn{Conn: nc, v: l.v, closed: make(chan struct{})}, nil
+}
+
+// valveConn waits out the gate before every Read and Write. Close releases
+// its own waiters even while the valve is stalled, so tearing a server
+// down mid-stall cannot wedge its connection goroutines.
+type valveConn struct {
+	net.Conn
+	v      *Valve
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (c *valveConn) wait() {
+	c.v.mu.Lock()
+	gate := c.v.gate
+	c.v.mu.Unlock()
+	select {
+	case <-gate:
+	case <-c.closed:
+	}
+}
+
+func (c *valveConn) Read(b []byte) (int, error) {
+	c.wait()
+	return c.Conn.Read(b)
+}
+
+func (c *valveConn) Write(b []byte) (int, error) {
+	c.wait()
+	return c.Conn.Write(b)
+}
+
+func (c *valveConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// FleetAction is one replica-level fault in a FleetPlan.
+type FleetAction uint8
+
+const (
+	// FleetKill terminates the replica (its Kill hook is invoked once;
+	// there is no resurrection in a plan).
+	FleetKill FleetAction = iota
+	// FleetStall freezes the replica's traffic (Valve.Stall semantics).
+	FleetStall
+	// FleetResume releases a stalled replica.
+	FleetResume
+)
+
+func (a FleetAction) String() string {
+	switch a {
+	case FleetKill:
+		return "kill"
+	case FleetStall:
+		return "stall"
+	case FleetResume:
+		return "resume"
+	}
+	return "unknown"
+}
+
+// FleetEvent schedules one action against one replica, After the plan
+// starts.
+type FleetEvent struct {
+	After   time.Duration
+	Replica int
+	Action  FleetAction
+}
+
+// ReplicaControl is the handle a FleetPlan drives: hook up Kill to the
+// server's Close, and Stall/Resume to a Valve wrapped around its listener.
+// Nil hooks are skipped.
+type ReplicaControl struct {
+	Kill   func()
+	Stall  func()
+	Resume func()
+}
+
+// StartFleetPlan executes the events against the controls on a background
+// goroutine, sleeping out each event's After offset (events need not be
+// sorted). done closes when every event has fired; stop aborts the
+// remaining schedule (and also closes done). Events naming a replica out
+// of range are ignored.
+func StartFleetPlan(events []FleetEvent, controls []ReplicaControl) (done <-chan struct{}, stop func()) {
+	ordered := append([]FleetEvent(nil), events...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].After < ordered[j-1].After; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	d := make(chan struct{})
+	quit := make(chan struct{})
+	var once sync.Once
+	go func() {
+		defer close(d)
+		start := time.Now()
+		for _, ev := range ordered {
+			if wait := ev.After - time.Since(start); wait > 0 {
+				select {
+				case <-quit:
+					return
+				case <-time.After(wait):
+				}
+			}
+			select {
+			case <-quit:
+				return
+			default:
+			}
+			if ev.Replica < 0 || ev.Replica >= len(controls) {
+				continue
+			}
+			ctl := controls[ev.Replica]
+			switch ev.Action {
+			case FleetKill:
+				if ctl.Kill != nil {
+					ctl.Kill()
+				}
+			case FleetStall:
+				if ctl.Stall != nil {
+					ctl.Stall()
+				}
+			case FleetResume:
+				if ctl.Resume != nil {
+					ctl.Resume()
+				}
+			}
+		}
+	}()
+	return d, func() { once.Do(func() { close(quit) }) }
+}

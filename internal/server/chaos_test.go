@@ -45,7 +45,7 @@ func TestChaosSoak(t *testing.T) {
 		HandshakeTimeout: 2 * time.Second,
 		IdleTimeout:      2 * time.Second,
 		WriteTimeout:     2 * time.Second,
-		envs:             map[int]*montecarlo.Env{3: env},
+		Envs:             map[int]*montecarlo.Env{3: env},
 		factory: faultinject.Flaky(experiments.AstreaFactory, faultinject.FlakyConfig{
 			Seed:    7,
 			PanicP:  0.08,
@@ -188,7 +188,7 @@ func TestWorkerPanicContained(t *testing.T) {
 		Workers:         1,
 		BatchSize:       1,
 		DegradeFraction: -1,
-		envs:            map[int]*montecarlo.Env{3: env},
+		Envs:            map[int]*montecarlo.Env{3: env},
 		factory: func(e *montecarlo.Env) (decoder.Decoder, error) {
 			inner, err := experiments.AstreaFactory(e)
 			if err != nil {
@@ -271,7 +271,7 @@ func TestDegradedOverloadKeepsAnswering(t *testing.T) {
 			Workers:    1,
 			BatchSize:  4,
 			QueueDepth: 8,
-			envs:       map[int]*montecarlo.Env{3: env},
+			Envs:       map[int]*montecarlo.Env{3: env},
 			factory: func(e *montecarlo.Env) (decoder.Decoder, error) {
 				inner, err := experiments.AstreaFactory(e)
 				if err != nil {
@@ -384,7 +384,7 @@ func TestServerHandshakeTimeoutDropsSilentPeer(t *testing.T) {
 		Distances:        []int{3},
 		P:                1e-3,
 		HandshakeTimeout: 100 * time.Millisecond,
-		envs:             map[int]*montecarlo.Env{3: env},
+		Envs:             map[int]*montecarlo.Env{3: env},
 	})
 	nc, err := net.Dial("tcp", srv.Addr().String())
 	if err != nil {
@@ -408,7 +408,7 @@ func TestIdleReaper(t *testing.T) {
 		Distances:   []int{3},
 		P:           1e-3,
 		IdleTimeout: 100 * time.Millisecond,
-		envs:        map[int]*montecarlo.Env{3: env},
+		Envs:        map[int]*montecarlo.Env{3: env},
 	})
 	client, err := Dial(srv.Addr().String(), 3, compress.IDSparse)
 	if err != nil {
@@ -434,7 +434,7 @@ func TestMaxConnsRefusal(t *testing.T) {
 		Distances: []int{3},
 		P:         1e-3,
 		MaxConns:  1,
-		envs:      map[int]*montecarlo.Env{3: env},
+		Envs:      map[int]*montecarlo.Env{3: env},
 	})
 	addr := srv.Addr().String()
 	first, err := Dial(addr, 3, compress.IDSparse)

@@ -16,7 +16,7 @@ import (
 // never answers the Hello must fail the dial, not hang it forever.
 const DefaultHandshakeTimeout = 10 * time.Second
 
-// ClientOptions tunes a client stream's timeouts.
+// ClientOptions tunes a client stream's timeouts and wire features.
 type ClientOptions struct {
 	// HandshakeTimeout bounds the TCP connect plus Hello/HelloAck
 	// exchange. 0 means DefaultHandshakeTimeout; negative disables.
@@ -25,6 +25,16 @@ type ClientOptions struct {
 	// disables — pipelining callers often want to block on Recv
 	// indefinitely while a sender goroutine keeps the stream fed.
 	CallTimeout time.Duration
+	// Features is the wire feature-bit set to offer (FeatureChecksum,
+	// FeatureProbe). Offering any feature — or setting Extended — sends the
+	// extended Hello; the server's extended ack then carries its
+	// configuration fingerprint (see Client.Fingerprint) and the accepted
+	// subset of the offered features. A legacy server refuses the extended
+	// Hello outright, so leave both zero to talk to old daemons.
+	Features uint32
+	// Extended requests the extended handshake (and therefore the server
+	// fingerprint) even with no feature bits offered.
+	Extended bool
 }
 
 func (o ClientOptions) handshakeTimeout() time.Duration {
@@ -48,12 +58,21 @@ type Client struct {
 	n           int
 	queue       uint32
 	callTimeout time.Duration
+	// features is the accepted feature-bit set; crc mirrors its
+	// FeatureChecksum bit (checked framing both ways after the handshake).
+	features uint32
+	crc      bool
+	// fp is the server's decoding-configuration fingerprint (extended
+	// handshakes only; haveFP reports presence).
+	fp     uint64
+	haveFP bool
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
 	enc []byte
 
-	rmu sync.Mutex
+	rmu      sync.Mutex
+	pingNext uint64
 }
 
 // Dial connects, performs the handshake for the given distance and codec
@@ -104,7 +123,14 @@ func NewClientOptions(nc net.Conn, distance int, codecID uint8, o ClientOptions)
 		nc.SetDeadline(time.Now().Add(to))
 		defer nc.SetDeadline(time.Time{})
 	}
-	hello := Hello{Version: ProtocolVersion, Distance: uint16(distance), Codec: codecID}
+	ext := o.Extended || o.Features != 0
+	hello := Hello{
+		Version:  ProtocolVersion,
+		Distance: uint16(distance),
+		Codec:    codecID,
+		Extended: ext,
+		Features: o.Features,
+	}
 	if err := WriteFrame(c.bw, FrameHello, hello.AppendTo(nil)); err != nil {
 		return nil, err
 	}
@@ -118,12 +144,25 @@ func NewClientOptions(nc net.Conn, distance int, codecID uint8, o ClientOptions)
 	if t != FrameHelloAck {
 		return nil, fmt.Errorf("server: expected hello-ack, got frame type %d", t)
 	}
+	// Refusals always arrive in the legacy form (the fixed header carries
+	// the status), so check it before committing to the extended layout —
+	// this also yields a readable error from a legacy server that refused
+	// the 12-byte Hello it cannot parse.
 	ack, err := ParseHelloAck(payload)
 	if err != nil {
 		return nil, err
 	}
 	if ack.Status != StatusOK {
 		return nil, fmt.Errorf("server: handshake refused (status %d): %s", ack.Status, ack.Message)
+	}
+	if ext {
+		if ack, err = ParseHelloAckExt(payload); err != nil {
+			return nil, err
+		}
+		c.features = ack.Features
+		c.crc = ack.Features&FeatureChecksum != 0
+		c.fp = ack.Fingerprint
+		c.haveFP = true
 	}
 	codec, err := compress.ForID(ack.Codec, uint(ack.RiceK))
 	if err != nil {
@@ -144,6 +183,29 @@ func (c *Client) QueueDepth() int { return int(c.queue) }
 // CodecName names the negotiated codec.
 func (c *Client) CodecName() string { return c.codec.Name() }
 
+// Features is the accepted feature-bit set (zero on legacy handshakes).
+func (c *Client) Features() uint32 { return c.features }
+
+// Fingerprint returns the server's decoding-configuration digest for the
+// negotiated distance. ok is false on legacy handshakes, which carry none.
+func (c *Client) Fingerprint() (fp uint64, ok bool) { return c.fp, c.haveFP }
+
+// writeFrame ships one frame under the negotiated framing; callers hold wmu.
+func (c *Client) writeFrame(t FrameType, payload []byte) error {
+	if c.crc {
+		return WriteFrameChecked(c.bw, t, payload)
+	}
+	return WriteFrame(c.bw, t, payload)
+}
+
+// readFrame reads one frame under the negotiated framing; callers hold rmu.
+func (c *Client) readFrame() (FrameType, []byte, error) {
+	if c.crc {
+		return ReadFrameChecked(c.br, 0)
+	}
+	return ReadFrame(c.br, 0)
+}
+
 // Send encodes and ships one syndrome. deadlineNs is the request's
 // real-time budget (0 uses the server default). The syndrome length must
 // equal NumDetectors.
@@ -158,7 +220,7 @@ func (c *Client) Send(seq, deadlineNs uint64, s bitvec.Vec) error {
 	}
 	c.enc = c.codec.Encode(s, c.enc[:0])
 	req := DecodeRequest{Seq: seq, DeadlineNs: deadlineNs, Payload: c.enc}
-	if err := WriteFrame(c.bw, FrameDecode, req.AppendTo(nil)); err != nil {
+	if err := c.writeFrame(FrameDecode, req.AppendTo(nil)); err != nil {
 		return err
 	}
 	return c.bw.Flush()
@@ -199,8 +261,11 @@ func (c *Client) Recv() (Response, error) {
 	if c.callTimeout > 0 {
 		c.conn.SetReadDeadline(time.Now().Add(c.callTimeout))
 	}
-	t, payload, err := ReadFrame(c.br, 0)
+	t, payload, err := c.readFrame()
 	if err != nil {
+		// A checksum mismatch leaves the framing intact but the response
+		// unidentifiable (its sequence number is untrustworthy), so the
+		// caller must treat the stream as unrecoverable and re-dial.
 		return Response{}, err
 	}
 	switch t {
@@ -242,6 +307,50 @@ func (c *Client) Decode(seq, deadlineNs uint64, s bitvec.Vec) (Response, error) 
 		return Response{}, err
 	}
 	return c.Recv()
+}
+
+// Ping sends a health-probe frame and waits for its echo, measuring the
+// transport round trip. It requires a stream that negotiated FeatureProbe
+// and, like Decode, exclusive use of the stream: a pong arriving between a
+// pipelined Send and its Recv would be misread as a protocol violation.
+func (c *Client) Ping() (time.Duration, error) {
+	if c.features&FeatureProbe == 0 {
+		return 0, fmt.Errorf("server: stream did not negotiate probe frames")
+	}
+	c.wmu.Lock()
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	c.pingNext++
+	nonce := c.pingNext
+	start := time.Now()
+	if c.callTimeout > 0 {
+		c.conn.SetDeadline(start.Add(c.callTimeout))
+	}
+	err := func() error {
+		defer c.wmu.Unlock()
+		if err := c.writeFrame(FramePing, AppendPing(nil, nonce)); err != nil {
+			return err
+		}
+		return c.bw.Flush()
+	}()
+	if err != nil {
+		return 0, err
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		return 0, err
+	}
+	if t != FramePong {
+		return 0, fmt.Errorf("server: expected pong, got frame type %d", t)
+	}
+	echo, err := ParsePing(payload)
+	if err != nil {
+		return 0, err
+	}
+	if echo != nonce {
+		return 0, fmt.Errorf("server: pong nonce %d, want %d", echo, nonce)
+	}
+	return time.Since(start), nil
 }
 
 // Close tears the stream down.

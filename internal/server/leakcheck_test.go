@@ -1,69 +1,15 @@
 package server
 
 import (
-	"runtime"
-	"strings"
 	"testing"
-	"time"
+
+	"astrea/internal/leakcheck"
 )
 
-// goroutineStacks snapshots every goroutine's stack, one string each.
-func goroutineStacks() map[string]string {
-	buf := make([]byte, 1<<20)
-	for {
-		n := runtime.Stack(buf, true)
-		if n < len(buf) {
-			buf = buf[:n]
-			break
-		}
-		buf = make([]byte, 2*len(buf))
-	}
-	out := make(map[string]string)
-	for _, g := range strings.Split(string(buf), "\n\n") {
-		// The header line is "goroutine N [state]:"; the ID is stable and
-		// never reused within a process, so it keys the diff.
-		id, _, ok := strings.Cut(g, " [")
-		if !ok {
-			continue
-		}
-		out[id] = g
-	}
-	return out
-}
-
-// leakCheck is the goroutine-leak checker: call it FIRST in a test so its
-// cleanup runs LAST (after the test's own deferred Closes and t.Cleanup
-// teardowns). It snapshots the live goroutines now and, at cleanup, polls
-// until every goroutine created since — filtered to this module's code, so
-// runtime and testing internals don't flake the diff — has exited.
+// leakCheck is a thin alias for the shared checker in internal/leakcheck:
+// call it FIRST in a test so its cleanup runs LAST, after the test's own
+// deferred Closes and t.Cleanup teardowns.
 func leakCheck(t *testing.T) {
 	t.Helper()
-	before := goroutineStacks()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(5 * time.Second)
-		var leaked []string
-		for {
-			leaked = leaked[:0]
-			for id, stack := range goroutineStacks() {
-				if _, ok := before[id]; ok {
-					continue
-				}
-				if !strings.Contains(stack, "astrea/") {
-					continue // runtime, testing, net/http internals
-				}
-				if strings.Contains(stack, "leakCheck") {
-					continue // this cleanup itself
-				}
-				leaked = append(leaked, stack)
-			}
-			if len(leaked) == 0 {
-				return
-			}
-			if time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-		t.Errorf("%d goroutines leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
-	})
+	leakcheck.Check(t)
 }

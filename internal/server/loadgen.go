@@ -116,7 +116,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		if name == "" {
 			name = "astrea"
 		}
-		factory, err := factoryFor(name)
+		factory, err := FactoryFor(name)
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,14 @@ type RetryPolicy struct {
 	MaxBackoff time.Duration
 	// Seed drives the jitter stream (deterministic replay in tests).
 	Seed uint64
+	// Sleep overrides the waiter between attempts; nil means time.Sleep.
+	// Tests inject a recorder to assert backoff behaviour without real
+	// waiting.
+	Sleep func(time.Duration)
+	// Rand overrides the jitter source with a function returning uniform
+	// values in [0, 1); nil draws from a prng stream seeded with Seed.
+	// Injecting a constant makes every backoff exactly predictable.
+	Rand func() float64
 }
 
 func (p *RetryPolicy) applyDefaults() {
@@ -57,24 +65,32 @@ type RetryingClient struct {
 
 	mu     sync.Mutex
 	c      *Client
-	rng    *prng.Source
+	rand   func() float64 // jitter source; called under mu
 	closed bool
-	sleep  func(time.Duration) // test hook
+	sleep  func(time.Duration)
 }
 
 // NewRetryingClient builds a retrying client; no connection is made until
 // the first Decode.
 func NewRetryingClient(addr string, distance int, codecID uint8, opts ClientOptions, pol RetryPolicy) *RetryingClient {
 	pol.applyDefaults()
-	return &RetryingClient{
+	r := &RetryingClient{
 		addr:     addr,
 		distance: distance,
 		codecID:  codecID,
 		opts:     opts,
 		pol:      pol,
-		rng:      prng.New(pol.Seed),
-		sleep:    time.Sleep,
+		rand:     pol.Rand,
+		sleep:    pol.Sleep,
 	}
+	if r.rand == nil {
+		rng := prng.New(pol.Seed)
+		r.rand = rng.Float64
+	}
+	if r.sleep == nil {
+		r.sleep = time.Sleep
+	}
+	return r
 }
 
 // client returns the live connection, dialing if needed.
@@ -106,8 +122,11 @@ func (r *RetryingClient) discard(c *Client) {
 }
 
 // backoff sleeps before attempt+1. hintNs, when nonzero, is the server's
-// retry-after hint and raises the exponential base wait; the result is
-// jittered into [w/2, w) and capped at MaxBackoff.
+// retry-after hint for THIS rejection only and raises the exponential base
+// wait; the result is jittered into [w/2, w) and capped at MaxBackoff.
+// (Each hint is consumed by exactly one backoff — Decode passes the hint
+// only on the attempt that received it, so a single rejection cannot
+// inflate every later wait.)
 func (r *RetryingClient) backoff(attempt int, hintNs uint64) {
 	w := r.pol.BaseBackoff << uint(attempt)
 	if w <= 0 || w > r.pol.MaxBackoff { // shift overflow or past the cap
@@ -120,7 +139,7 @@ func (r *RetryingClient) backoff(attempt int, hintNs uint64) {
 		w = r.pol.MaxBackoff
 	}
 	r.mu.Lock()
-	jitter := r.rng.Float64()
+	jitter := r.rand()
 	r.mu.Unlock()
 	r.sleep(w/2 + time.Duration(jitter*float64(w/2)))
 }

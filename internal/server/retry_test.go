@@ -1,0 +1,149 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/compress"
+)
+
+// TestBackoffJitterWithinDocumentedCap drives backoff directly with an
+// injected jitter source sweeping [0, 1) and asserts every wait lands in
+// the documented envelope — [w/2, w) around the exponential base — and
+// never exceeds MaxBackoff, even when the server's retry-after hint is
+// absurdly large.
+func TestBackoffJitterWithinDocumentedCap(t *testing.T) {
+	const (
+		base = 2 * time.Millisecond
+		cap  = 50 * time.Millisecond
+	)
+	jitters := []float64{0, 0.25, 0.5, 0.999999}
+	for _, j := range jitters {
+		j := j
+		var slept []time.Duration
+		rc := NewRetryingClient("127.0.0.1:1", 3, compress.IDDense, ClientOptions{}, RetryPolicy{
+			MaxAttempts: 8,
+			BaseBackoff: base,
+			MaxBackoff:  cap,
+			Sleep:       func(d time.Duration) { slept = append(slept, d) },
+			Rand:        func() float64 { return j },
+		})
+		for attempt := 0; attempt < 8; attempt++ {
+			rc.backoff(attempt, 0)
+		}
+		rc.backoff(0, uint64((3 * time.Second).Nanoseconds())) // hint far past the cap
+		for i, d := range slept {
+			// Expected base wait: the exponential schedule clipped to the
+			// cap; the final recorded sleep is the hint case, whose 3s hint
+			// is also clipped to the cap.
+			w := base << uint(i)
+			if w > cap || w <= 0 {
+				w = cap
+			}
+			lo, hi := w/2, w
+			if d < lo || d >= hi {
+				t.Errorf("jitter=%v attempt %d: slept %v, want [%v, %v)", j, i, d, lo, hi)
+			}
+			if d > cap {
+				t.Errorf("jitter=%v attempt %d: slept %v beyond the %v cap", j, i, d, cap)
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministicReplay: the same Seed must reproduce the same
+// jitter sequence, and distinct seeds must diverge — the property chaos
+// tests rely on to replay a failing run exactly.
+func TestBackoffDeterministicReplay(t *testing.T) {
+	record := func(seed uint64) []time.Duration {
+		var slept []time.Duration
+		rc := NewRetryingClient("127.0.0.1:1", 3, compress.IDDense, ClientOptions{}, RetryPolicy{
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  time.Second,
+			Seed:        seed,
+			Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		})
+		for attempt := 0; attempt < 6; attempt++ {
+			rc.backoff(attempt, 0)
+		}
+		return slept
+	}
+	a, b, c := record(7), record(7), record(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical jitter sequences")
+	}
+}
+
+// TestRetryAfterHintConsumedOncePerRejection: a scripted server rejects
+// the first attempt with a large hint, kills the second connection
+// mid-call (a transport fault carrying no hint), and answers the third.
+// The recorded sleeps must show the hint raising exactly the one backoff
+// that followed its rejection: the transport-fault backoff falls back to
+// the (much smaller) exponential schedule instead of reusing the stale
+// hint.
+func TestRetryAfterHintConsumedOncePerRejection(t *testing.T) {
+	leakCheck(t)
+	const hint = 400 * time.Millisecond
+	addr := startScripted(t, func(i int, nc net.Conn) {
+		if !scriptHandshake(nc) {
+			return
+		}
+		seq, ok := readSeq(nc)
+		if !ok {
+			return
+		}
+		switch i {
+		case 0:
+			WriteFrame(nc, FrameReject, RejectFrame{Seq: seq, RetryAfterNs: uint64(hint.Nanoseconds())}.AppendTo(nil))
+			// Then hang up so the next attempt redials: attempt 2's failure
+			// is a transport fault with no hint attached.
+		case 1:
+			return // die mid-call, no hint
+		default:
+			WriteFrame(nc, FrameResult, ResultFrame{Seq: seq, ObsMask: 5}.AppendTo(nil))
+		}
+	})
+	var slept []time.Duration
+	rc := NewRetryingClient(addr.String(), 3, compress.IDDense, ClientOptions{}, RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  time.Second,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		Rand:        func() float64 { return 0.5 }, // midpoint of [w/2, w)
+	})
+	defer rc.Close()
+	resp, err := rc.Decode(9, 0, bitvec.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ObsMask != 5 {
+		t.Fatalf("wrong answer after retries: %+v", resp)
+	}
+	if len(slept) < 2 {
+		t.Fatalf("recorded %d sleeps, want at least 2 (rejection + transport fault)", len(slept))
+	}
+	// Backoff 0 follows the rejection: with jitter pinned at 0.5 the wait
+	// is exactly 3/4 of the hint (w/2 + 0.5·w/2).
+	if want := hint/2 + hint/4; slept[0] != want {
+		t.Fatalf("post-rejection backoff slept %v, want exactly %v (hint %v honoured once)", slept[0], want, hint)
+	}
+	// Backoff 1 follows the hint-less transport fault: it must drop back to
+	// the exponential schedule (base<<1 = 2ms → 1.5ms at midpoint jitter),
+	// not reuse the stale 400ms hint.
+	if w := 2 * time.Millisecond; slept[1] != w/2+w/4 {
+		t.Fatalf("transport-fault backoff slept %v, want %v — stale retry-after hint was reused", slept[1], w/2+w/4)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -13,6 +14,7 @@ import (
 
 	"astrea/internal/bitvec"
 	"astrea/internal/compress"
+	"astrea/internal/decodegraph"
 	"astrea/internal/decoder"
 	"astrea/internal/experiments"
 	"astrea/internal/hwmodel"
@@ -77,13 +79,14 @@ type Config struct {
 	// negative disables degradation.
 	DegradeFraction float64
 
+	// Envs supplies pre-built environments keyed by distance (tests and
+	// embedders share one env between server and client to halve setup
+	// cost); missing distances are built normally.
+	Envs map[int]*montecarlo.Env
+
 	// factory overrides the decoder constructor (tests inject slow or
 	// instrumented decoders); nil uses Decoder.
 	factory montecarlo.Factory
-	// envs supplies pre-built environments keyed by distance (tests share
-	// one env between server and client to halve setup cost); missing
-	// distances are built normally.
-	envs map[int]*montecarlo.Env
 }
 
 func (c *Config) applyDefaults() {
@@ -150,8 +153,12 @@ func defaultDuration(d, def time.Duration) time.Duration {
 // duration of a decode; instances declaring decoder.ConcurrencySafe could
 // be shared, but pooling is uniformly correct either way.
 type distPool struct {
-	env      *montecarlo.Env
-	riceK    uint8
+	env   *montecarlo.Env
+	riceK uint8
+	// fp is the decoding-configuration digest advertised in extended
+	// handshakes: a replica fleet refuses to mix answers from servers whose
+	// fingerprints disagree.
+	fp       decodegraph.Fingerprint
 	decoders sync.Pool
 	// fallback pools fast weighted Union-Find instances for deadline-aware
 	// degradation (nil when degradation is disabled).
@@ -197,6 +204,10 @@ type conn struct {
 	wmu     sync.Mutex
 	pool    *distPool
 	codecID uint8
+	// features is the negotiated feature-bit set (FeatureChecksum switches
+	// both directions to CRC32C-trailed frames; FeatureProbe enables
+	// Ping/Pong probe frames).
+	features uint32
 	// wTimeout bounds each frame write (0 disables).
 	wTimeout time.Duration
 	// lastActive is the UnixNano of the last completed inbound frame; the
@@ -216,11 +227,24 @@ func (c *conn) writeFrame(t FrameType, payload []byte) error {
 	if c.wTimeout > 0 {
 		c.Conn.SetWriteDeadline(time.Now().Add(c.wTimeout))
 	}
-	err := WriteFrame(c.Conn, t, payload)
+	var err error
+	if c.features&FeatureChecksum != 0 {
+		err = WriteFrameChecked(c.Conn, t, payload)
+	} else {
+		err = WriteFrame(c.Conn, t, payload)
+	}
 	if err != nil {
 		c.Conn.Close()
 	}
 	return err
+}
+
+// readFrame reads one inbound frame honouring the negotiated framing.
+func (c *conn) readFrame(maxFrame int) (FrameType, []byte, error) {
+	if c.features&FeatureChecksum != 0 {
+		return ReadFrameChecked(c.Conn, maxFrame)
+	}
+	return ReadFrame(c.Conn, maxFrame)
 }
 
 // Server is the decode daemon.
@@ -254,7 +278,7 @@ func New(cfg Config) (*Server, error) {
 	factory := cfg.factory
 	if factory == nil {
 		var err error
-		factory, err = factoryFor(cfg.Decoder)
+		factory, err = FactoryFor(cfg.Decoder)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +295,7 @@ func New(cfg Config) (*Server, error) {
 		if _, dup := s.pools[d]; dup {
 			return nil, fmt.Errorf("server: distance %d listed twice", d)
 		}
-		env := cfg.envs[d]
+		env := cfg.Envs[d]
 		if env == nil {
 			var err error
 			env, err = montecarlo.NewEnv(d, d, cfg.P)
@@ -282,6 +306,7 @@ func New(cfg Config) (*Server, error) {
 		p := &distPool{
 			env:   env,
 			riceK: uint8(compress.NewRice(env.Model.NumDetectors, env.Model.ExpectedDetectorFlips()).K),
+			fp:    decodegraph.FingerprintOf(env.Model, env.GWT),
 		}
 		factory := factory
 		p.decoders.New = func() interface{} {
@@ -352,8 +377,11 @@ func (s *Server) reaper(idle time.Duration) {
 	}
 }
 
-// factoryFor maps a decoder name to its montecarlo factory.
-func factoryFor(name string) (montecarlo.Factory, error) {
+// FactoryFor maps a decoder name ("astrea", "astrea-g", "mwpm", "uf",
+// "uf-unweighted") to its montecarlo factory; the daemon, the load
+// generator and the cluster client all resolve verification decoders
+// through it.
+func FactoryFor(name string) (montecarlo.Factory, error) {
 	switch name {
 	case "astrea":
 		return experiments.AstreaFactory, nil
@@ -378,6 +406,26 @@ func (s *Server) Distances() []int {
 		out = append(out, d)
 	}
 	sort.Ints(out)
+	return out
+}
+
+// Fingerprints returns the decoding-configuration digest per served
+// distance — what the extended handshake advertises and what every replica
+// of a fleet must agree on.
+func (s *Server) Fingerprints() map[int]decodegraph.Fingerprint {
+	out := make(map[int]decodegraph.Fingerprint, len(s.pools))
+	for d, p := range s.pools {
+		out[d] = p.fp
+	}
+	return out
+}
+
+// fingerprintStrings shapes the fingerprints for the JSON snapshot.
+func (s *Server) fingerprintStrings() map[string]string {
+	out := make(map[string]string, len(s.pools))
+	for d, p := range s.pools {
+		out[fmt.Sprintf("%d", d)] = p.fp.String()
+	}
 	return out
 }
 
@@ -522,7 +570,26 @@ func (s *Server) serveConn(c *conn) {
 		if s.cfg.IdleTimeout > 0 {
 			c.Conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		t, payload, err := ReadFrame(c.Conn, s.cfg.MaxFrameBytes)
+		t, payload, err := c.readFrame(s.cfg.MaxFrameBytes)
+		if errors.Is(err, ErrChecksum) {
+			// The frame arrived intact length-wise but its CRC32C trailer
+			// disagrees: without the checksum this would have decoded into a
+			// silently wrong correction. The framing is still synchronised,
+			// so reject just this frame — correlating by the (best-effort)
+			// sequence number — and keep the stream.
+			c.touch()
+			s.stats.checksumFail.Add(1)
+			var seq uint64
+			if len(payload) >= 8 {
+				seq = binary.BigEndian.Uint64(payload[:8])
+			}
+			c.writeFrame(FrameError, ErrorFrame{
+				Seq:     seq,
+				Code:    StatusProtocolError,
+				Message: "frame checksum mismatch",
+			}.AppendTo(nil))
+			continue
+		}
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
@@ -531,8 +598,16 @@ func (s *Server) serveConn(c *conn) {
 			return
 		}
 		c.touch()
+		if t == FramePing && c.features&FeatureProbe != 0 {
+			// Health probe: echo the nonce immediately, off the decode
+			// queue, so liveness checks see transport health rather than
+			// queue depth.
+			s.stats.pings.Add(1)
+			c.writeFrame(FramePong, payload)
+			continue
+		}
 		if t != FrameDecode {
-			return // protocol violation: only decode frames after handshake
+			return // protocol violation: only decode/probe frames after handshake
 		}
 		arrival := time.Now()
 		req, err := ParseDecodeRequest(payload)
@@ -594,6 +669,8 @@ func (s *Server) handshake(c *conn) error {
 		return err
 	}
 	refuse := func(status uint8, msg string) error {
+		// Refusals use the legacy ack form, which both legacy and extended
+		// clients parse (the fixed header carries the status).
 		c.writeFrame(FrameHelloAck, HelloAck{
 			Version: ProtocolVersion, Status: status, Message: msg,
 		}.AppendTo(nil))
@@ -619,14 +696,28 @@ func (s *Server) handshake(c *conn) error {
 	}
 	c.pool = pool
 	c.codecID = h.Codec
-	return c.writeFrame(FrameHelloAck, HelloAck{
+	ack := HelloAck{
 		Version:      ProtocolVersion,
 		Status:       StatusOK,
 		NumDetectors: uint32(pool.env.Model.NumDetectors),
 		Codec:        h.Codec,
 		RiceK:        pool.riceK,
 		QueueDepth:   uint32(s.cfg.QueueDepth),
-	}.AppendTo(nil))
+	}
+	if !h.Extended {
+		return c.writeFrame(FrameHelloAck, ack.AppendTo(nil))
+	}
+	// Extended handshake: accept the intersection of the offered and
+	// supported features and advertise this distance's configuration
+	// fingerprint. The negotiated framing (checksums) applies to every
+	// frame AFTER the ack, which itself still travels unchecked.
+	ack.Features = h.Features & supportedFeatures
+	ack.Fingerprint = uint64(pool.fp)
+	if err := c.writeFrame(FrameHelloAck, ack.AppendToExt(nil)); err != nil {
+		return err
+	}
+	c.features = ack.Features
+	return nil
 }
 
 // worker drains the queue in batches: one blocking receive, then up to

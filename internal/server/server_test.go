@@ -83,7 +83,7 @@ func TestServeEndToEnd(t *testing.T) {
 		Distances: []int{5},
 		P:         1e-3,
 		Decoder:   "astrea",
-		envs:      map[int]*montecarlo.Env{5: env},
+		Envs:      map[int]*montecarlo.Env{5: env},
 	})
 	stats := httptest.NewServer(srv.StatsHandler())
 	defer stats.Close()
@@ -180,7 +180,7 @@ func TestBackpressure(t *testing.T) {
 		// Degradation would route queued requests around the slow decoder
 		// and drain the queue; this test wants the overflow.
 		DegradeFraction: -1,
-		envs:            map[int]*montecarlo.Env{3: env},
+		Envs:            map[int]*montecarlo.Env{3: env},
 		factory: func(e *montecarlo.Env) (decoder.Decoder, error) {
 			inner, err := experiments.AstreaFactory(e)
 			if err != nil {
@@ -232,7 +232,7 @@ func TestHandshakeRefusals(t *testing.T) {
 	srv := startServer(t, Config{
 		Distances: []int{3},
 		P:         1e-3,
-		envs:      map[int]*montecarlo.Env{3: env},
+		Envs:      map[int]*montecarlo.Env{3: env},
 	})
 	addr := srv.Addr().String()
 
@@ -287,7 +287,7 @@ func TestMalformedPayloadGetsErrorFrame(t *testing.T) {
 	srv := startServer(t, Config{
 		Distances: []int{3},
 		P:         1e-3,
-		envs:      map[int]*montecarlo.Env{3: env},
+		Envs:      map[int]*montecarlo.Env{3: env},
 	})
 	nc, err := net.Dial("tcp", srv.Addr().String())
 	if err != nil {
@@ -342,7 +342,7 @@ func TestConcurrentStreamsShareGWT(t *testing.T) {
 		Distances: []int{3},
 		P:         1e-3,
 		Workers:   4,
-		envs:      map[int]*montecarlo.Env{3: env},
+		Envs:      map[int]*montecarlo.Env{3: env},
 	})
 	addr := srv.Addr().String()
 
@@ -413,7 +413,7 @@ func TestCloseUnderLoad(t *testing.T) {
 			P:          1e-3,
 			Workers:    2,
 			QueueDepth: 4,
-			envs:       map[int]*montecarlo.Env{3: env},
+			Envs:       map[int]*montecarlo.Env{3: env},
 		})
 		addr := srv.Addr().String()
 		var wg sync.WaitGroup
@@ -453,11 +453,11 @@ func TestCloseUnderLoad(t *testing.T) {
 // TestDecoderNamesValidated checks New's eager decoder validation.
 func TestDecoderNamesValidated(t *testing.T) {
 	env := testEnv(t, 3)
-	if _, err := New(Config{Distances: []int{3}, Decoder: "nope", envs: map[int]*montecarlo.Env{3: env}}); err == nil {
+	if _, err := New(Config{Distances: []int{3}, Decoder: "nope", Envs: map[int]*montecarlo.Env{3: env}}); err == nil {
 		t.Fatal("unknown decoder name accepted")
 	}
 	for _, name := range []string{"astrea", "astrea-g", "mwpm", "uf", "uf-unweighted"} {
-		srv, err := New(Config{Distances: []int{3}, Decoder: name, envs: map[int]*montecarlo.Env{3: env}})
+		srv, err := New(Config{Distances: []int{3}, Decoder: name, Envs: map[int]*montecarlo.Env{3: env}})
 		if err != nil {
 			t.Fatalf("decoder %q: %v", name, err)
 		}

@@ -21,7 +21,12 @@ type stats struct {
 	rejected   atomic.Int64 // backpressure rejections
 	completed  atomic.Int64 // results written
 	malformed  atomic.Int64 // undecodable syndrome payloads (error frames)
-	panics     atomic.Int64 // contained decoder panics (internal-error frames)
+	// checksumFail counts frames rejected by the CRC32C trailer
+	// (FeatureChecksum streams): corruption that would otherwise have
+	// decoded into a silently wrong correction.
+	checksumFail atomic.Int64
+	pings        atomic.Int64 // probe frames answered (FeatureProbe streams)
+	panics       atomic.Int64 // contained decoder panics (internal-error frames)
 	degraded   atomic.Int64 // results decoded by the fallback decoder
 	idleReaped atomic.Int64 // connections closed for idleness
 	overCap    atomic.Int64 // connections refused at the MaxConns cap
@@ -53,6 +58,16 @@ type Snapshot struct {
 	Rejected  int64 `json:"rejected"`
 	Completed int64 `json:"completed"`
 	Malformed int64 `json:"malformed"`
+
+	// ChecksumFailures counts CRC32C-rejected frames on checksummed
+	// streams; Pings counts answered health probes.
+	ChecksumFailures int64 `json:"checksum_failures"`
+	Pings            int64 `json:"pings"`
+
+	// Fingerprints maps each served distance to its decoding-configuration
+	// digest (DEM + quantised GWT), the value replicas must agree on before
+	// a fleet client will mix their answers. Keys are decimal distances.
+	Fingerprints map[string]string `json:"fingerprints"`
 
 	// Fault containment and degradation accounting.
 	Panics       int64 `json:"panics"`         // contained decoder panics
@@ -102,6 +117,9 @@ func (s *Server) Snapshot() Snapshot {
 		Rejected:          st.rejected.Load(),
 		Completed:         completed,
 		Malformed:         st.malformed.Load(),
+		ChecksumFailures:  st.checksumFail.Load(),
+		Pings:             st.pings.Load(),
+		Fingerprints:      s.fingerprintStrings(),
 		Panics:            st.panics.Load(),
 		Degraded:          st.degraded.Load(),
 		IdleReaped:        st.idleReaped.Load(),

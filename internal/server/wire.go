@@ -23,7 +23,9 @@ package server
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -49,6 +51,25 @@ const (
 	FrameResult   FrameType = 4 // server → client: decode outcome
 	FrameReject   FrameType = 5 // server → client: backpressure, retry later
 	FrameError    FrameType = 6 // server → client: per-request failure
+	FramePing     FrameType = 7 // client → server: health probe (FeatureProbe)
+	FramePong     FrameType = 8 // server → client: probe echo
+)
+
+// Wire feature bits, offered by the client in an extended Hello and echoed
+// back (intersected with what the server supports) in the extended
+// HelloAck. A legacy 8-byte Hello negotiates no features, so old peers are
+// unaffected.
+const (
+	// FeatureChecksum adds a CRC32C trailer to every post-handshake frame
+	// in both directions; a corrupt frame is rejected (StatusProtocolError)
+	// instead of decoded into a silently wrong correction.
+	FeatureChecksum uint32 = 1 << 0
+	// FeatureProbe enables Ping/Pong health-probe frames on the stream, so
+	// a fleet client can verify liveness without spending a decode.
+	FeatureProbe uint32 = 1 << 1
+
+	// supportedFeatures is what this build negotiates.
+	supportedFeatures = FeatureChecksum | FeatureProbe
 )
 
 // Result flag bits.
@@ -103,11 +124,80 @@ func ReadFrame(r io.Reader, maxFrame int) (FrameType, []byte, error) {
 	return FrameType(body[0]), body[1:], nil
 }
 
-// Hello is the client's stream-opening request.
+// castagnoli is the CRC32C polynomial table used by checked frames (the
+// same polynomial iSCSI and ext4 use; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum reports a checked frame whose CRC32C trailer did not match
+// its contents. The framing itself is intact — the length prefix was
+// honoured — so the receiver may keep the stream and reject just this
+// frame, but the payload must not be trusted.
+var ErrChecksum = errors.New("server: frame checksum mismatch")
+
+// WriteFrameChecked writes one frame with a CRC32C trailer over the type
+// byte and payload. Used on streams that negotiated FeatureChecksum.
+func WriteFrameChecked(w io.Writer, t FrameType, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)+4))
+	hdr[4] = byte(t)
+	crc := crc32.Update(crc32.Checksum(hdr[4:5], castagnoli), castagnoli, payload)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc)
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// ReadFrameChecked reads one CRC32C-trailed frame. On a checksum mismatch
+// it returns the frame type and payload alongside ErrChecksum so the caller
+// can best-effort correlate a rejection (e.g. parse the sequence number)
+// while knowing the bytes are corrupt.
+func ReadFrameChecked(r io.Reader, maxFrame int) (FrameType, []byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 5 {
+		return 0, nil, fmt.Errorf("server: checked frame of %d bytes is shorter than type + checksum", n)
+	}
+	if int64(n) > int64(maxFrame) {
+		return 0, nil, fmt.Errorf("server: frame of %d bytes exceeds the %d-byte cap", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("server: truncated frame: %w", err)
+	}
+	payload := body[1 : n-4]
+	want := binary.BigEndian.Uint32(body[n-4:])
+	if crc32.Checksum(body[:n-4], castagnoli) != want {
+		return FrameType(body[0]), payload, ErrChecksum
+	}
+	return FrameType(body[0]), payload, nil
+}
+
+// Hello is the client's stream-opening request. A legacy payload is 8
+// bytes; an extended payload appends a 4-byte feature-bit set and asks for
+// the extended HelloAck (which carries the server's configuration
+// fingerprint alongside the accepted features).
 type Hello struct {
 	Version  uint8
 	Distance uint16
 	Codec    uint8 // compress.ID*
+	// Extended marks the 12-byte form; Features is the offered feature-bit
+	// set (Feature*). Offering any feature implies the extended form.
+	Extended bool
+	Features uint32
 }
 
 // AppendTo serialises the hello payload.
@@ -115,22 +205,32 @@ func (h Hello) AppendTo(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, helloMagic)
 	dst = append(dst, h.Version)
 	dst = binary.BigEndian.AppendUint16(dst, h.Distance)
-	return append(dst, h.Codec)
+	dst = append(dst, h.Codec)
+	if h.Extended || h.Features != 0 {
+		dst = binary.BigEndian.AppendUint32(dst, h.Features)
+	}
+	return dst
 }
 
-// ParseHello deserialises a hello payload.
+// ParseHello deserialises a hello payload, legacy (8 bytes) or extended
+// (12 bytes with trailing feature bits).
 func ParseHello(b []byte) (Hello, error) {
-	if len(b) != 8 {
-		return Hello{}, fmt.Errorf("server: hello payload is %d bytes, want 8", len(b))
+	if len(b) != 8 && len(b) != 12 {
+		return Hello{}, fmt.Errorf("server: hello payload is %d bytes, want 8 or 12", len(b))
 	}
 	if magic := binary.BigEndian.Uint32(b[:4]); magic != helloMagic {
 		return Hello{}, fmt.Errorf("server: bad hello magic %#x", magic)
 	}
-	return Hello{
+	h := Hello{
 		Version:  b[4],
 		Distance: binary.BigEndian.Uint16(b[5:7]),
 		Codec:    b[7],
-	}, nil
+	}
+	if len(b) == 12 {
+		h.Extended = true
+		h.Features = binary.BigEndian.Uint32(b[8:12])
+	}
+	return h, nil
 }
 
 // HelloAck is the server's handshake reply. Status 0 accepts the stream;
@@ -143,7 +243,14 @@ type HelloAck struct {
 	Codec        uint8  // the accepted codec ID
 	RiceK        uint8  // Golomb–Rice parameter when Codec == IDRice
 	QueueDepth   uint32 // the server's queue bound (backpressure threshold)
-	Message      string
+	// Features and Fingerprint travel only in the extended ack (sent in
+	// reply to an extended Hello): the accepted feature-bit set and the
+	// server's decoding-configuration digest for the pinned distance
+	// (decodegraph.FingerprintOf over the DEM and quantised GWT), so a
+	// fleet client can refuse a replica serving a different noise model.
+	Features    uint32
+	Fingerprint uint64
+	Message     string
 }
 
 // HelloAck status codes.
@@ -169,7 +276,8 @@ const (
 	StatusOverloaded uint8 = 6
 )
 
-// AppendTo serialises the hello-ack payload.
+// AppendTo serialises the legacy hello-ack payload (no features or
+// fingerprint), the only form a legacy client can parse.
 func (a HelloAck) AppendTo(dst []byte) []byte {
 	dst = append(dst, a.Version, a.Status)
 	dst = binary.BigEndian.AppendUint32(dst, a.NumDetectors)
@@ -178,7 +286,20 @@ func (a HelloAck) AppendTo(dst []byte) []byte {
 	return append(dst, a.Message...)
 }
 
-// ParseHelloAck deserialises a hello-ack payload.
+// AppendToExt serialises the extended hello-ack payload: the legacy fixed
+// header, then accepted features and the configuration fingerprint, then
+// the message tail. Sent only in reply to an extended Hello.
+func (a HelloAck) AppendToExt(dst []byte) []byte {
+	dst = append(dst, a.Version, a.Status)
+	dst = binary.BigEndian.AppendUint32(dst, a.NumDetectors)
+	dst = append(dst, a.Codec, a.RiceK)
+	dst = binary.BigEndian.AppendUint32(dst, a.QueueDepth)
+	dst = binary.BigEndian.AppendUint32(dst, a.Features)
+	dst = binary.BigEndian.AppendUint64(dst, a.Fingerprint)
+	return append(dst, a.Message...)
+}
+
+// ParseHelloAck deserialises a legacy hello-ack payload.
 func ParseHelloAck(b []byte) (HelloAck, error) {
 	if len(b) < 12 {
 		return HelloAck{}, fmt.Errorf("server: hello-ack payload is %d bytes, want ≥ 12", len(b))
@@ -192,6 +313,21 @@ func ParseHelloAck(b []byte) (HelloAck, error) {
 		QueueDepth:   binary.BigEndian.Uint32(b[8:12]),
 		Message:      string(b[12:]),
 	}, nil
+}
+
+// ParseHelloAckExt deserialises an extended hello-ack payload.
+func ParseHelloAckExt(b []byte) (HelloAck, error) {
+	if len(b) < 24 {
+		return HelloAck{}, fmt.Errorf("server: extended hello-ack payload is %d bytes, want ≥ 24", len(b))
+	}
+	a, err := ParseHelloAck(b[:12])
+	if err != nil {
+		return HelloAck{}, err
+	}
+	a.Features = binary.BigEndian.Uint32(b[12:16])
+	a.Fingerprint = binary.BigEndian.Uint64(b[16:24])
+	a.Message = string(b[24:])
+	return a, nil
 }
 
 // DecodeRequest is one syndrome to decode. Payload is the stream codec's
@@ -307,4 +443,18 @@ func ParseErrorFrame(b []byte) (ErrorFrame, error) {
 		return ErrorFrame{}, fmt.Errorf("server: error payload is %d bytes, want ≥ 9", len(b))
 	}
 	return ErrorFrame{Seq: binary.BigEndian.Uint64(b[:8]), Code: b[8], Message: string(b[9:])}, nil
+}
+
+// AppendPing serialises a ping/pong payload: an opaque nonce the server
+// echoes verbatim, so a probe answer can be matched to its probe.
+func AppendPing(dst []byte, nonce uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, nonce)
+}
+
+// ParsePing deserialises a ping/pong payload.
+func ParsePing(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("server: ping payload is %d bytes, want 8", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -83,6 +84,98 @@ func TestHelloAckRoundTrip(t *testing.T) {
 	}
 	if _, err := ParseHelloAck(make([]byte, 11)); err == nil {
 		t.Fatal("short hello-ack accepted")
+	}
+}
+
+func TestExtendedHelloRoundTrip(t *testing.T) {
+	h := Hello{Version: ProtocolVersion, Distance: 9, Codec: 2, Extended: true,
+		Features: FeatureChecksum | FeatureProbe}
+	got, err := ParseHello(h.AppendTo(nil))
+	if err != nil || got != h {
+		t.Fatalf("extended hello round trip: %+v, %v", got, err)
+	}
+	// Offering features implies the extended form even without the flag.
+	implied := Hello{Version: ProtocolVersion, Distance: 9, Codec: 2, Features: FeatureProbe}
+	if enc := implied.AppendTo(nil); len(enc) != 12 {
+		t.Fatalf("hello with features serialised to %d bytes, want 12", len(enc))
+	}
+	// The legacy 8-byte form must stay parseable with zero features.
+	legacy := Hello{Version: ProtocolVersion, Distance: 9, Codec: 2}
+	got, err = ParseHello(legacy.AppendTo(nil))
+	if err != nil || got.Extended || got.Features != 0 {
+		t.Fatalf("legacy hello round trip: %+v, %v", got, err)
+	}
+	if _, err := ParseHello(make([]byte, 10)); err == nil {
+		t.Fatal("10-byte hello accepted (only 8 and 12 are framed)")
+	}
+}
+
+func TestHelloAckExtRoundTrip(t *testing.T) {
+	a := HelloAck{
+		Version: ProtocolVersion, Status: StatusOK, NumDetectors: 72,
+		Codec: 2, RiceK: 5, QueueDepth: 1024,
+		Features: FeatureChecksum, Fingerprint: 0xDEADBEEFCAFEF00D, Message: "ok",
+	}
+	enc := a.AppendToExt(nil)
+	got, err := ParseHelloAckExt(enc)
+	if err != nil || got != a {
+		t.Fatalf("extended hello-ack round trip: %+v, %v", got, err)
+	}
+	// The fixed header must stay legacy-parseable: an old client reading an
+	// extended ack sees the right status, even if it ignores the tail.
+	legacy, err := ParseHelloAck(enc)
+	if err != nil || legacy.Status != a.Status || legacy.NumDetectors != a.NumDetectors {
+		t.Fatalf("extended ack not legacy-parseable: %+v, %v", legacy, err)
+	}
+	if _, err := ParseHelloAckExt(make([]byte, 23)); err == nil {
+		t.Fatal("short extended hello-ack accepted")
+	}
+}
+
+func TestCheckedFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := WriteFrameChecked(&buf, FrameDecode, payload); err != nil {
+		t.Fatal(err)
+	}
+	clean := append([]byte(nil), buf.Bytes()...)
+	ft, got, err := ReadFrameChecked(bytes.NewReader(clean), 0)
+	if err != nil || ft != FrameDecode || !bytes.Equal(got, payload) {
+		t.Fatalf("checked round trip: %d, %x, %v", ft, got, err)
+	}
+
+	// Flip one payload bit: the read must surface ErrChecksum AND the
+	// best-effort type/payload, so the server can correlate the rejection
+	// to a sequence number.
+	for bit := 0; bit < 8*len(clean); bit++ {
+		corrupt := append([]byte(nil), clean...)
+		if bit/8 < 4 {
+			continue // the length prefix is framing, not checksummed content
+		}
+		corrupt[bit/8] ^= 1 << (bit % 8)
+		_, _, err := ReadFrameChecked(bytes.NewReader(corrupt), 0)
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("bit %d flip: err = %v, want ErrChecksum", bit, err)
+		}
+	}
+
+	// A checked frame read by the unchecked reader carries a 4-byte
+	// trailer; a checked reader must reject an unchecked (trailerless)
+	// frame rather than misinterpret payload bytes as a CRC.
+	var plain bytes.Buffer
+	WriteFrame(&plain, FrameResult, []byte{9})
+	if _, _, err := ReadFrameChecked(bytes.NewReader(plain.Bytes()), 0); err == nil {
+		t.Fatal("trailerless frame accepted by the checked reader")
+	}
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	nonce, err := ParsePing(AppendPing(nil, 0x0123456789ABCDEF))
+	if err != nil || nonce != 0x0123456789ABCDEF {
+		t.Fatalf("ping round trip: %x, %v", nonce, err)
+	}
+	if _, err := ParsePing(make([]byte, 7)); err == nil {
+		t.Fatal("short ping accepted")
 	}
 }
 
