@@ -1,0 +1,94 @@
+package astrea
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadedSystemDecodesBitIdentical is the tentpole contract: a system
+// hydrated from a compiled .astc bundle must produce byte-for-byte the
+// decisions a freshly built system produces — same fingerprint, same
+// observable prediction and matching weight on every sampled shot.
+func TestLoadedSystemDecodesBitIdentical(t *testing.T) {
+	const d, p = 3, 1e-3
+	fresh, err := New(d, p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	art, err := Compile(d, d, BasisZ, p)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "bundle.astc")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	loaded, err := LoadSystem(path)
+	if err != nil {
+		t.Fatalf("LoadSystem: %v", err)
+	}
+
+	if got, want := loaded.Fingerprint(), fresh.Fingerprint(); got != want {
+		t.Fatalf("loaded fingerprint %s, fresh %s", got, want)
+	}
+	if loaded.Distance() != d || loaded.PhysicalErrorRate() != p {
+		t.Fatalf("loaded operating point d=%d p=%g, want d=%d p=%g",
+			loaded.Distance(), loaded.PhysicalErrorRate(), d, p)
+	}
+
+	// Same seed on both systems: identical models sample identical shots,
+	// and identical tables must decode them identically.
+	const shots = 1000
+	freshDec, loadedDec := fresh.Astrea(), loaded.Astrea()
+	freshMWPM, loadedMWPM := fresh.MWPM(), loaded.MWPM()
+	fs, ls := fresh.NewShotSource(42), loaded.NewShotSource(42)
+	for i := 0; i < shots; i++ {
+		syn, obsF := fs.Next()
+		syn2, obsL := ls.Next()
+		if obsF != obsL {
+			t.Fatalf("shot %d: sampled observables diverge (%#x vs %#x) — models differ", i, obsF, obsL)
+		}
+		for b := 0; b < syn.Len(); b++ {
+			if syn.Get(b) != syn2.Get(b) {
+				t.Fatalf("shot %d: sampled syndromes diverge at bit %d", i, b)
+			}
+		}
+		rf, rl := freshDec.Decode(syn), loadedDec.Decode(syn)
+		if rf.ObsPrediction != rl.ObsPrediction || rf.Weight != rl.Weight {
+			t.Fatalf("shot %d: Astrea decisions diverge: fresh (obs %#x, w %v), loaded (obs %#x, w %v)",
+				i, rf.ObsPrediction, rf.Weight, rl.ObsPrediction, rl.Weight)
+		}
+		mf, ml := freshMWPM.Decode(syn), loadedMWPM.Decode(syn)
+		if mf.ObsPrediction != ml.ObsPrediction || mf.Weight != ml.Weight {
+			t.Fatalf("shot %d: MWPM decisions diverge: fresh (obs %#x, w %v), loaded (obs %#x, w %v)",
+				i, mf.ObsPrediction, mf.Weight, ml.ObsPrediction, ml.Weight)
+		}
+	}
+}
+
+// TestSystemArtifactExport closes the loop the other way: a built system
+// exports an artifact whose encoding equals a direct Compile of the same
+// operating point.
+func TestSystemArtifactExport(t *testing.T) {
+	sys, err := New(3, 1e-3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	exported, err := sys.Artifact()
+	if err != nil {
+		t.Fatalf("System.Artifact: %v", err)
+	}
+	direct, err := Compile(3, 3, BasisZ, 1e-3)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	e1, e2 := exported.Encode(), direct.Encode()
+	if len(e1) != len(e2) {
+		t.Fatalf("export and direct compile encode to %d vs %d bytes", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("export and direct compile diverge at byte %d", i)
+		}
+	}
+}

@@ -24,6 +24,7 @@
 package astrea
 
 import (
+	"astrea/internal/artifact"
 	"astrea/internal/astrea"
 	"astrea/internal/astreag"
 	"astrea/internal/bitvec"
@@ -87,7 +88,7 @@ type System struct {
 // New builds the decoding stack for a distance-d code (d odd, ≥ 3) at
 // physical error rate p, using d syndrome rounds as the paper does.
 func New(distance int, p float64) (*System, error) {
-	env, err := montecarlo.NewEnv(distance, distance, p)
+	env, err := montecarlo.SharedEnv(distance, distance, p)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +126,61 @@ func NewCustom(distance, rounds int, basis Basis, nm NoiseMap) (*System, error) 
 	if err != nil {
 		return nil, err
 	}
+	env.Basis = basis
 	return &System{env: env}, nil
+}
+
+// Artifact is a compiled operating point: the versioned, checksummed,
+// deterministic binary bundle (".astc") holding everything a decoder pool
+// needs — circuit metadata, the detector error model, the decoding graph
+// and the Global Weight Table — so serving processes load it instead of
+// re-running the expensive build pipeline. See internal/artifact for the
+// format.
+type Artifact = artifact.Artifact
+
+// ArtifactMeta identifies the operating point an artifact was compiled for.
+type ArtifactMeta = artifact.Meta
+
+// Compile runs the full build pipeline for one operating point and returns
+// the bundle, ready for WriteFile. Compiling the same inputs always
+// produces byte-identical encodings.
+func Compile(distance, rounds int, basis Basis, p float64) (*Artifact, error) {
+	return artifact.Compile(distance, rounds, p, basis)
+}
+
+// ReadArtifact reads and fully validates a compiled .astc bundle.
+func ReadArtifact(path string) (*Artifact, error) { return artifact.ReadFile(path) }
+
+// SystemFromArtifact hydrates a decoding stack from a compiled artifact,
+// skipping DEM extraction and the all-pairs Dijkstra: decoders minted from
+// the loaded system are bit-identical to ones built by New at the same
+// operating point.
+func SystemFromArtifact(a *Artifact) (*System, error) {
+	env, err := montecarlo.NewEnvFromArtifact(a)
+	if err != nil {
+		return nil, err
+	}
+	return &System{env: env}, nil
+}
+
+// LoadSystem reads an .astc file and hydrates the decoding stack it
+// describes. This is the cheap path New avoids paying at every startup.
+func LoadSystem(path string) (*System, error) {
+	a, err := artifact.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return SystemFromArtifact(a)
+}
+
+// Artifact exports the system as a compiled bundle (see Compile); the
+// bundle shares the system's immutable tables.
+func (s *System) Artifact() (*Artifact, error) { return s.env.Artifact() }
+
+// Fingerprint returns the system's decoding-configuration digest — what an
+// astread serving this operating point advertises at handshake time.
+func (s *System) Fingerprint() Fingerprint {
+	return decodegraph.FingerprintOf(s.env.Model, s.env.GWT)
 }
 
 // Distance returns the code distance.
@@ -316,6 +371,14 @@ type Fingerprint = decodegraph.Fingerprint
 // ParseFingerprint parses the 16-hex-digit rendering a server prints at
 // startup, for pinning via DecodeFleetConfig.ExpectedFingerprint.
 func ParseFingerprint(s string) (Fingerprint, error) { return decodegraph.ParseFingerprint(s) }
+
+// FingerprintFromArtifact reads a compiled .astc bundle and returns the
+// digest to pin via DecodeFleetConfig.ExpectedFingerprint — the artifact
+// shipped to the fleet is the source of truth, so the pin needs no dialing
+// and no trust in whichever replica answers first.
+func FingerprintFromArtifact(path string) (Fingerprint, error) {
+	return cluster.FingerprintFromArtifact(path)
+}
 
 // DialDecodeFleet builds a DecodeFleet over the given replica addresses
 // with defaults (failover across all replicas, hedging off, first

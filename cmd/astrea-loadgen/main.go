@@ -38,6 +38,9 @@
 //	-workers N            concurrent decode workers in fleet mode (default 4)
 //	-expect-fingerprint F pin the decoding-configuration digest (16 hex chars);
 //	                      replicas advertising a different one are quarantined
+//	-expect-fingerprint-artifact f  pin the digest carried by a compiled
+//	                      .astc bundle (astrea compile) — fleet pinning from
+//	                      the deployment's source of truth, no dialing needed
 //
 // Exit status is non-zero if any verified response disagrees with the
 // local decoder (degraded responses are checked against Union-Find, the
@@ -87,6 +90,7 @@ func run(args []string) error {
 	callTimeout := fs.Duration("call-timeout", 250*time.Millisecond, "fleet mode: per-attempt timeout (the failover trigger)")
 	workers := fs.Int("workers", 4, "fleet mode: concurrent decode workers")
 	expectFP := fs.String("expect-fingerprint", "", "fleet mode: pin the decoding-configuration digest (16 hex chars)")
+	expectFPArtifact := fs.String("expect-fingerprint-artifact", "", "fleet mode: pin the digest carried by a compiled .astc bundle")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,10 +104,18 @@ func run(args []string) error {
 			return fmt.Errorf("-chaos applies to the single-daemon path; fleet mode injects faults server-side")
 		}
 		var fp decodegraph.Fingerprint
-		if *expectFP != "" {
+		switch {
+		case *expectFP != "" && *expectFPArtifact != "":
+			return fmt.Errorf("-expect-fingerprint and -expect-fingerprint-artifact are mutually exclusive")
+		case *expectFP != "":
 			if fp, err = decodegraph.ParseFingerprint(*expectFP); err != nil {
 				return err
 			}
+		case *expectFPArtifact != "":
+			if fp, err = cluster.FingerprintFromArtifact(*expectFPArtifact); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "astrea-loadgen: pinning fingerprint %s from %s\n", fp, *expectFPArtifact)
 		}
 		addrs := strings.Split(*servers, ",")
 		for i := range addrs {

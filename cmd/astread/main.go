@@ -28,6 +28,17 @@
 //	                  fallback (FlagDegraded) (default 0.75, 0 disables)
 //	-drain-timeout dur      SIGTERM drain bound; requests still queued when it
 //	                  expires are abandoned and counted (default 10s, 0 = unbounded)
+//	-artifact files   comma-separated compiled .astc bundles (astrea compile)
+//	                  to hydrate decoder pools from, skipping the inline
+//	                  build pipeline (DEM extraction + BuildGWT) entirely
+//	-artifact-dir dir load every *.astc bundle in a directory
+//
+// When artifacts are supplied and -distances is not, the daemon serves
+// exactly the artifact operating points; an explicit -distances list is
+// served as given, hydrating from artifacts where one matches and building
+// inline otherwise. Startup logs the per-distance load-vs-build time split,
+// and each pool advertises the artifact's fingerprint, which is also what
+// fleet clients pin straight from the file (-expect-fingerprint-artifact).
 //
 // The daemon runs until SIGINT/SIGTERM, then drains (bounded by
 // -drain-timeout) and prints a final stats snapshot.
@@ -41,11 +52,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"astrea/internal/artifact"
 	"astrea/internal/server"
 )
 
@@ -56,14 +70,30 @@ func main() {
 	}
 }
 
+// options is everything the daemon derives from its command line.
+type options struct {
+	cfg      server.Config
+	listen   string
+	httpAddr string
+	drain    time.Duration
+	// artifactPaths lists .astc bundles to hydrate pools from (the -artifact
+	// files plus every *.astc found under -artifact-dir).
+	artifactPaths []string
+	// distancesSet records whether -distances was given explicitly; when it
+	// was not and artifacts are supplied, the artifact operating points
+	// define the served set.
+	distancesSet bool
+}
+
 // buildConfig parses flags into a server configuration plus the listen
 // addresses and drain bound; split out for testing. Flags use 0 to mean
 // "disabled/unlimited", mapped onto the Config convention where zero means
 // default and negative means disabled.
-func buildConfig(args []string) (cfg server.Config, listen, httpAddr string, drain time.Duration, err error) {
+func buildConfig(args []string) (opts options, err error) {
+	cfg := &opts.cfg
 	fs := flag.NewFlagSet("astread", flag.ContinueOnError)
-	fs.StringVar(&listen, "listen", ":7717", "TCP decode endpoint")
-	fs.StringVar(&httpAddr, "http", ":7718", "stats endpoint (empty disables)")
+	fs.StringVar(&opts.listen, "listen", ":7717", "TCP decode endpoint")
+	fs.StringVar(&opts.httpAddr, "http", ":7718", "stats endpoint (empty disables)")
 	distances := fs.String("distances", "3,5,7", "comma-separated code distances")
 	p := fs.Float64("p", 1e-3, "physical error rate")
 	fs.StringVar(&cfg.Decoder, "decoder", "astrea", "decoder: astrea, astrea-g, mwpm, uf or uf-unweighted")
@@ -76,10 +106,17 @@ func buildConfig(args []string) (cfg server.Config, listen, httpAddr string, dra
 	idleTO := fs.Duration("idle-timeout", 5*time.Minute, "reap connections idle this long (0 disables)")
 	writeTO := fs.Duration("write-timeout", 30*time.Second, "per-response write bound (0 disables)")
 	degrade := fs.Float64("degrade", 0.75, "deadline fraction before Union-Find fallback (0 disables)")
-	fs.DurationVar(&drain, "drain-timeout", 10*time.Second, "SIGTERM drain bound (0 = unbounded)")
+	fs.DurationVar(&opts.drain, "drain-timeout", 10*time.Second, "SIGTERM drain bound (0 = unbounded)")
+	artifacts := fs.String("artifact", "", "comma-separated compiled .astc bundles to serve from")
+	artifactDir := fs.String("artifact-dir", "", "load every *.astc bundle in this directory")
 	if err = fs.Parse(args); err != nil {
-		return cfg, "", "", 0, err
+		return options{}, err
 	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "distances" {
+			opts.distancesSet = true
+		}
+	})
 	cfg.P = *p
 	cfg.DefaultDeadlineNs = uint64(deadline.Nanoseconds())
 	cfg.MaxConns = orDisabledInt(*maxConns)
@@ -98,11 +135,64 @@ func buildConfig(args []string) (cfg server.Config, listen, httpAddr string, dra
 		}
 		d, convErr := strconv.Atoi(part)
 		if convErr != nil {
-			return cfg, "", "", 0, fmt.Errorf("bad distance %q: %w", part, convErr)
+			return options{}, fmt.Errorf("bad distance %q: %w", part, convErr)
 		}
 		cfg.Distances = append(cfg.Distances, d)
 	}
-	return cfg, listen, httpAddr, drain, nil
+	for _, part := range strings.Split(*artifacts, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			opts.artifactPaths = append(opts.artifactPaths, part)
+		}
+	}
+	if *artifactDir != "" {
+		found, globErr := filepath.Glob(filepath.Join(*artifactDir, "*.astc"))
+		if globErr != nil {
+			return options{}, globErr
+		}
+		if len(found) == 0 {
+			return options{}, fmt.Errorf("artifact-dir %s contains no .astc bundles", *artifactDir)
+		}
+		sort.Strings(found)
+		opts.artifactPaths = append(opts.artifactPaths, found...)
+	}
+	return opts, nil
+}
+
+// loadArtifacts reads and validates every configured bundle, returning them
+// keyed by distance. Two bundles for the same distance — or one whose p
+// disagrees with the configuration — is an operator error worth refusing
+// over, not guessing about.
+func loadArtifacts(opts *options) (map[int]*artifact.Artifact, error) {
+	if len(opts.artifactPaths) == 0 {
+		return nil, nil
+	}
+	arts := make(map[int]*artifact.Artifact, len(opts.artifactPaths))
+	for _, path := range opts.artifactPaths {
+		start := time.Now()
+		a, err := artifact.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if prev := arts[a.Meta.Distance]; prev != nil {
+			return nil, fmt.Errorf("two artifacts for d=%d (%s and %s)", a.Meta.Distance, prev.Meta, a.Meta)
+		}
+		if a.Meta.P != opts.cfg.P {
+			return nil, fmt.Errorf("%s: compiled for p=%g, daemon configured for p=%g (pass a matching -p)",
+				path, a.Meta.P, opts.cfg.P)
+		}
+		arts[a.Meta.Distance] = a
+		fmt.Fprintf(os.Stderr, "astread: loaded artifact %s (%s, fingerprint %s) in %v — BuildGWT skipped\n",
+			path, a.Meta, a.Fingerprint, time.Since(start).Round(time.Millisecond))
+	}
+	if !opts.distancesSet {
+		// No explicit -distances: the artifacts define the served set.
+		opts.cfg.Distances = opts.cfg.Distances[:0]
+		for d := range arts {
+			opts.cfg.Distances = append(opts.cfg.Distances, d)
+		}
+		sort.Ints(opts.cfg.Distances)
+	}
+	return arts, nil
 }
 
 func orDisabled(d time.Duration) time.Duration {
@@ -120,17 +210,36 @@ func orDisabledInt(n int) int {
 }
 
 func run(args []string) error {
-	cfg, listen, httpAddr, drain, err := buildConfig(args)
+	opts, err := buildConfig(args)
 	if err != nil {
 		return err
 	}
+	arts, err := loadArtifacts(&opts)
+	if err != nil {
+		return err
+	}
+	cfg, listen, httpAddr, drain := opts.cfg, opts.listen, opts.httpAddr, opts.drain
+	cfg.Artifacts = arts
 
-	fmt.Fprintf(os.Stderr, "astread: building decoder pools (decoder=%s, distances=%v, p=%g)...\n",
-		cfg.Decoder, cfg.Distances, cfg.P)
+	var inline []int
+	for _, d := range cfg.Distances {
+		if arts[d] == nil {
+			inline = append(inline, d)
+		}
+	}
+	if len(inline) > 0 {
+		fmt.Fprintf(os.Stderr, "astread: building decoder pools inline (decoder=%s, distances=%v, p=%g)...\n",
+			cfg.Decoder, inline, cfg.P)
+	}
+	start := time.Now()
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
+	// The load-vs-build split: loadArtifacts logged each bundle's load time
+	// above; whatever New spent beyond pool plumbing is the inline builds.
+	fmt.Fprintf(os.Stderr, "astread: decoder pools ready in %v (%d loaded from artifacts, %d built inline)\n",
+		time.Since(start).Round(time.Millisecond), len(arts), len(inline))
 	// Print each distance's configuration fingerprint so operators can pin
 	// it fleet-wide (astrea-loadgen -expect-fingerprint, cluster clients):
 	// replicas built from a different DEM or weight table advertise a

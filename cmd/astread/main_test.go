@@ -1,15 +1,22 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"astrea/internal/artifact"
+	"astrea/internal/server"
+	"astrea/internal/surface"
 )
 
 func TestBuildConfigDefaults(t *testing.T) {
-	cfg, listen, httpAddr, drain, err := buildConfig(nil)
+	opts, err := buildConfig(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg, listen, httpAddr, drain := opts.cfg, opts.listen, opts.httpAddr, opts.drain
 	if listen != ":7717" || httpAddr != ":7718" {
 		t.Fatalf("default addrs: %q, %q", listen, httpAddr)
 	}
@@ -34,7 +41,7 @@ func TestBuildConfigDefaults(t *testing.T) {
 }
 
 func TestBuildConfigParsesFlags(t *testing.T) {
-	cfg, listen, _, drain, err := buildConfig([]string{
+	opts, err := buildConfig([]string{
 		"-listen", "127.0.0.1:0", "-distances", "5, 9", "-decoder", "uf",
 		"-queue", "8", "-deadline", "2us",
 		"-max-conns", "2", "-idle-timeout", "30s", "-degrade", "0.5",
@@ -43,6 +50,7 @@ func TestBuildConfigParsesFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg, listen, drain := opts.cfg, opts.listen, opts.drain
 	if listen != "127.0.0.1:0" {
 		t.Fatalf("listen: %q", listen)
 	}
@@ -63,13 +71,14 @@ func TestBuildConfigParsesFlags(t *testing.T) {
 // TestBuildConfigDisabledSentinels: flag value 0 means "disabled", which
 // the server Config spells as negative (its zero means "use the default").
 func TestBuildConfigDisabledSentinels(t *testing.T) {
-	cfg, _, _, drain, err := buildConfig([]string{
+	opts, err := buildConfig([]string{
 		"-max-conns", "0", "-handshake-timeout", "0", "-idle-timeout", "0",
 		"-write-timeout", "0", "-degrade", "0", "-drain-timeout", "0",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg, drain := opts.cfg, opts.drain
 	if cfg.MaxConns >= 0 || cfg.DegradeFraction >= 0 {
 		t.Fatalf("0 flags not mapped to disabled: %+v", cfg)
 	}
@@ -82,7 +91,117 @@ func TestBuildConfigDisabledSentinels(t *testing.T) {
 }
 
 func TestBuildConfigRejectsBadDistance(t *testing.T) {
-	if _, _, _, _, err := buildConfig([]string{"-distances", "3,x"}); err == nil {
+	if _, err := buildConfig([]string{"-distances", "3,x"}); err == nil {
 		t.Fatal("bad distance accepted")
 	}
+}
+
+func TestBuildConfigArtifactFlags(t *testing.T) {
+	opts, err := buildConfig([]string{"-artifact", "a.astc, b.astc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.artifactPaths) != 2 || opts.artifactPaths[0] != "a.astc" || opts.artifactPaths[1] != "b.astc" {
+		t.Fatalf("artifact paths: %v", opts.artifactPaths)
+	}
+	if opts.distancesSet {
+		t.Fatal("distancesSet true without an explicit -distances")
+	}
+	opts, err = buildConfig([]string{"-artifact", "a.astc", "-distances", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.distancesSet {
+		t.Fatal("explicit -distances not recorded")
+	}
+}
+
+func TestBuildConfigArtifactDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"b.astc", "a.astc", "ignored.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts, err := buildConfig([]string{"-artifact-dir", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(dir, "a.astc"), filepath.Join(dir, "b.astc")}
+	if len(opts.artifactPaths) != 2 || opts.artifactPaths[0] != want[0] || opts.artifactPaths[1] != want[1] {
+		t.Fatalf("artifact-dir paths: %v, want %v", opts.artifactPaths, want)
+	}
+	if _, err := buildConfig([]string{"-artifact-dir", t.TempDir()}); err == nil {
+		t.Fatal("empty artifact-dir accepted")
+	}
+}
+
+// compileTestBundle writes a d=3 r=3 p=1e-3 bundle and returns its path.
+func compileTestBundle(t *testing.T) string {
+	t.Helper()
+	a, err := artifact.Compile(3, 3, 1e-3, surface.BasisZ)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), artifact.FileName(a.Meta))
+	if err := a.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestLoadArtifacts(t *testing.T) {
+	path := compileTestBundle(t)
+
+	opts, err := buildConfig([]string{"-artifact", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := loadArtifacts(&opts)
+	if err != nil {
+		t.Fatalf("loadArtifacts: %v", err)
+	}
+	if arts[3] == nil {
+		t.Fatalf("bundle for d=3 not loaded: %v", arts)
+	}
+	// Without explicit -distances the artifacts define the served set.
+	if len(opts.cfg.Distances) != 1 || opts.cfg.Distances[0] != 3 {
+		t.Fatalf("served set: %v, want [3]", opts.cfg.Distances)
+	}
+
+	// Same bundle twice: duplicate distance is refused.
+	opts, err = buildConfig([]string{"-artifact", path + "," + path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadArtifacts(&opts); err == nil {
+		t.Fatal("duplicate-distance artifacts accepted")
+	}
+
+	// p disagreeing with the daemon configuration is refused.
+	opts, err = buildConfig([]string{"-artifact", path, "-p", "2e-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadArtifacts(&opts); err == nil {
+		t.Fatal("artifact with mismatched p accepted")
+	}
+}
+
+func TestServerFromArtifacts(t *testing.T) {
+	path := compileTestBundle(t)
+	opts, err := buildConfig([]string{"-artifact", path, "-workers", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := loadArtifacts(&opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.cfg.Artifacts = arts
+	srv, err := server.New(opts.cfg)
+	if err != nil {
+		t.Fatalf("server.New from artifacts: %v", err)
+	}
+	srv.Close()
 }

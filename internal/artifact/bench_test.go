@@ -1,0 +1,45 @@
+package artifact
+
+import (
+	"fmt"
+	"testing"
+
+	"astrea/internal/surface"
+)
+
+// BenchmarkCompile measures the inline build pipeline an artifact replaces:
+// surface code, circuit, DEM extraction and the all-pairs Dijkstra.
+func BenchmarkCompile(b *testing.B) {
+	for _, d := range []int{3, 5, 7, 9} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(d, d, 1e-3, surface.BasisZ); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoadArtifact measures the replacement path: Decode of an encoded
+// bundle, including every checksum, the graph rebuild and the fingerprint
+// re-verification. The d=9 ratio against BenchmarkCompile/d=9 is the
+// headline speed-up of serving from artifacts.
+func BenchmarkLoadArtifact(b *testing.B) {
+	for _, d := range []int{3, 5, 7, 9} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			a, err := Compile(d, d, 1e-3, surface.BasisZ)
+			if err != nil {
+				b.Fatal(err)
+			}
+			enc := a.Encode()
+			b.SetBytes(int64(len(enc)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decode(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,23 @@
+package cluster
+
+import (
+	"astrea/internal/artifact"
+	"astrea/internal/decodegraph"
+)
+
+// FingerprintFromArtifact reads a compiled .astc bundle and returns the
+// decoding-configuration fingerprint it carries, fully validated (section
+// checksums plus a recomputed digest over the decoded model and table).
+//
+// This is how an operator pins a fleet without dialing any replica: the
+// artifact shipped to every astread instance is the source of truth, so its
+// fingerprint — not whatever the first reachable replica happens to
+// advertise — seeds Config.ExpectedFingerprint, and a replica running a
+// stale or divergent build is quarantined on first contact.
+func FingerprintFromArtifact(path string) (decodegraph.Fingerprint, error) {
+	a, err := artifact.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return a.Fingerprint, nil
+}

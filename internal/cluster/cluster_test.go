@@ -27,20 +27,15 @@ func leakCheck(t *testing.T) {
 	leakcheck.Check(t)
 }
 
-// envCache shares one environment per error rate across the package's
-// tests (all at distance 3); Env is immutable and safe to share.
-var envCache sync.Map
-
+// testEnv shares one environment per error rate across the package's
+// tests (all at distance 3) via the process-wide montecarlo cache; Env is
+// immutable and safe to share.
 func testEnv(t *testing.T, p float64) *montecarlo.Env {
 	t.Helper()
-	if v, ok := envCache.Load(p); ok {
-		return v.(*montecarlo.Env)
-	}
-	env, err := montecarlo.NewEnv(3, 3, p)
+	env, err := montecarlo.SharedEnv(3, 3, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	envCache.Store(p, env)
 	return env
 }
 

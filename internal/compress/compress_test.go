@@ -107,7 +107,7 @@ func TestSparseHugeWeightFallsBack(t *testing.T) {
 // Real syndromes at d=7, p=1e-3 must compress well below the dense bitmap
 // — the §7.6 claim.
 func TestCompressionOnRealSyndromes(t *testing.T) {
-	env, err := montecarlo.NewEnv(7, 7, 1e-3)
+	env, err := montecarlo.SharedEnv(7, 7, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}

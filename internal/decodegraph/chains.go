@@ -1,7 +1,6 @@
 package decodegraph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -77,9 +76,10 @@ func (g *Graph) tracePath(src, dst int) ([]ChainStep, float64, error) {
 		prev[k] = -1
 	}
 	dist[src] = 0
-	q := pq{{node: src}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
+	h := newMinHeap(n)
+	h.push(pqItem{node: src})
+	for len(h.items) > 0 {
+		it := h.pop()
 		if it.dist > dist[it.node] {
 			continue
 		}
@@ -92,7 +92,7 @@ func (g *Graph) tracePath(src, dst int) ([]ChainStep, float64, error) {
 				dist[e.to] = nd
 				prev[e.to] = it.node
 				prevEdge[e.to] = e
-				heap.Push(&q, pqItem{node: e.to, dist: nd})
+				h.push(pqItem{node: e.to, dist: nd})
 			}
 		}
 	}

@@ -25,7 +25,6 @@
 package decodegraph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -146,31 +145,71 @@ type pqItem struct {
 	dist float64
 }
 
-type pq []pqItem
+// minHeap is a typed binary min-heap of Dijkstra frontier entries, keyed on
+// dist. Unlike container/heap it boxes nothing through interface{} and its
+// backing array is reused across runs (reset keeps the capacity), so the
+// BuildGWT hot loop — one Dijkstra per node — performs no per-push
+// allocations after warm-up.
+type minHeap struct {
+	items []pqItem
+}
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func newMinHeap(capacity int) *minHeap {
+	return &minHeap{items: make([]pqItem, 0, capacity)}
+}
+
+func (h *minHeap) reset() { h.items = h.items[:0] }
+
+func (h *minHeap) push(it pqItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() pqItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && h.items[r].dist < h.items[l].dist {
+			m = r
+		}
+		if h.items[i].dist <= h.items[m].dist {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return top
 }
 
 // shortestFrom runs Dijkstra from src over the N+1 node graph, filling dist
-// and the observable parity of the chosen shortest path per node.
-func (g *Graph) shortestFrom(src int, dist []float64, obs []uint64) {
+// and the observable parity of the chosen shortest path per node. The
+// caller supplies the frontier heap so one allocation serves every source.
+func (g *Graph) shortestFrom(src int, dist []float64, obs []uint64, h *minHeap) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		obs[i] = 0
 	}
 	dist[src] = 0
-	q := pq{{node: src}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
+	h.reset()
+	h.push(pqItem{node: src})
+	for len(h.items) > 0 {
+		it := h.pop()
 		if it.dist > dist[it.node] {
 			continue
 		}
@@ -179,7 +218,7 @@ func (g *Graph) shortestFrom(src int, dist []float64, obs []uint64) {
 			if nd < dist[e.to] {
 				dist[e.to] = nd
 				obs[e.to] = obs[it.node] ^ e.obs
-				heap.Push(&q, pqItem{node: e.to, dist: nd})
+				h.push(pqItem{node: e.to, dist: nd})
 			}
 		}
 	}
@@ -219,9 +258,10 @@ func (g *Graph) BuildGWT() (*GWT, error) {
 	}
 	dist := make([]float64, n+1)
 	obs := make([]uint64, n+1)
+	h := newMinHeap(n + 1)
 
 	// All distances to the boundary first (single Dijkstra from boundary).
-	g.shortestFrom(g.Boundary(), dist, obs)
+	g.shortestFrom(g.Boundary(), dist, obs, h)
 	bndW := make([]float64, n)
 	bndObs := make([]uint64, n)
 	for i := 0; i < n; i++ {
@@ -235,7 +275,7 @@ func (g *Graph) BuildGWT() (*GWT, error) {
 	}
 
 	for i := 0; i < n; i++ {
-		g.shortestFrom(i, dist, obs)
+		g.shortestFrom(i, dist, obs, h)
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue

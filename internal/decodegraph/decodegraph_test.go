@@ -1,6 +1,7 @@
 package decodegraph
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -267,21 +268,25 @@ func TestDisconnectedGraphRejected(t *testing.T) {
 	}
 }
 
-func BenchmarkBuildGWTD7(b *testing.B) {
-	code, _ := surface.New(7)
-	cc, _ := code.MemoryZ(7, 1e-3)
-	m, err := dem.FromCircuit(cc)
-	if err != nil {
-		b.Fatal(err)
-	}
-	g, err := FromModel(m, cc.DetMetas)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := g.BuildGWT(); err != nil {
-			b.Fatal(err)
-		}
+func BenchmarkBuildGWT(b *testing.B) {
+	for _, d := range []int{3, 5, 7, 9} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			code, _ := surface.New(d)
+			cc, _ := code.MemoryZ(d, 1e-3)
+			m, err := dem.FromCircuit(cc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := FromModel(m, cc.DetMetas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.BuildGWT(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,75 @@
+package decodegraph
+
+import (
+	"fmt"
+
+	"astrea/internal/circuit"
+)
+
+// This file exposes the GWT's raw table content for the artifact layer
+// (internal/artifact), which serializes a built table to disk so serving
+// processes can load it instead of re-running the all-pairs Dijkstra.
+// The slices are the live backing arrays, not copies: a GWT is immutable
+// after construction, so sharing is safe as long as callers honour that.
+
+// GWTData is the exported raw content of a Global Weight Table. Every slice
+// has length N×N in row-major order; the diagonal carries the boundary
+// chain, exactly as in GWT itself.
+type GWTData struct {
+	N         int
+	W         []float64
+	Q         []uint8
+	Obs       []uint64
+	Direct    []float64
+	DirectObs []uint64
+}
+
+// Data returns views over the table's backing arrays for serialization.
+// The returned slices must not be modified.
+func (t *GWT) Data() GWTData {
+	return GWTData{
+		N:         t.N,
+		W:         t.w,
+		Q:         t.q,
+		Obs:       t.obs,
+		Direct:    t.direct,
+		DirectObs: t.directObs,
+	}
+}
+
+// GWTFromData reassembles a GWT from raw table content (the inverse of
+// Data), validating that every slice has the N×N length the table's
+// accessors assume. The GWT takes ownership of the slices; callers must not
+// modify them afterwards.
+func GWTFromData(d GWTData, metas []circuit.DetMeta) (*GWT, error) {
+	if d.N < 0 {
+		return nil, fmt.Errorf("decodegraph: negative GWT dimension %d", d.N)
+	}
+	want := d.N * d.N
+	for _, c := range []struct {
+		name string
+		got  int
+	}{
+		{"w", len(d.W)},
+		{"q", len(d.Q)},
+		{"obs", len(d.Obs)},
+		{"direct", len(d.Direct)},
+		{"directObs", len(d.DirectObs)},
+	} {
+		if c.got != want {
+			return nil, fmt.Errorf("decodegraph: GWT %s table has %d entries, want %d×%d=%d", c.name, c.got, d.N, d.N, want)
+		}
+	}
+	if len(metas) != d.N {
+		return nil, fmt.Errorf("decodegraph: %d detector metas for %d-node GWT", len(metas), d.N)
+	}
+	return &GWT{
+		N:         d.N,
+		Metas:     metas,
+		w:         d.W,
+		q:         d.Q,
+		obs:       d.Obs,
+		direct:    d.Direct,
+		directObs: d.DirectObs,
+	}, nil
+}

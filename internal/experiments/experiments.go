@@ -6,9 +6,7 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
-	"sync"
 
 	"astrea/internal/astrea"
 	"astrea/internal/astreag"
@@ -138,30 +136,11 @@ func stratifiedLERs(env *montecarlo.Env, b Budget, factories ...montecarlo.Facto
 	return lers, res, nil
 }
 
-// envCache avoids rebuilding (d, p) environments across experiments in one
-// process (DEM extraction and the all-pairs Dijkstra dominate start-up).
-var (
-	envCacheMu sync.Mutex
-	envCache   = map[[2]string]*montecarlo.Env{}
-)
-
-// Env returns a cached environment for a d-round memory experiment.
+// Env returns a cached environment for a d-round memory experiment. The
+// cache is the process-wide one in montecarlo, so experiments, servers and
+// tests launched in one process all share the same built tables.
 func Env(d int, p float64) (*montecarlo.Env, error) {
-	key := [2]string{fmt.Sprint(d), fmt.Sprint(p)}
-	envCacheMu.Lock()
-	e, ok := envCache[key]
-	envCacheMu.Unlock()
-	if ok {
-		return e, nil
-	}
-	e, err := montecarlo.NewEnv(d, d, p)
-	if err != nil {
-		return nil, err
-	}
-	envCacheMu.Lock()
-	envCache[key] = e
-	envCacheMu.Unlock()
-	return e, nil
+	return montecarlo.SharedEnv(d, d, p)
 }
 
 // QuantizeWth snaps a threshold to the GWT's fixed-point grid.

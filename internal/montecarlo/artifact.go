@@ -1,0 +1,68 @@
+package montecarlo
+
+import (
+	"fmt"
+
+	"astrea/internal/artifact"
+	"astrea/internal/surface"
+)
+
+// This file bridges environments and compiled artifacts: an Env can be
+// exported as an artifact (compile once), and an artifact can be hydrated
+// back into a full Env (serve anywhere) without re-running DEM extraction
+// or the all-pairs Dijkstra of BuildGWT. Only the cheap parts — the surface
+// code layout and the noiseless-structure circuit — are regenerated at load
+// time, so stratified runs and samplers keep working on a loaded Env.
+
+// NewEnvFromArtifact hydrates a simulation environment from a compiled
+// artifact. The detector error model, decoding graph and Global Weight
+// Table are adopted from the artifact; the code and circuit are rebuilt
+// from the operating-point metadata (an O(d³) construction, no DEM
+// extraction and no BuildGWT). The rebuilt circuit is validated against the
+// artifact's detector count so a bundle from a different operating point
+// fails loudly instead of sampling from the wrong circuit.
+func NewEnvFromArtifact(a *artifact.Artifact) (*Env, error) {
+	code, err := surface.New(a.Meta.Distance)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := code.Memory(a.Meta.Basis, a.Meta.Rounds, surface.Uniform(a.Meta.P))
+	if err != nil {
+		return nil, err
+	}
+	if len(cc.DetMetas) != a.Model.NumDetectors {
+		return nil, fmt.Errorf("montecarlo: artifact (%s) carries %d detectors but its circuit has %d",
+			a.Meta, a.Model.NumDetectors, len(cc.DetMetas))
+	}
+	return &Env{
+		Distance: a.Meta.Distance,
+		Rounds:   a.Meta.Rounds,
+		P:        a.Meta.P,
+		Basis:    a.Meta.Basis,
+		Code:     code,
+		Circuit:  cc,
+		Model:    a.Model,
+		Graph:    a.Graph,
+		GWT:      a.GWT,
+	}, nil
+}
+
+// Artifact exports the environment as a compiled artifact ready for
+// Encode/WriteFile. The artifact shares the environment's immutable tables
+// (no copies). Environments built from non-uniform noise maps export their
+// true model and tables faithfully, but a load on the other side regenerates
+// the circuit under uniform noise at e.P — serving paths never consult the
+// circuit's noise, but stratified estimation on such a loaded Env would
+// sample the wrong fault distribution, so ship non-uniform operating points
+// as envs, not artifacts.
+func (e *Env) Artifact() (*artifact.Artifact, error) {
+	if e.Circuit == nil {
+		return nil, fmt.Errorf("montecarlo: environment has no circuit to export")
+	}
+	return artifact.New(artifact.Meta{
+		Distance: e.Distance,
+		Rounds:   e.Rounds,
+		P:        e.P,
+		Basis:    e.Basis,
+	}, e.Circuit.DetMetas, e.Model, e.Graph, e.GWT)
+}

@@ -1,0 +1,81 @@
+package montecarlo
+
+import (
+	"sync"
+
+	"astrea/internal/surface"
+)
+
+// Process-wide environment cache. Building an Env is dominated by DEM
+// extraction and the all-pairs Dijkstra of BuildGWT, yet many callers —
+// every per-distance decoder pool in a decode server, every test that sets
+// up the same (d, rounds, p) operating point, the experiment harness
+// sweeping a grid — ask for identical environments. Envs are immutable
+// after construction, so one build can serve them all.
+
+// envKey identifies one cacheable operating point. Only uniform noise maps
+// are cacheable (a NoiseMap has no canonical value identity).
+type envKey struct {
+	d, rounds int
+	p         float64
+	basis     surface.Basis
+}
+
+// envEntry is a singleflight slot: the first caller builds, concurrent
+// callers for the same key wait on the same Once instead of duplicating the
+// work.
+type envEntry struct {
+	once sync.Once
+	env  *Env
+	err  error
+}
+
+var (
+	envCacheMu sync.Mutex
+	envCache   = map[envKey]*envEntry{}
+)
+
+// SharedEnv returns the process-wide cached environment for a basis-Z
+// memory experiment at (d, rounds, p), building it on first use. Concurrent
+// callers of the same operating point share one build. The returned Env is
+// shared — it is immutable, so this is safe, but callers must not modify
+// it. Failed builds are cached too (the inputs are deterministic, retrying
+// cannot succeed).
+func SharedEnv(d, rounds int, p float64) (*Env, error) {
+	return sharedEnv(envKey{d: d, rounds: rounds, p: p, basis: surface.BasisZ})
+}
+
+// SharedEnvBasis is SharedEnv for an explicit memory basis.
+func SharedEnvBasis(basis surface.Basis, d, rounds int, p float64) (*Env, error) {
+	return sharedEnv(envKey{d: d, rounds: rounds, p: p, basis: basis})
+}
+
+func sharedEnv(k envKey) (*Env, error) {
+	envCacheMu.Lock()
+	e, ok := envCache[k]
+	if !ok {
+		e = &envEntry{}
+		envCache[k] = e
+	}
+	envCacheMu.Unlock()
+	e.once.Do(func() {
+		code, err := surface.New(k.d)
+		if err != nil {
+			e.err = err
+			return
+		}
+		cc, err := code.Memory(k.basis, k.rounds, surface.Uniform(k.p))
+		if err != nil {
+			e.err = err
+			return
+		}
+		env, err := NewEnvFromCircuit(code, cc, k.rounds, k.p)
+		if err != nil {
+			e.err = err
+			return
+		}
+		env.Basis = k.basis
+		e.env = env
+	})
+	return e.env, e.err
+}

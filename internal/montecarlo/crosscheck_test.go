@@ -34,7 +34,7 @@ func allDecoders(t *testing.T, env *Env) []decoder.Decoder {
 // Fuzz every decoder with random syndromes, including unphysical dense
 // ones: no panics, valid matchings, sensible result metadata.
 func TestFuzzAllDecodersRandomSyndromes(t *testing.T) {
-	env, err := NewEnv(5, 5, 1e-3)
+	env, err := SharedEnv(5, 5, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestFuzzAllDecodersRandomSyndromes(t *testing.T) {
 // On single-mechanism syndromes every decoder must produce the mechanism's
 // own observable prediction (they are all at least 1-fault-correct).
 func TestAllDecodersCorrectSingleFaults(t *testing.T) {
-	env, err := NewEnv(3, 3, 1e-3)
+	env, err := SharedEnv(3, 3, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestAllDecodersCorrectSingleFaults(t *testing.T) {
 func TestExponentialSuppression(t *testing.T) {
 	var lers []float64
 	for _, d := range []int{3, 5} {
-		env, err := NewEnv(d, d, 1e-4)
+		env, err := SharedEnv(d, d, 1e-4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +119,7 @@ func TestExponentialSuppression(t *testing.T) {
 // schedule's hook errors do not reduce the effective distance.
 func TestCircuitDistancePreserved(t *testing.T) {
 	for _, c := range []struct{ d, k int }{{3, 1}, {5, 2}, {7, 3}} {
-		env, err := NewEnv(c.d, c.d, 1e-3)
+		env, err := SharedEnv(c.d, c.d, 1e-3)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -43,6 +43,11 @@ type Env struct {
 	Distance int
 	Rounds   int
 	P        float64
+	// Basis is the memory-experiment basis, recorded so the environment can
+	// be exported as (and round-tripped through) a compiled artifact.
+	// Constructors default it to BasisZ; embedders building custom circuits
+	// in another basis should set it before exporting.
+	Basis surface.Basis
 
 	Code    *surface.Code
 	Circuit *circuit.Circuit

@@ -35,7 +35,7 @@ func TestNewEnvValidates(t *testing.T) {
 }
 
 func TestRunBasics(t *testing.T) {
-	env, err := NewEnv(3, 3, 2e-3)
+	env, err := SharedEnv(3, 3, 2e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestRunBasics(t *testing.T) {
 
 // Determinism: same seed and worker count, same tallies.
 func TestRunDeterministic(t *testing.T) {
-	env, err := NewEnv(3, 3, 2e-3)
+	env, err := SharedEnv(3, 3, 2e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestRunDeterministic(t *testing.T) {
 
 // The headline result in miniature: Astrea == MWPM accuracy; UF worse.
 func TestAccuracyOrdering(t *testing.T) {
-	env, err := NewEnv(3, 3, 3e-3)
+	env, err := SharedEnv(3, 3, 3e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestAccuracyOrdering(t *testing.T) {
 
 // Latency accounting: Astrea's cycle stats must respect the §5.4 model.
 func TestLatencyAccounting(t *testing.T) {
-	env, err := NewEnv(5, 5, 2e-3)
+	env, err := SharedEnv(5, 5, 2e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestLatencyAccounting(t *testing.T) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	env, err := NewEnv(3, 3, 1e-3)
+	env, err := SharedEnv(3, 3, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 // (single mechanisms are always decoded correctly by exact MWPM), and the
 // estimator must roughly agree with direct Monte Carlo where both work.
 func TestStratifiedBasics(t *testing.T) {
-	env, err := NewEnv(3, 3, 2e-3)
+	env, err := SharedEnv(3, 3, 2e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestStratifiedBasics(t *testing.T) {
 }
 
 func TestStratifiedRejectsBadConfig(t *testing.T) {
-	env, err := NewEnv(3, 3, 1e-3)
+	env, err := SharedEnv(3, 3, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestStratifiedRejectsBadConfig(t *testing.T) {
 
 // Astrea-G end-to-end smoke at d=5 through the engine.
 func TestAstreaGEndToEnd(t *testing.T) {
-	env, err := NewEnv(5, 5, 2e-3)
+	env, err := SharedEnv(5, 5, 2e-3)
 	if err != nil {
 		t.Fatal(err)
 	}

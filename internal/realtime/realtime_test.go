@@ -94,7 +94,7 @@ func TestRejectsBadLength(t *testing.T) {
 // 100% on-time decodes, while wall-clock software MWPM (whose mean decode
 // here costs multiple microseconds per nonzero syndrome) falls behind.
 func TestAstreaSustainsStreamSoftwareMWPMDoesNot(t *testing.T) {
-	env, err := montecarlo.NewEnv(5, 5, 1e-3)
+	env, err := montecarlo.SharedEnv(5, 5, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,7 +94,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	env := cfg.env
 	if env == nil {
 		var err error
-		env, err = montecarlo.NewEnv(cfg.Distance, cfg.Distance, cfg.P)
+		env, err = montecarlo.SharedEnv(cfg.Distance, cfg.Distance, cfg.P)
 		if err != nil {
 			return nil, err
 		}

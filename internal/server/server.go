@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"astrea/internal/artifact"
 	"astrea/internal/bitvec"
 	"astrea/internal/compress"
 	"astrea/internal/decodegraph"
@@ -83,6 +84,14 @@ type Config struct {
 	// embedders share one env between server and client to halve setup
 	// cost); missing distances are built normally.
 	Envs map[int]*montecarlo.Env
+
+	// Artifacts supplies compiled operating points keyed by distance: a
+	// pool for a distance present here is hydrated from the artifact —
+	// skipping DEM extraction and BuildGWT entirely — and advertises the
+	// artifact's fingerprint. An artifact whose distance or physical error
+	// rate disagrees with the configuration is rejected at startup. Envs
+	// takes precedence over Artifacts for the same distance.
+	Artifacts map[int]*artifact.Artifact
 
 	// factory overrides the decoder constructor (tests inject slow or
 	// instrumented decoders); nil uses Decoder.
@@ -297,10 +306,26 @@ func New(cfg Config) (*Server, error) {
 		}
 		env := cfg.Envs[d]
 		if env == nil {
-			var err error
-			env, err = montecarlo.NewEnv(d, d, cfg.P)
-			if err != nil {
-				return nil, err
+			if a := cfg.Artifacts[d]; a != nil {
+				if a.Meta.Distance != d {
+					return nil, fmt.Errorf("server: artifact keyed d=%d was compiled for %s", d, a.Meta)
+				}
+				if a.Meta.P != cfg.P {
+					return nil, fmt.Errorf("server: artifact %s disagrees with configured p=%g", a.Meta, cfg.P)
+				}
+				var err error
+				env, err = montecarlo.NewEnvFromArtifact(a)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				// The process-wide cache deduplicates builds across pools,
+				// servers and tests sharing an operating point.
+				var err error
+				env, err = montecarlo.SharedEnv(d, d, cfg.P)
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 		p := &distPool{

@@ -19,20 +19,15 @@ import (
 	"astrea/internal/prng"
 )
 
-// envCache shares one environment per distance across the package's tests;
-// Env is immutable and safe to share.
-var envCache sync.Map
-
+// testEnv shares one environment per distance across the package's tests
+// via the process-wide montecarlo cache; Env is immutable and safe to
+// share.
 func testEnv(t *testing.T, d int) *montecarlo.Env {
 	t.Helper()
-	if v, ok := envCache.Load(d); ok {
-		return v.(*montecarlo.Env)
-	}
-	env, err := montecarlo.NewEnv(d, d, 1e-3)
+	env, err := montecarlo.SharedEnv(d, d, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	envCache.Store(d, env)
 	return env
 }
 

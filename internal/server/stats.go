@@ -13,27 +13,27 @@ import (
 // plus the shared realtime.Tracker for deadline accounting (so the
 // service's miss rate is defined exactly as Figure 3's offline criterion).
 type stats struct {
-	start      time.Time
-	queueCap   int
-	deadline   float64
-	offered    atomic.Int64 // decode frames parsed (accepted + rejected)
-	accepted   atomic.Int64 // enqueued
-	rejected   atomic.Int64 // backpressure rejections
-	completed  atomic.Int64 // results written
-	malformed  atomic.Int64 // undecodable syndrome payloads (error frames)
+	start     time.Time
+	queueCap  int
+	deadline  float64
+	offered   atomic.Int64 // decode frames parsed (accepted + rejected)
+	accepted  atomic.Int64 // enqueued
+	rejected  atomic.Int64 // backpressure rejections
+	completed atomic.Int64 // results written
+	malformed atomic.Int64 // undecodable syndrome payloads (error frames)
 	// checksumFail counts frames rejected by the CRC32C trailer
 	// (FeatureChecksum streams): corruption that would otherwise have
 	// decoded into a silently wrong correction.
 	checksumFail atomic.Int64
 	pings        atomic.Int64 // probe frames answered (FeatureProbe streams)
 	panics       atomic.Int64 // contained decoder panics (internal-error frames)
-	degraded   atomic.Int64 // results decoded by the fallback decoder
-	idleReaped atomic.Int64 // connections closed for idleness
-	overCap    atomic.Int64 // connections refused at the MaxConns cap
-	batches    atomic.Int64 // worker wake-ups
-	batched    atomic.Int64 // requests drained across all batches
-	bytesIn    atomic.Int64 // compressed syndrome payload bytes received
-	tracker    *realtime.Tracker
+	degraded     atomic.Int64 // results decoded by the fallback decoder
+	idleReaped   atomic.Int64 // connections closed for idleness
+	overCap      atomic.Int64 // connections refused at the MaxConns cap
+	batches      atomic.Int64 // worker wake-ups
+	batched      atomic.Int64 // requests drained across all batches
+	bytesIn      atomic.Int64 // compressed syndrome payload bytes received
+	tracker      *realtime.Tracker
 }
 
 func newStats(cfg Config, deadlineNs float64) *stats {
