@@ -1,0 +1,102 @@
+// astrea-vet is the repo-specific static-analysis pass: it walks the
+// module's packages and enforces the invariants the decode pipeline's
+// correctness rests on (see internal/lint). Exit status is non-zero on
+// any finding, so CI can gate on it.
+//
+// Usage:
+//
+//	astrea-vet [./...]
+//	astrea-vet ./internal/server ./internal/artifact
+//
+// With no arguments (or "./..."), the whole module containing the
+// current directory is analyzed. Findings print one per line as
+//
+//	file:line:col: [analyzer] message
+//
+// A finding is suppressed only by an inline
+// "//lint:allow <analyzer> <reason>" comment on the flagged line or the
+// line above it; unused or reason-less allow comments are findings too.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"astrea/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "astrea-vet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		return err
+	}
+	loader := lint.NewLoader()
+	var pkgs []*lint.Package
+	if whole(args) {
+		pkgs, err = loader.LoadModule(root)
+		if err != nil {
+			return err
+		}
+	} else {
+		for _, arg := range args {
+			pkg, err := loadArg(loader, root, arg)
+			if err != nil {
+				return err
+			}
+			if pkg != nil {
+				pkgs = append(pkgs, pkg)
+			}
+		}
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Apply(pkg, lint.Analyzers) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "astrea-vet: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// whole reports whether the argument list means "the entire module".
+func whole(args []string) bool {
+	if len(args) == 0 {
+		return true
+	}
+	return len(args) == 1 && (args[0] == "./..." || args[0] == "...")
+}
+
+// loadArg loads one explicit package directory argument.
+func loadArg(loader *lint.Loader, root, arg string) (*lint.Package, error) {
+	dir, err := filepath.Abs(arg)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("package %s is outside the module at %s", arg, root)
+	}
+	rel = filepath.ToSlash(rel)
+	modPath, err := lint.ModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + rel
+	}
+	return loader.LoadDir(dir, path, rel)
+}

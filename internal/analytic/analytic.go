@@ -62,6 +62,7 @@ func HWUpperBoundTail(d int, p float64, h int) float64 {
 	for e := h/2 + 1; e <= n; e++ {
 		pmf := BinomialPMF(n, 8*p, e)
 		total += pmf
+		//lint:allow floateq exact-zero test for underflowed PMF tail; an epsilon would truncate the sum early and change the bound
 		if pmf == 0 && e > h/2+4 {
 			break
 		}
@@ -108,6 +109,7 @@ func StratifiedLER(n int, p float64, pf []float64) float64 {
 	lastPf := pf[len(pf)-1]
 	for k := 1; k <= n; k++ {
 		po := BinomialPMF(n, p, k)
+		//lint:allow floateq exact-zero test for underflowed PMF tail; an epsilon would truncate the sum early and change the bound
 		if po == 0 && k > len(pf)+4 {
 			break
 		}

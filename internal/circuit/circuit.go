@@ -261,6 +261,8 @@ func (c *Circuit) Finalize() error {
 					c.slots = append(c.slots, Slot{Instr: i, Target: t, P: in.P})
 				}
 			}
+		case OpCNOT, OpH, OpR:
+			// Gates measure nothing and carry no noise slots.
 		}
 	}
 	c.NumMeas = n
@@ -443,6 +445,9 @@ func (c *Circuit) SampleInjections(rng *prng.Source, dst []Injection) []Injectio
 				kind = ErrZ
 			case OpM:
 				kind = ErrFlip
+			default:
+				// Finalize creates slots only for the ops above.
+				panic(fmt.Sprintf("circuit: noise slot on gate op %v", c.Instrs[s.Instr].Op))
 			}
 			dst = append(dst, Injection{Instr: s.Instr, Target: s.Target, Kind: kind})
 			k += 1 + rng.Geometric(p)
@@ -493,6 +498,11 @@ func (c *Circuit) SampleKInjections(rng *prng.Source, k int, dst []Injection) []
 			kind = ErrX
 		case OpZError:
 			kind = ErrZ
+		case OpM:
+			kind = ErrFlip
+		default:
+			// Finalize creates slots only for the ops above.
+			panic(fmt.Sprintf("circuit: noise slot on gate op %v", c.Instrs[s.Instr].Op))
 		}
 		dst = append(dst, Injection{Instr: s.Instr, Target: s.Target, Kind: kind})
 	}

@@ -84,6 +84,9 @@ func (r *replica) admit() (ok, trial bool) {
 			r.trialing = true
 			return true, true
 		}
+	case stateQuarantined:
+		// Permanently shed: a fingerprint mismatch never heals, so no
+		// half-open probes either.
 	}
 	return false, false
 }
@@ -126,9 +129,12 @@ func (r *replica) onFail(trial bool) {
 				delete(r.open, c)
 			}
 		}
+	case stateQuarantined:
+		// Already permanently shed; one more failure changes nothing.
 	}
 	r.mu.Unlock()
 	for _, c := range drop {
+		//lint:allow errwrap dropping pooled conns to a failing endpoint; its consecutive-failure state is the signal that matters
 		c.Close()
 	}
 }
@@ -153,6 +159,7 @@ func (r *replica) quarantine(reason string) {
 	r.idle = nil
 	r.mu.Unlock()
 	for _, c := range drop {
+		//lint:allow errwrap severing conns to a quarantined replica; the fingerprint mismatch is already recorded
 		c.Close()
 	}
 }
@@ -191,6 +198,7 @@ func (r *replica) get(f *Fleet) (*server.Client, error) {
 		return nil, err
 	}
 	if err := f.adoptFingerprint(r, c); err != nil {
+		//lint:allow errwrap teardown of a conn whose fingerprint was refused; the mismatch error is the one returned
 		c.Close()
 		r.quarantine(err.Error())
 		return nil, err
@@ -216,12 +224,14 @@ func (r *replica) put(f *Fleet, c *server.Client) {
 	if _, tracked := r.open[c]; !tracked {
 		// Quarantine or teardown already severed it.
 		r.mu.Unlock()
+		//lint:allow errwrap conn already untracked; closing again is belt-and-braces
 		c.Close()
 		return
 	}
 	if closed || r.state != stateClosed || len(r.idle) >= r.cfg.ConnsPerReplica {
 		delete(r.open, c)
 		r.mu.Unlock()
+		//lint:allow errwrap conn not worth pooling (breaker tripped or pool full); close errors are unactionable
 		c.Close()
 		return
 	}
@@ -234,6 +244,7 @@ func (r *replica) discard(c *server.Client) {
 	r.mu.Lock()
 	delete(r.open, c)
 	r.mu.Unlock()
+	//lint:allow errwrap discarding a conn that just failed a call; the call error is the actionable one
 	c.Close()
 }
 
@@ -248,6 +259,7 @@ func (r *replica) closeConns() {
 	r.idle = nil
 	r.mu.Unlock()
 	for _, c := range drop {
+		//lint:allow errwrap fleet shutdown teardown; per-conn close errors have no one to act on them
 		c.Close()
 	}
 }

@@ -74,6 +74,8 @@ func kindsFor(op circuit.Op, p float64) ([]circuit.ErrKind, []float64) {
 		return []circuit.ErrKind{circuit.ErrZ}, []float64{p}
 	case circuit.OpM:
 		return []circuit.ErrKind{circuit.ErrFlip}, []float64{p}
+	case circuit.OpCNOT, circuit.OpH, circuit.OpR:
+		// Gates carry no noise slots; Finalize never produces one.
 	}
 	return nil, nil
 }
@@ -184,6 +186,7 @@ func (s *Sampler) Sample(rng *prng.Source, det bitvec.Vec) uint64 {
 	i := rng.Geometric(m.MaxP)
 	for i < len(m.Errors) {
 		e := &m.Errors[i]
+		//lint:allow floateq exact-equality fast path comparing two stored (not computed) values; skipping the rng.Float64 draw here is load-bearing for the deterministic sample stream
 		if e.P == m.MaxP || rng.Float64()*m.MaxP < e.P {
 			for _, d := range e.Detectors {
 				det.Flip(d)

@@ -10,6 +10,7 @@ import (
 
 	"astrea/internal/bitvec"
 	"astrea/internal/decoder"
+	"astrea/internal/leakcheck"
 )
 
 // recorderConn is a net.Conn sink that records written bytes and whether it
@@ -138,6 +139,7 @@ func TestZeroConfigIsTransparent(t *testing.T) {
 // TestProxyRoundTrip runs a fault-free proxy in front of an echo server and
 // checks bytes survive both directions; Close must tear everything down.
 func TestProxyRoundTrip(t *testing.T) {
+	leakcheck.Check(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -237,6 +239,7 @@ func TestFlakyDecoderSchedule(t *testing.T) {
 
 // TestListenerWrapsAccepted checks accepted connections carry the schedule.
 func TestListenerWrapsAccepted(t *testing.T) {
+	leakcheck.Check(t)
 	inner, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// endianPkgs are the byte-layout layers: the wire protocol and the .astc
+// artifact format. Both are specified little-endian; a single big-endian
+// field silently corrupts every peer and every stored artifact.
+var endianPkgs = map[string]bool{
+	"internal/server":   true,
+	"internal/artifact": true,
+}
+
+// Endian forbids binary.BigEndian (and any non-LittleEndian byte order
+// passed to binary.Read/binary.Write) in the wire and artifact packages.
+var Endian = &Analyzer{
+	Name: "endian",
+	Doc:  "wire and artifact layers are little-endian everywhere",
+	Run:  runEndian,
+}
+
+func runEndian(pkg *Package) []Diagnostic {
+	if !inScope(pkg, endianPkgs) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if name, ok := binaryOrderName(pkg, e); ok && name != "LittleEndian" {
+					diags = append(diags, diag(pkg, "endian", e,
+						"binary.%s in a little-endian layer; use binary.LittleEndian", name))
+				}
+			case *ast.CallExpr:
+				if !isPkgFunc(pkg.Info, e, "encoding/binary", "Read") && !isPkgFunc(pkg.Info, e, "encoding/binary", "Write") {
+					return true
+				}
+				if len(e.Args) < 2 {
+					return true
+				}
+				sel, ok := ast.Unparen(e.Args[1]).(*ast.SelectorExpr)
+				if !ok {
+					diags = append(diags, diag(pkg, "endian", e.Args[1],
+						"byte order passed to binary.Read/Write must be the literal binary.LittleEndian"))
+					return true
+				}
+				if name, ok := binaryOrderName(pkg, sel); !ok || name != "LittleEndian" {
+					diags = append(diags, diag(pkg, "endian", e.Args[1],
+						"byte order passed to binary.Read/Write must be binary.LittleEndian"))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// binaryOrderName resolves a selector to an encoding/binary package-level
+// variable (BigEndian, LittleEndian, NativeEndian) and returns its name.
+func binaryOrderName(pkg *Package, sel *ast.SelectorExpr) (string, bool) {
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/binary" {
+		return "", false
+	}
+	switch obj.Name() {
+	case "BigEndian", "LittleEndian", "NativeEndian":
+		return obj.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive checks switches over named constant groups (FrameType,
+// compress.ID, artifact section tags — any defined integer or string
+// type with two or more package-level constants): every declared
+// constant must be covered, or the switch must carry a default that
+// returns or panics, so an unhandled new constant fails loudly instead
+// of falling off the end.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over named constant groups cover every constant or propagate an error in default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := namedConstType(pkg, sw.Tag)
+			if named == nil {
+				return true
+			}
+			group := constGroup(named)
+			if len(group) < 2 {
+				return true
+			}
+			covered := map[string]bool{}
+			var defaultClause *ast.CaseClause
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					defaultClause = cc
+					continue
+				}
+				for _, e := range cc.List {
+					if tv := pkg.Info.Types[e]; tv.Value != nil {
+						covered[tv.Value.ExactString()] = true
+					}
+				}
+			}
+			var missing []string
+			for _, c := range group {
+				if !covered[c.Val().ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			sort.Strings(missing)
+			if defaultClause == nil {
+				diags = append(diags, diag(pkg, "exhaustive", sw,
+					"switch over %s misses %s and has no default; cover them or add a default that returns an error",
+					named.Obj().Name(), strings.Join(missing, ", ")))
+			} else if !propagates(defaultClause) {
+				diags = append(diags, diag(pkg, "exhaustive", defaultClause,
+					"default of a non-exhaustive switch over %s (missing %s) neither returns nor panics; an unhandled constant would fall through silently",
+					named.Obj().Name(), strings.Join(missing, ", ")))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// namedConstType resolves the switch tag to a defined (non-alias) type
+// whose underlying is integer or string — the shape of a constant group.
+func namedConstType(pkg *Package, tag ast.Expr) *types.Named {
+	t := pkg.Info.Types[tag].Type
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	return named
+}
+
+// constGroup returns the package-level constants declared with exactly
+// the named type, in declaration-scope order (sorted by name for
+// determinism of messages).
+func constGroup(named *types.Named) []*types.Const {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var group []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), named) {
+			group = append(group, c)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool { return group[i].Name() < group[j].Name() })
+	return group
+}
+
+// propagates reports whether the clause body contains a return, a panic,
+// or a goto/branch out — anything that refuses to fall off the end.
+func propagates(cc *ast.CaseClause) bool {
+	found := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.ReturnStmt:
+				found = true
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+				}
+			case *ast.FuncLit:
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}

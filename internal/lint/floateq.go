@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatPkgs are the weight and decoder packages: everywhere an edge
+// weight, error probability, or matching weight flows. Equality on
+// floats there is either a latent rounding bug or a disguised exactness
+// assumption that belongs behind an epsilon or an integer (milli-decade)
+// representation.
+var floatPkgs = map[string]bool{
+	"internal/dem":         true,
+	"internal/decodegraph": true,
+	"internal/blossom":     true,
+	"internal/mwpm":        true,
+	"internal/astrea":      true,
+	"internal/astreag":     true,
+	"internal/unionfind":   true,
+	"internal/clique":      true,
+	"internal/lilliput":    true,
+	"internal/decoder":     true,
+	"internal/analytic":    true,
+	"internal/hwmodel":     true,
+}
+
+// Floateq forbids == and != on floating-point operands in the weight and
+// decoder packages.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no floating-point equality in weight/decoder code",
+	Run:  runFloateq,
+}
+
+func runFloateq(pkg *Package) []Diagnostic {
+	if !inScope(pkg, floatPkgs) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(*ast.BinaryExpr)
+			if !ok || (e.Op != token.EQL && e.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pkg.Info.Types[e.X].Type) || isFloat(pkg.Info.Types[e.Y].Type) {
+				diags = append(diags, diag(pkg, "floateq", e,
+					"floating-point %s comparison; compare against an epsilon or use an integer weight representation", e.Op))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,215 @@
+// Package lint is astrea's repo-specific static-analysis pass: a small,
+// stdlib-only analyzer framework (go/parser + go/ast + go/types over the
+// source importer) plus six analyzers that machine-check the invariants
+// the decode pipeline's correctness rests on — byte-determinism of the
+// compile/decode paths, little-endian wire and artifact layers, error
+// wrapping and propagation discipline, exhaustive handling of wire
+// constant groups, no floating-point equality in weight code, and no
+// untracked goroutines in the service layers.
+//
+// Each analyzer is a pure function from a loaded package to diagnostics.
+// A finding is suppressed only by an inline
+//
+//	//lint:allow <analyzer> <reason>
+//
+// comment on the flagged line or the line directly above it; the reason
+// is mandatory, and an allow comment that suppresses nothing is itself a
+// finding, so the allowlist cannot rot silently. The cmd/astrea-vet
+// driver walks ./... and exits non-zero on any finding; TestVetCleanTree
+// holds the real tree to zero.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an analyzer name, a position, and a message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run must be a pure function of the
+// package: no global state, no file-system access, no ordering
+// assumptions beyond the package's own file list.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Diagnostic
+}
+
+// Package is one loaded, type-checked package as the analyzers see it.
+type Package struct {
+	// Rel is the module-relative package path ("internal/dem",
+	// "cmd/astread", "." for the module root); analyzers scope on it.
+	Rel   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzers is the full pass, in the order findings are reported.
+var Analyzers = []*Analyzer{
+	Determinism,
+	Endian,
+	Errwrap,
+	Exhaustive,
+	Floateq,
+	Gohygiene,
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// parseAllows collects every //lint:allow directive in the package.
+// Malformed directives (missing analyzer or reason) are returned as
+// diagnostics immediately: an unjustified suppression is itself a finding.
+func parseAllows(pkg *Package) ([]*allowDirective, []Diagnostic) {
+	var allows []*allowDirective
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "allowlist",
+						Message:  "//lint:allow needs an analyzer name and a reason: //lint:allow <analyzer> <why this is safe>",
+					})
+					continue
+				}
+				allows = append(allows, &allowDirective{
+					pos:      pos,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return allows, diags
+}
+
+// Apply runs the given analyzers over the package, filters findings
+// through the package's //lint:allow directives, and reports any
+// directive that suppressed nothing. Diagnostics come back sorted by
+// file, line, column.
+func Apply(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	allows, diags := parseAllows(pkg)
+	for _, a := range analyzers {
+		for _, d := range a.Run(pkg) {
+			if suppressed(allows, a.Name, d.Pos) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	for _, al := range allows {
+		if !al.used {
+			diags = append(diags, Diagnostic{
+				Pos:      al.pos,
+				Analyzer: "allowlist",
+				Message:  fmt.Sprintf("//lint:allow %s suppresses nothing; delete it", al.analyzer),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppressed reports whether an allow directive for the analyzer sits on
+// the diagnostic's line or the line directly above it, in the same file.
+func suppressed(allows []*allowDirective, analyzer string, pos token.Position) bool {
+	for _, al := range allows {
+		if al.analyzer != analyzer || al.pos.Filename != pos.Filename {
+			continue
+		}
+		if al.pos.Line == pos.Line || al.pos.Line == pos.Line-1 {
+			al.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// inScope reports whether the package's module-relative path is one of
+// the given "internal/x" selectors.
+func inScope(pkg *Package, scope map[string]bool) bool {
+	return scope[pkg.Rel]
+}
+
+// calleeFunc resolves a call expression to the package-level function or
+// method it invokes, or nil (builtin, function value, type conversion).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call resolves to path.name (a package-
+// level function, e.g. "time".Now).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == path && f.Name() == name && f.Type().(*types.Signature).Recv() == nil
+}
+
+// isErrorType reports whether t is the built-in error interface or a
+// named type implementing it (pointer receivers included).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if t.String() == "error" {
+		return true
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}
+
+// diag builds a Diagnostic at the node's position.
+func diag(pkg *Package, analyzer string, n ast.Node, format string, args ...interface{}) Diagnostic {
+	return Diagnostic{
+		Pos:      pkg.Fset.Position(n.Pos()),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

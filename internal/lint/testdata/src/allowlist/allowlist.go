@@ -1,0 +1,25 @@
+// Fixture for the //lint:allow mechanism, using floateq as the carrier
+// analyzer (loaded under rel "internal/blossom" so it is in scope).
+package fixture
+
+func suppressedAbove(a, b float64) bool {
+	//lint:allow floateq fixture: exact equality is the point under test
+	return a == b
+}
+
+func suppressedSameLine(a, b float64) bool {
+	return a == b //lint:allow floateq same-line directives also suppress
+}
+
+//lint:allow floateq this directive suppresses nothing and must be flagged // want `suppresses nothing; delete it`
+func unrelated(a, b int) bool {
+	return a == b
+}
+
+func missingReason(a, b float64) bool {
+	// A directive without a reason is malformed: it is reported itself and
+	// suppresses nothing, so the comparison below is still flagged.
+	// want+1 `needs an analyzer name and a reason`
+	//lint:allow floateq
+	return a == b // want `floating-point == comparison`
+}

@@ -1,0 +1,66 @@
+// Fixture for the determinism analyzer, loaded under an in-scope rel
+// ("internal/dem") and again under an out-of-scope rel (expecting silence).
+package fixture
+
+import (
+	"bytes"
+	"math/rand" // want `import of "math/rand" in a deterministic package`
+	"os"
+	"sort"
+	"time"
+)
+
+var _ = rand.Int
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `call to time.Now in a deterministic package`
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `call to os.Getenv in a deterministic package`
+}
+
+func unsortedKeys(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a range over a map without a later sort`
+	}
+	return keys
+}
+
+// sortedKeys is the sanctioned pattern: collect, then sort before use.
+func sortedKeys(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func streamed(m map[int]string, buf *bytes.Buffer) {
+	for _, v := range m {
+		buf.WriteString(v) // want `stream write inside a range over a map`
+	}
+}
+
+// overSlice ranges a slice, which iterates in index order; no finding.
+func overSlice(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// loopLocal appends to a slice declared inside the loop; each iteration
+// starts fresh, so map order cannot leak out through it.
+func loopLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var pair []int
+		pair = append(pair, vs...)
+		total += len(pair)
+	}
+	return total
+}

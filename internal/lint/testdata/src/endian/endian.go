@@ -1,0 +1,23 @@
+// Fixture for the endian analyzer, loaded under rel "internal/server"
+// (in scope) and rel "internal/dem" (out of scope, expecting silence).
+package fixture
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+func encode(buf *bytes.Buffer, v uint32) error {
+	var scratch [4]byte
+	binary.BigEndian.PutUint32(scratch[:], v)                      // want `binary.BigEndian in a little-endian layer`
+	binary.LittleEndian.PutUint32(scratch[:], v)                   // the specified order; no finding
+	if err := binary.Write(buf, binary.BigEndian, v); err != nil { // want `binary.BigEndian in a little-endian layer` `must be binary.LittleEndian`
+		return err
+	}
+	return binary.Write(buf, binary.LittleEndian, v)
+}
+
+func indirect(buf *bytes.Buffer, v uint32) error {
+	order := binary.ByteOrder(binary.LittleEndian)
+	return binary.Write(buf, order, v) // want `must be the literal binary.LittleEndian`
+}

@@ -1,0 +1,46 @@
+// Fixture for the errwrap analyzer, loaded under rel "internal/server" so
+// the dropped-error checks are in scope alongside the repo-wide sentinel
+// and %w checks.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func compare(err error) bool {
+	if err == io.EOF { // want `sentinel comparison with ==`
+		return true
+	}
+	if err != errSentinel { // want `sentinel comparison with !=`
+		return false
+	}
+	if err == nil { // nil checks are not sentinel comparisons; no finding
+		return false
+	}
+	return errors.Is(err, errSentinel)
+}
+
+func flattens(err error) error {
+	return fmt.Errorf("context: %v", err) // want `fmt.Errorf forwards an error without %w`
+}
+
+func wraps(err error) error {
+	return fmt.Errorf("context: %w", err)
+}
+
+func drops(c net.Conn) {
+	c.Close()     // want `result 1 \(error\) of this call is silently dropped`
+	_ = c.Close() // want `error assigned to _`
+	defer c.Close()
+}
+
+func tupleDrop(ln net.Listener) {
+	_, _ = ln.Accept() // want `error result assigned to _`
+	//lint:allow errwrap fixture demonstrates a justified drop
+	_ = ln.Close()
+}

@@ -1,0 +1,65 @@
+// Fixture for the exhaustive analyzer (runs repo-wide, no scoping).
+package fixture
+
+import "fmt"
+
+type frameKind uint8
+
+const (
+	kindHello frameKind = iota
+	kindDecode
+	kindResult
+)
+
+func name(k frameKind) string {
+	switch k { // want `switch over frameKind misses kindResult and has no default`
+	case kindHello:
+		return "hello"
+	case kindDecode:
+		return "decode"
+	}
+	return "?"
+}
+
+func silent(k frameKind) string {
+	s := "?"
+	switch k {
+	case kindHello:
+		s = "hello"
+	default: // want `default of a non-exhaustive switch over frameKind`
+		s = "other"
+	}
+	return s
+}
+
+// full covers every constant; no finding.
+func full(k frameKind) string {
+	switch k {
+	case kindHello:
+		return "hello"
+	case kindDecode:
+		return "decode"
+	case kindResult:
+		return "result"
+	}
+	return "?"
+}
+
+// guarded misses constants but its default propagates; no finding.
+func guarded(k frameKind) (string, error) {
+	switch k {
+	case kindHello:
+		return "hello", nil
+	default:
+		return "", fmt.Errorf("unknown kind %d", k)
+	}
+}
+
+// untyped switches over plain integers are not constant groups; no finding.
+func untyped(k int) string {
+	switch k {
+	case 0:
+		return "zero"
+	}
+	return "?"
+}

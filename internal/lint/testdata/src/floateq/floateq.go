@@ -1,0 +1,27 @@
+// Fixture for the floateq analyzer, loaded under rel "internal/blossom"
+// (in scope) and rel "internal/report" (out of scope, expecting silence).
+package fixture
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func neq(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// Ordering comparisons on floats are fine; only equality is banned.
+func cmp(a, b float64) bool {
+	return a < b || a > b
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+type milliWeight int32
+
+// The sanctioned integer weight representation compares exactly.
+func weights(a, b milliWeight) bool {
+	return a == b
+}

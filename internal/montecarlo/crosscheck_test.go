@@ -9,6 +9,7 @@ import (
 	"astrea/internal/clique"
 	"astrea/internal/decoder"
 	"astrea/internal/hwmodel"
+	"astrea/internal/leakcheck"
 	"astrea/internal/mwpm"
 	"astrea/internal/prng"
 	"astrea/internal/unionfind"
@@ -93,6 +94,7 @@ func TestAllDecodersCorrectSingleFaults(t *testing.T) {
 // over an order of magnitude from d=3 to d=5 at p=1e-4, measured with the
 // stratified estimator.
 func TestExponentialSuppression(t *testing.T) {
+	leakcheck.Check(t)
 	var lers []float64
 	for _, d := range []int{3, 5} {
 		env, err := SharedEnv(d, d, 1e-4)
@@ -118,6 +120,7 @@ func TestExponentialSuppression(t *testing.T) {
 // is possible under exact MWPM decoding — this verifies that the CNOT
 // schedule's hook errors do not reduce the effective distance.
 func TestCircuitDistancePreserved(t *testing.T) {
+	leakcheck.Check(t)
 	for _, c := range []struct{ d, k int }{{3, 1}, {5, 2}, {7, 3}} {
 		env, err := SharedEnv(c.d, c.d, 1e-3)
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"astrea/internal/astreag"
 	"astrea/internal/decoder"
 	"astrea/internal/hwmodel"
+	"astrea/internal/leakcheck"
 	"astrea/internal/mwpm"
 	"astrea/internal/unionfind"
 )
@@ -35,6 +36,7 @@ func TestNewEnvValidates(t *testing.T) {
 }
 
 func TestRunBasics(t *testing.T) {
+	leakcheck.Check(t)
 	env, err := SharedEnv(3, 3, 2e-3)
 	if err != nil {
 		t.Fatal(err)
@@ -72,6 +74,7 @@ func TestRunBasics(t *testing.T) {
 
 // Determinism: same seed and worker count, same tallies.
 func TestRunDeterministic(t *testing.T) {
+	leakcheck.Check(t)
 	env, err := SharedEnv(3, 3, 2e-3)
 	if err != nil {
 		t.Fatal(err)
@@ -92,6 +95,7 @@ func TestRunDeterministic(t *testing.T) {
 
 // The headline result in miniature: Astrea == MWPM accuracy; UF worse.
 func TestAccuracyOrdering(t *testing.T) {
+	leakcheck.Check(t)
 	env, err := SharedEnv(3, 3, 3e-3)
 	if err != nil {
 		t.Fatal(err)
@@ -113,6 +117,7 @@ func TestAccuracyOrdering(t *testing.T) {
 
 // Latency accounting: Astrea's cycle stats must respect the §5.4 model.
 func TestLatencyAccounting(t *testing.T) {
+	leakcheck.Check(t)
 	env, err := SharedEnv(5, 5, 2e-3)
 	if err != nil {
 		t.Fatal(err)
@@ -147,6 +152,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 // (single mechanisms are always decoded correctly by exact MWPM), and the
 // estimator must roughly agree with direct Monte Carlo where both work.
 func TestStratifiedBasics(t *testing.T) {
+	leakcheck.Check(t)
 	env, err := SharedEnv(3, 3, 2e-3)
 	if err != nil {
 		t.Fatal(err)
@@ -192,6 +198,7 @@ func TestStratifiedRejectsBadConfig(t *testing.T) {
 
 // Astrea-G end-to-end smoke at d=5 through the engine.
 func TestAstreaGEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
 	env, err := SharedEnv(5, 5, 2e-3)
 	if err != nil {
 		t.Fatal(err)

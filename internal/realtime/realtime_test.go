@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"astrea/internal/hwmodel"
+	"astrea/internal/leakcheck"
 	"testing"
 
 	"astrea/internal/astrea"
@@ -200,6 +201,7 @@ func TestHistogramExtremeSamples(t *testing.T) {
 }
 
 func TestHistogramConcurrentAdd(t *testing.T) {
+	leakcheck.Check(t)
 	h := NewHistogram()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {

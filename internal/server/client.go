@@ -97,6 +97,7 @@ func DialOptions(addr string, distance int, codecID uint8, o ClientOptions) (*Cl
 	}
 	c, err := NewClientOptions(nc, distance, codecID, o)
 	if err != nil {
+		//lint:allow errwrap teardown of a conn whose handshake failed; the handshake error is the one returned
 		nc.Close()
 		return nil, err
 	}
@@ -120,7 +121,11 @@ func NewClientOptions(nc net.Conn, distance int, codecID uint8, o ClientOptions)
 	// One deadline covers the whole exchange, so a server that accepts the
 	// connection but never sends a Hello-ack cannot hang the dial.
 	if to := o.handshakeTimeout(); to > 0 {
-		nc.SetDeadline(time.Now().Add(to))
+		if err := nc.SetDeadline(time.Now().Add(to)); err != nil {
+			// An unarmable deadline means the conn is already dead; dialing
+			// on without it is the silent-server hang this timeout fixed.
+			return nil, fmt.Errorf("server: arming handshake deadline: %w", err)
+		}
 		defer nc.SetDeadline(time.Time{})
 	}
 	ext := o.Extended || o.Features != 0
@@ -216,7 +221,9 @@ func (c *Client) Send(seq, deadlineNs uint64, s bitvec.Vec) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if c.callTimeout > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(c.callTimeout))
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.callTimeout)); err != nil {
+			return fmt.Errorf("server: arming send deadline: %w", err)
+		}
 	}
 	c.enc = c.codec.Encode(s, c.enc[:0])
 	req := DecodeRequest{Seq: seq, DeadlineNs: deadlineNs, Payload: c.enc}
@@ -259,7 +266,9 @@ func (c *Client) Recv() (Response, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
 	if c.callTimeout > 0 {
-		c.conn.SetReadDeadline(time.Now().Add(c.callTimeout))
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.callTimeout)); err != nil {
+			return Response{}, fmt.Errorf("server: arming recv deadline: %w", err)
+		}
 	}
 	t, payload, err := c.readFrame()
 	if err != nil {
@@ -296,8 +305,11 @@ func (c *Client) Recv() (Response, error) {
 			return Response{}, err
 		}
 		return Response{Seq: e.Seq, Err: e.Message, ErrCode: e.Code}, nil
+	default:
+		// Hello/HelloAck/Decode never arrive post-handshake toward the
+		// client, and Pong is consumed by Ping; anything else is a peer bug.
+		return Response{}, fmt.Errorf("server: unexpected frame type %d", t)
 	}
-	return Response{}, fmt.Errorf("server: unexpected frame type %d", t)
 }
 
 // Decode is the synchronous convenience path: one request, one response.
@@ -324,6 +336,7 @@ func (c *Client) Ping() (time.Duration, error) {
 	nonce := c.pingNext
 	start := time.Now()
 	if c.callTimeout > 0 {
+		//lint:allow errwrap probe-only path: an unarmable deadline surfaces as the probe's own write/read failure just below
 		c.conn.SetDeadline(start.Add(c.callTimeout))
 	}
 	err := func() error {

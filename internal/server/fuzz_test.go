@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -93,7 +94,7 @@ func FuzzCheckedFrame(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ft, payload, err := ReadFrameChecked(bytes.NewReader(data), 1<<16)
-		if err == nil || err == ErrChecksum {
+		if err == nil || errors.Is(err, ErrChecksum) {
 			// The reader handed bytes back; re-writing them must reproduce
 			// a stream the reader accepts cleanly (round-trip closure).
 			var buf bytes.Buffer

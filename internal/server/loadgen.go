@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -151,8 +152,19 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	// plain slice elements would (correctly) trip the race detector.
 	sendAtNs := make([]int64, cfg.Shots)
 	sendErr := make(chan error, 1)
+	// The sender is tracked so an early receive-side error cannot leave it
+	// pacing into a connection the caller is about to close: stop is
+	// closed (and the goroutine joined) on every return path.
+	var sendWG sync.WaitGroup
+	stop := make(chan struct{})
+	defer func() {
+		close(stop)
+		sendWG.Wait()
+	}()
 	start := time.Now()
+	sendWG.Add(1)
 	go func() {
+		defer sendWG.Done()
 		var gap time.Duration
 		if cfg.RatePerSec > 0 {
 			gap = time.Duration(float64(time.Second) / cfg.RatePerSec)
@@ -161,7 +173,19 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			if gap > 0 {
 				target := start.Add(time.Duration(i) * gap)
 				if d := time.Until(target); d > 0 {
-					time.Sleep(d)
+					t := time.NewTimer(d)
+					select {
+					case <-stop:
+						t.Stop()
+						return
+					case <-t.C:
+					}
+				}
+			} else {
+				select {
+				case <-stop:
+					return
+				default:
 				}
 			}
 			atomic.StoreInt64(&sendAtNs[i], time.Since(start).Nanoseconds())

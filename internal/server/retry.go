@@ -118,6 +118,7 @@ func (r *RetryingClient) discard(c *Client) {
 	if r.c == c {
 		r.c = nil
 	}
+	//lint:allow errwrap discarding an already-suspect conn; the call error that triggered the discard is the actionable one
 	c.Close()
 }
 

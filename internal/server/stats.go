@@ -158,6 +158,7 @@ func (s *Server) StatsHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		//lint:allow errwrap an encode error here is a client that hung up mid-response; http has no channel left to report it on
 		enc.Encode(s.Snapshot())
 	})
 }

@@ -7,9 +7,11 @@
 // semantics — so Figure 3's "software MWPM misses ~96% of deadlines" claim
 // can be re-measured end-to-end across a real network hop.
 //
-// The wire protocol is length-prefixed binary frames. Every frame is
+// The wire protocol is length-prefixed binary frames. All multi-byte
+// integers on the wire are little-endian, matching the .astc artifact
+// layer (enforced by astrea-vet's endian analyzer). Every frame is
 //
-//	uint32 length (big endian, length of type byte + payload)
+//	uint32 length (little endian, length of type byte + payload)
 //	uint8  type
 //	...    payload
 //
@@ -30,9 +32,14 @@ import (
 )
 
 // ProtocolVersion is the wire protocol version carried in the handshake.
-const ProtocolVersion = 1
+// Version 2 flipped every multi-byte field from big- to little-endian so
+// the wire matches the .astc artifact layer; a v1 peer's hello magic no
+// longer matches, so the mix is refused at the handshake rather than
+// misparsed.
+const ProtocolVersion = 2
 
-// helloMagic guards against a non-astread peer; it spells "ASTR".
+// helloMagic guards against a non-astread peer; it spells "ASTR" when
+// read as a little-endian uint32 (the bytes "RTSA" on the wire).
 const helloMagic uint32 = 0x41535452
 
 // DefaultMaxFrame bounds a frame's length prefix: larger claims are
@@ -87,7 +94,7 @@ const (
 // WriteFrame writes one frame. payload may be nil.
 func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
 	hdr[4] = byte(t)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
@@ -110,7 +117,7 @@ func ReadFrame(r io.Reader, maxFrame int) (FrameType, []byte, error) {
 	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:4])
+	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n == 0 {
 		return 0, nil, fmt.Errorf("server: zero-length frame")
 	}
@@ -138,7 +145,7 @@ var ErrChecksum = errors.New("server: frame checksum mismatch")
 // byte and payload. Used on streams that negotiated FeatureChecksum.
 func WriteFrameChecked(w io.Writer, t FrameType, payload []byte) error {
 	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)+4))
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)+4))
 	hdr[4] = byte(t)
 	crc := crc32.Update(crc32.Checksum(hdr[4:5], castagnoli), castagnoli, payload)
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -150,7 +157,7 @@ func WriteFrameChecked(w io.Writer, t FrameType, payload []byte) error {
 		}
 	}
 	var trailer [4]byte
-	binary.BigEndian.PutUint32(trailer[:], crc)
+	binary.LittleEndian.PutUint32(trailer[:], crc)
 	_, err := w.Write(trailer[:])
 	return err
 }
@@ -167,7 +174,7 @@ func ReadFrameChecked(r io.Reader, maxFrame int) (FrameType, []byte, error) {
 	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:4])
+	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n < 5 {
 		return 0, nil, fmt.Errorf("server: checked frame of %d bytes is shorter than type + checksum", n)
 	}
@@ -179,7 +186,7 @@ func ReadFrameChecked(r io.Reader, maxFrame int) (FrameType, []byte, error) {
 		return 0, nil, fmt.Errorf("server: truncated frame: %w", err)
 	}
 	payload := body[1 : n-4]
-	want := binary.BigEndian.Uint32(body[n-4:])
+	want := binary.LittleEndian.Uint32(body[n-4:])
 	if crc32.Checksum(body[:n-4], castagnoli) != want {
 		return FrameType(body[0]), payload, ErrChecksum
 	}
@@ -202,12 +209,12 @@ type Hello struct {
 
 // AppendTo serialises the hello payload.
 func (h Hello) AppendTo(dst []byte) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, helloMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, helloMagic)
 	dst = append(dst, h.Version)
-	dst = binary.BigEndian.AppendUint16(dst, h.Distance)
+	dst = binary.LittleEndian.AppendUint16(dst, h.Distance)
 	dst = append(dst, h.Codec)
 	if h.Extended || h.Features != 0 {
-		dst = binary.BigEndian.AppendUint32(dst, h.Features)
+		dst = binary.LittleEndian.AppendUint32(dst, h.Features)
 	}
 	return dst
 }
@@ -218,17 +225,17 @@ func ParseHello(b []byte) (Hello, error) {
 	if len(b) != 8 && len(b) != 12 {
 		return Hello{}, fmt.Errorf("server: hello payload is %d bytes, want 8 or 12", len(b))
 	}
-	if magic := binary.BigEndian.Uint32(b[:4]); magic != helloMagic {
+	if magic := binary.LittleEndian.Uint32(b[:4]); magic != helloMagic {
 		return Hello{}, fmt.Errorf("server: bad hello magic %#x", magic)
 	}
 	h := Hello{
 		Version:  b[4],
-		Distance: binary.BigEndian.Uint16(b[5:7]),
+		Distance: binary.LittleEndian.Uint16(b[5:7]),
 		Codec:    b[7],
 	}
 	if len(b) == 12 {
 		h.Extended = true
-		h.Features = binary.BigEndian.Uint32(b[8:12])
+		h.Features = binary.LittleEndian.Uint32(b[8:12])
 	}
 	return h, nil
 }
@@ -280,9 +287,9 @@ const (
 // fingerprint), the only form a legacy client can parse.
 func (a HelloAck) AppendTo(dst []byte) []byte {
 	dst = append(dst, a.Version, a.Status)
-	dst = binary.BigEndian.AppendUint32(dst, a.NumDetectors)
+	dst = binary.LittleEndian.AppendUint32(dst, a.NumDetectors)
 	dst = append(dst, a.Codec, a.RiceK)
-	dst = binary.BigEndian.AppendUint32(dst, a.QueueDepth)
+	dst = binary.LittleEndian.AppendUint32(dst, a.QueueDepth)
 	return append(dst, a.Message...)
 }
 
@@ -291,11 +298,11 @@ func (a HelloAck) AppendTo(dst []byte) []byte {
 // the message tail. Sent only in reply to an extended Hello.
 func (a HelloAck) AppendToExt(dst []byte) []byte {
 	dst = append(dst, a.Version, a.Status)
-	dst = binary.BigEndian.AppendUint32(dst, a.NumDetectors)
+	dst = binary.LittleEndian.AppendUint32(dst, a.NumDetectors)
 	dst = append(dst, a.Codec, a.RiceK)
-	dst = binary.BigEndian.AppendUint32(dst, a.QueueDepth)
-	dst = binary.BigEndian.AppendUint32(dst, a.Features)
-	dst = binary.BigEndian.AppendUint64(dst, a.Fingerprint)
+	dst = binary.LittleEndian.AppendUint32(dst, a.QueueDepth)
+	dst = binary.LittleEndian.AppendUint32(dst, a.Features)
+	dst = binary.LittleEndian.AppendUint64(dst, a.Fingerprint)
 	return append(dst, a.Message...)
 }
 
@@ -307,10 +314,10 @@ func ParseHelloAck(b []byte) (HelloAck, error) {
 	return HelloAck{
 		Version:      b[0],
 		Status:       b[1],
-		NumDetectors: binary.BigEndian.Uint32(b[2:6]),
+		NumDetectors: binary.LittleEndian.Uint32(b[2:6]),
 		Codec:        b[6],
 		RiceK:        b[7],
-		QueueDepth:   binary.BigEndian.Uint32(b[8:12]),
+		QueueDepth:   binary.LittleEndian.Uint32(b[8:12]),
 		Message:      string(b[12:]),
 	}, nil
 }
@@ -324,8 +331,8 @@ func ParseHelloAckExt(b []byte) (HelloAck, error) {
 	if err != nil {
 		return HelloAck{}, err
 	}
-	a.Features = binary.BigEndian.Uint32(b[12:16])
-	a.Fingerprint = binary.BigEndian.Uint64(b[16:24])
+	a.Features = binary.LittleEndian.Uint32(b[12:16])
+	a.Fingerprint = binary.LittleEndian.Uint64(b[16:24])
 	a.Message = string(b[24:])
 	return a, nil
 }
@@ -341,8 +348,8 @@ type DecodeRequest struct {
 
 // AppendTo serialises the decode payload.
 func (d DecodeRequest) AppendTo(dst []byte) []byte {
-	dst = binary.BigEndian.AppendUint64(dst, d.Seq)
-	dst = binary.BigEndian.AppendUint64(dst, d.DeadlineNs)
+	dst = binary.LittleEndian.AppendUint64(dst, d.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, d.DeadlineNs)
 	return append(dst, d.Payload...)
 }
 
@@ -353,8 +360,8 @@ func ParseDecodeRequest(b []byte) (DecodeRequest, error) {
 		return DecodeRequest{}, fmt.Errorf("server: decode payload is %d bytes, want ≥ 16", len(b))
 	}
 	return DecodeRequest{
-		Seq:        binary.BigEndian.Uint64(b[:8]),
-		DeadlineNs: binary.BigEndian.Uint64(b[8:16]),
+		Seq:        binary.LittleEndian.Uint64(b[:8]),
+		DeadlineNs: binary.LittleEndian.Uint64(b[8:16]),
 		Payload:    b[16:],
 	}, nil
 }
@@ -374,10 +381,10 @@ type ResultFrame struct {
 
 // AppendTo serialises the result payload.
 func (r ResultFrame) AppendTo(dst []byte) []byte {
-	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
-	dst = binary.BigEndian.AppendUint64(dst, r.ObsMask)
-	dst = binary.BigEndian.AppendUint64(dst, r.WeightMilli)
-	dst = binary.BigEndian.AppendUint64(dst, r.SojournNs)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, r.ObsMask)
+	dst = binary.LittleEndian.AppendUint64(dst, r.WeightMilli)
+	dst = binary.LittleEndian.AppendUint64(dst, r.SojournNs)
 	return append(dst, r.Flags)
 }
 
@@ -387,10 +394,10 @@ func ParseResultFrame(b []byte) (ResultFrame, error) {
 		return ResultFrame{}, fmt.Errorf("server: result payload is %d bytes, want 33", len(b))
 	}
 	return ResultFrame{
-		Seq:         binary.BigEndian.Uint64(b[:8]),
-		ObsMask:     binary.BigEndian.Uint64(b[8:16]),
-		WeightMilli: binary.BigEndian.Uint64(b[16:24]),
-		SojournNs:   binary.BigEndian.Uint64(b[24:32]),
+		Seq:         binary.LittleEndian.Uint64(b[:8]),
+		ObsMask:     binary.LittleEndian.Uint64(b[8:16]),
+		WeightMilli: binary.LittleEndian.Uint64(b[16:24]),
+		SojournNs:   binary.LittleEndian.Uint64(b[24:32]),
 		Flags:       b[32],
 	}, nil
 }
@@ -405,8 +412,8 @@ type RejectFrame struct {
 
 // AppendTo serialises the reject payload.
 func (r RejectFrame) AppendTo(dst []byte) []byte {
-	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
-	return binary.BigEndian.AppendUint64(dst, r.RetryAfterNs)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	return binary.LittleEndian.AppendUint64(dst, r.RetryAfterNs)
 }
 
 // ParseRejectFrame deserialises a reject payload.
@@ -415,8 +422,8 @@ func ParseRejectFrame(b []byte) (RejectFrame, error) {
 		return RejectFrame{}, fmt.Errorf("server: reject payload is %d bytes, want 16", len(b))
 	}
 	return RejectFrame{
-		Seq:          binary.BigEndian.Uint64(b[:8]),
-		RetryAfterNs: binary.BigEndian.Uint64(b[8:16]),
+		Seq:          binary.LittleEndian.Uint64(b[:8]),
+		RetryAfterNs: binary.LittleEndian.Uint64(b[8:16]),
 	}, nil
 }
 
@@ -432,7 +439,7 @@ type ErrorFrame struct {
 
 // AppendTo serialises the error payload.
 func (e ErrorFrame) AppendTo(dst []byte) []byte {
-	dst = binary.BigEndian.AppendUint64(dst, e.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, e.Seq)
 	dst = append(dst, e.Code)
 	return append(dst, e.Message...)
 }
@@ -442,13 +449,13 @@ func ParseErrorFrame(b []byte) (ErrorFrame, error) {
 	if len(b) < 9 {
 		return ErrorFrame{}, fmt.Errorf("server: error payload is %d bytes, want ≥ 9", len(b))
 	}
-	return ErrorFrame{Seq: binary.BigEndian.Uint64(b[:8]), Code: b[8], Message: string(b[9:])}, nil
+	return ErrorFrame{Seq: binary.LittleEndian.Uint64(b[:8]), Code: b[8], Message: string(b[9:])}, nil
 }
 
 // AppendPing serialises a ping/pong payload: an opaque nonce the server
 // echoes verbatim, so a probe answer can be matched to its probe.
 func AppendPing(dst []byte, nonce uint64) []byte {
-	return binary.BigEndian.AppendUint64(dst, nonce)
+	return binary.LittleEndian.AppendUint64(dst, nonce)
 }
 
 // ParsePing deserialises a ping/pong payload.
@@ -456,5 +463,5 @@ func ParsePing(b []byte) (uint64, error) {
 	if len(b) != 8 {
 		return 0, fmt.Errorf("server: ping payload is %d bytes, want 8", len(b))
 	}
-	return binary.BigEndian.Uint64(b), nil
+	return binary.LittleEndian.Uint64(b), nil
 }
