@@ -24,6 +24,8 @@
 package astrea
 
 import (
+	"fmt"
+
 	"astrea/internal/artifact"
 	"astrea/internal/astrea"
 	"astrea/internal/astreag"
@@ -41,6 +43,7 @@ import (
 	"astrea/internal/mwpm"
 	"astrea/internal/prng"
 	"astrea/internal/server"
+	"astrea/internal/stream"
 	"astrea/internal/surface"
 	"astrea/internal/unionfind"
 )
@@ -390,6 +393,111 @@ func DialDecodeFleet(addrs []string, distance int, codecName string) (*DecodeFle
 		return nil, err
 	}
 	return cluster.New(cluster.Config{Addrs: addrs, Distance: distance, CodecID: id})
+}
+
+// StreamConfig parameterises a windowed streaming decode pipeline; leave
+// Env nil when building through System.NewStreamPipeline.
+type StreamConfig = stream.Config
+
+// StreamCommit is one committed window of a streaming decode: the
+// correction for a contiguous run of syndrome rounds, emitted in round
+// order with every round committed exactly once.
+type StreamCommit = stream.Commit
+
+// StreamStats snapshots a streaming pipeline's counters (rows, windows,
+// forced cuts, deadline misses, cumulative correction).
+type StreamStats = stream.Stats
+
+// StreamPipeline decodes an unbounded syndrome-round stream by windowed
+// MWPM: rows are pushed one syndrome round at a time, windows are cut at
+// provably safe quiet gaps (or forced at a length cap and reconciled
+// across the seam), decoded concurrently on pooled decoders, and fused
+// back into in-order commits. On a closed stream the committed corrections
+// are bit-identical to a whole-shot decode.
+type StreamPipeline = stream.Pipeline
+
+// NewStreamPipeline builds a streaming pipeline at this system's operating
+// point (cfg.Env is overridden; zero-value cfg fields take defaults).
+func (s *System) NewStreamPipeline(cfg StreamConfig) (*StreamPipeline, error) {
+	cfg.Env = s.env
+	return stream.New(cfg)
+}
+
+// DecodeClosedStream pushes a complete (closed) round stream through a
+// windowed pipeline and returns the in-order commits — the convenience
+// wrapper around StreamPipeline for finite streams.
+func (s *System) DecodeClosedStream(cfg StreamConfig, rows []Syndrome) ([]StreamCommit, StreamStats, error) {
+	cfg.Env = s.env
+	return stream.DecodeClosed(cfg, rows)
+}
+
+// StreamRowWidth returns the detector bits per syndrome round — the width
+// every row pushed into a StreamPipeline must have.
+func (s *System) StreamRowWidth() int { return stream.RowWidth(s.env) }
+
+// NewSyndrome allocates a zeroed detector bit vector of the given width.
+// Whole-shot decoders take NumDetectors bits; streaming rows take
+// StreamRowWidth bits.
+func NewSyndrome(bits int) Syndrome { return bitvec.New(bits) }
+
+// SplitRows slices a whole-shot syndrome into its per-round rows in time
+// order — the form a StreamPipeline or DecodeStream consumes. The rows
+// are fresh copies; mutating them leaves the shot intact.
+func (s *System) SplitRows(shot Syndrome) ([]Syndrome, error) {
+	width := s.StreamRowWidth()
+	if shot.Len() != s.NumDetectors() {
+		return nil, fmt.Errorf("astrea: shot has %d bits, operating point has %d detectors", shot.Len(), s.NumDetectors())
+	}
+	rows := make([]Syndrome, shot.Len()/width)
+	for r := range rows {
+		row := bitvec.New(width)
+		for k := 0; k < width; k++ {
+			if shot.Get(r*width + k) {
+				row.Set(k)
+			}
+		}
+		rows[r] = row
+	}
+	return rows, nil
+}
+
+// SafeGapRounds returns the smallest quiet-gap length at which cutting a
+// streaming window is provably exact for this operating point.
+func (s *System) SafeGapRounds() int { return stream.SafeGapRounds(s.env) }
+
+// DecodeStream is one open windowed streaming session on a DecodeClient:
+// rounds go up via SendRounds, commits come back via Recv, CloseSend
+// finishes the stream and Recv's final event carries the summary.
+type DecodeStream = server.Stream
+
+// DecodeStreamOptions requests session window parameters (zero = server
+// defaults; the server may clamp).
+type DecodeStreamOptions = server.StreamOptions
+
+// DecodeStreamEvent is one commit (or, with Closed set, the final summary)
+// received from a streaming session.
+type DecodeStreamEvent = server.StreamEvent
+
+// DialDecodeStream connects to a decode service and opens a windowed
+// streaming session on it: the handshake offers the streaming and checksum
+// feature bits, so pre-streaming daemons refuse cleanly at dial time.
+func DialDecodeStream(addr string, distance int, codecName string, opts DecodeStreamOptions) (*DecodeClient, *DecodeStream, error) {
+	id, err := compress.IDByName(codecName)
+	if err != nil {
+		return nil, nil, err
+	}
+	client, err := server.DialOptions(addr, distance, id, server.ClientOptions{
+		Features: server.FeatureStream | server.FeatureChecksum,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := client.OpenStream(opts)
+	if err != nil {
+		client.Close()
+		return nil, nil, err
+	}
+	return client, st, nil
 }
 
 // ChainStep is one error mechanism of a physical correction chain.

@@ -199,3 +199,41 @@ func TestNewCustomNonUniform(t *testing.T) {
 		t.Fatal("bad scale accepted")
 	}
 }
+
+func TestSplitRowsRoundTrip(t *testing.T) {
+	sys, err := New(3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sys.NewShotSource(5)
+	shot, _ := src.Next()
+	rows, err := sys.SplitRows(shot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := sys.StreamRowWidth()
+	if len(rows)*width != sys.NumDetectors() {
+		t.Fatalf("%d rows of %d bits != %d detectors", len(rows), width, sys.NumDetectors())
+	}
+	for r, row := range rows {
+		if row.Len() != width {
+			t.Fatalf("row %d has %d bits, want %d", r, row.Len(), width)
+		}
+		for k := 0; k < width; k++ {
+			if row.Get(k) != shot.Get(r*width+k) {
+				t.Fatalf("row %d bit %d disagrees with the shot", r, k)
+			}
+		}
+	}
+	// Rows are copies: mutating one must not touch the shot.
+	rows[0].Flip(0)
+	if rows[0].Get(0) == shot.Get(0) {
+		t.Fatal("SplitRows aliases the shot's storage")
+	}
+	if v := NewSyndrome(width); v.Len() != width || v.Any() {
+		t.Fatalf("NewSyndrome(%d): len %d any %v", width, v.Len(), v.Any())
+	}
+	if _, err := sys.SplitRows(NewSyndrome(width)); err == nil {
+		t.Fatal("SplitRows accepted a row-width vector as a whole shot")
+	}
+}

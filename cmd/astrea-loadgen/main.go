@@ -26,6 +26,18 @@
 //	                  against a live daemon (default false)
 //	-chaos-seed N     fault schedule seed for -chaos (default 1)
 //
+// Streaming mode (windowed decode over an open-ended round stream):
+//
+//	-stream           open a FeatureStream session and push syndrome ROUNDS
+//	                  (not whole shots) open-loop, reporting windows/sec and
+//	                  a commit-latency CDF; -n counts rounds, -rate paces
+//	                  rounds per second (1e6 = the paper's 1 µs period)
+//	-stream-batch N   rounds per wire frame (default 8)
+//	-window N         requested window cap in rounds (0 = server default)
+//	-gap N            requested quiet-gap cut length (0 = provably safe)
+//	-pad N            requested seam padding in rounds (0 = server default)
+//	-inflight N       requested concurrent window decodes (0 = default)
+//
 // Fleet mode (replicated daemons):
 //
 //	-servers a,b,c        comma-separated replica addresses; enables the
@@ -83,6 +95,12 @@ func run(args []string) error {
 	verifyDecoder := fs.String("verify-decoder", "astrea", "local decoder for -verify")
 	chaos := fs.Bool("chaos", false, "route traffic through a fault-injecting proxy")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "fault schedule seed for -chaos")
+	streamMode := fs.Bool("stream", false, "streaming mode: push syndrome rounds through a windowed session")
+	streamBatch := fs.Int("stream-batch", 8, "streaming mode: rounds per wire frame")
+	windowRounds := fs.Int("window", 0, "streaming mode: requested window cap in rounds (0 = server default)")
+	gapRounds := fs.Int("gap", 0, "streaming mode: requested quiet-gap cut length (0 = provably safe)")
+	padRounds := fs.Int("pad", 0, "streaming mode: requested seam padding in rounds (0 = server default)")
+	inflight := fs.Int("inflight", 0, "streaming mode: requested concurrent window decodes (0 = default)")
 	servers := fs.String("servers", "", "comma-separated replica addresses (fleet mode)")
 	failover := fs.Bool("failover", true, "fleet mode: re-send unanswered requests to the next healthy replica")
 	hedge := fs.Bool("hedge", false, "fleet mode: race a second replica when the first is slow")
@@ -102,6 +120,9 @@ func run(args []string) error {
 	if *servers != "" {
 		if *chaos {
 			return fmt.Errorf("-chaos applies to the single-daemon path; fleet mode injects faults server-side")
+		}
+		if *streamMode {
+			return fmt.Errorf("-stream applies to the single-daemon path; a windowed session pins one connection")
 		}
 		var fp decodegraph.Fingerprint
 		switch {
@@ -166,6 +187,50 @@ func run(args []string) error {
 		defer proxy.Close()
 		target = proxy.Addr()
 		fmt.Fprintf(os.Stderr, "astrea-loadgen: chaos proxy on %s (seed=%d)\n", target, *chaosSeed)
+	}
+
+	if *streamMode {
+		scfg := server.StreamLoadConfig{
+			Addr:       target,
+			Distance:   *d,
+			P:          *p,
+			Codec:      codecID,
+			Rounds:     *n,
+			RatePerSec: *rate,
+			Batch:      *streamBatch,
+			Window: server.StreamOptions{
+				WindowRounds: *windowRounds,
+				GapRounds:    *gapRounds,
+				PadRounds:    *padRounds,
+				RowBudgetNs:  uint32(deadline.Nanoseconds()),
+				MaxInflight:  *inflight,
+			},
+			Seed:          *seed,
+			Verify:        *verify,
+			VerifyDecoder: *verifyDecoder,
+		}
+		fmt.Fprintf(os.Stderr, "astrea-loadgen: streaming %d d=%d rounds to %s (codec=%s, rate=%s, batch=%d)\n",
+			*n, *d, *addr, *codecName, rateLabel(*rate), *streamBatch)
+		rep, err := server.RunStreamLoad(scfg)
+		if err != nil {
+			if !*chaos {
+				return err
+			}
+			// Under -chaos a severed session IS the injected fault; the smoke
+			// test is whether the daemon survived and still serves clean
+			// streams. Probe with a short fault-free session.
+			fmt.Fprintf(os.Stderr, "astrea-loadgen: chaos severed the session (%v); probing the daemon directly\n", err)
+			probe := scfg
+			probe.Addr = *addr
+			probe.Rounds = 2000
+			probe.RatePerSec = 0
+			if rep, err = server.RunStreamLoad(probe); err != nil {
+				return fmt.Errorf("daemon did not survive the chaos run: %w", err)
+			}
+			fmt.Fprintln(os.Stderr, "astrea-loadgen: daemon survived; reporting the post-chaos probe")
+			scfg = probe
+		}
+		return renderStream(rep, scfg)
 	}
 
 	cfg := server.LoadConfig{
@@ -251,6 +316,49 @@ func render(rep *server.LoadReport, cfg server.LoadConfig) error {
 	}
 	if rep.Mismatches > 0 {
 		return fmt.Errorf("%d responses disagree with the local %s decoder", rep.Mismatches, cfg.VerifyDecoder)
+	}
+	return nil
+}
+
+func renderStream(rep *server.StreamLoadReport, cfg server.StreamLoadConfig) error {
+	out := os.Stdout
+
+	t := report.Table{
+		Title:   "astread streaming load report",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("rounds streamed", rep.Rounds)
+	t.AddRow("windows committed", rep.Windows)
+	t.AddRow("forced cuts", rep.ForcedCuts)
+	t.AddRow("degraded (fallback decode)", rep.Degraded)
+	t.AddRow("rounds/s", rep.RoundsPerSec)
+	t.AddRow("windows/s", rep.WindowsPerSec)
+	t.AddRow("window cap / gap / pad", fmt.Sprintf("%d / %d / %d rounds",
+		rep.Resolved.WindowRounds, rep.Resolved.GapRounds, rep.Resolved.PadRounds))
+	t.AddRow("row budget", time.Duration(rep.Resolved.RowBudgetNs).String())
+	t.AddRow("deadline misses (server)", fmt.Sprintf("%d (%.2f%% of commits)",
+		rep.DeadlineMisses, 100*float64(rep.DeadlineMisses)/float64(max(rep.Windows, 1))))
+	t.AddRow("cumulative correction", fmt.Sprintf("%#x", rep.ObsMask))
+	if cfg.Verify {
+		t.AddRow("verified mismatches", rep.Mismatches)
+	}
+	if err := t.Write(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// The commit-latency budget scales with the window height: a window of
+	// R rounds is on time within R × RowBudgetNs of its cut.
+	budget := float64(rep.Resolved.RowBudgetNs) * float64(rep.Resolved.WindowRounds)
+	if err := report.CDF(out, "commit latency (last round sent → commit received)", rep.CommitLatencyNs, budget); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	if err := report.CDF(out, "server-side commit sojourn (cut → commit)", rep.ServerSojournNs, budget); err != nil {
+		return err
+	}
+	if rep.Mismatches > 0 {
+		return fmt.Errorf("%d commits disagree with the local windowed decode", rep.Mismatches)
 	}
 	return nil
 }

@@ -63,3 +63,51 @@ func untyped(k int) string {
 	}
 	return "?"
 }
+
+// cutReason mirrors the streaming planner's cut-kind group: a small
+// enum dispatched in a hot loop, where new kinds must fail loudly.
+type cutReason uint8
+
+const (
+	cutNone cutReason = iota
+	cutQuiet
+	cutForced
+	cutFlush
+)
+
+// multiCase covers the whole group with multi-constant case lists;
+// each listed constant counts toward coverage, so no finding.
+func multiCase(k cutReason) string {
+	switch k {
+	case cutNone:
+		return "none"
+	case cutQuiet, cutFlush:
+		return "clean"
+	case cutForced:
+		return "forced"
+	}
+	return "?"
+}
+
+// multiCaseGap shows multi-constant lists don't vacuously satisfy the
+// analyzer: cutFlush is still missing.
+func multiCaseGap(k cutReason) string {
+	switch k { // want `switch over cutReason misses cutFlush and has no default`
+	case cutNone, cutQuiet:
+		return "idle"
+	case cutForced:
+		return "forced"
+	}
+	return "?"
+}
+
+// panicking misses constants but its default panics, the streaming
+// pipeline's idiom for internal dispatch; no finding.
+func panicking(k cutReason) string {
+	switch k {
+	case cutQuiet:
+		return "quiet"
+	default:
+		panic("unhandled cut reason")
+	}
+}

@@ -26,7 +26,8 @@ type ClientOptions struct {
 	// indefinitely while a sender goroutine keeps the stream fed.
 	CallTimeout time.Duration
 	// Features is the wire feature-bit set to offer (FeatureChecksum,
-	// FeatureProbe). Offering any feature — or setting Extended — sends the
+	// FeatureProbe, FeatureStream). Offering any feature — or setting
+	// Extended — sends the
 	// extended Hello; the server's extended ack then carries its
 	// configuration fingerprint (see Client.Fingerprint) and the accepted
 	// subset of the offered features. A legacy server refuses the extended

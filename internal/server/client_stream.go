@@ -1,0 +1,222 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"astrea/internal/bitvec"
+)
+
+// StreamOptions requests window parameters for a streaming session. Every
+// field is a request: zero asks for the server default, and the server may
+// clamp any value — the resolved parameters come back in Stream.Params.
+type StreamOptions struct {
+	WindowRounds int
+	GapRounds    int
+	PadRounds    int
+	RowBudgetNs  uint32
+	MaxInflight  int
+}
+
+// Stream is one open windowed streaming session on a Client. SendRounds
+// and Recv are independently locked (the client's write and read halves),
+// so one goroutine can feed rounds while another drains commits — the
+// open-loop shape. While a stream is open the owning Client must not be
+// used for Decode or Ping: the server is in streaming mode and the read
+// half belongs to commit frames.
+type Stream struct {
+	c      *Client
+	params StreamOpenAck
+
+	sent       uint64 // rounds shipped (the next frame's FirstRow)
+	closedSend bool
+	enc        []byte
+}
+
+// OpenStream negotiates a streaming session. It requires a handshake that
+// accepted FeatureStream (offer it in ClientOptions.Features); legacy
+// servers never advertise the bit, so v2 clients fail here cleanly instead
+// of sending frames the peer cannot parse.
+func (c *Client) OpenStream(o StreamOptions) (*Stream, error) {
+	if c.features&FeatureStream == 0 {
+		return nil, fmt.Errorf("server: stream did not negotiate streaming frames")
+	}
+	c.wmu.Lock()
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	req := StreamOpen{
+		WindowRounds: uint16(o.WindowRounds),
+		GapRounds:    uint16(o.GapRounds),
+		PadRounds:    uint16(o.PadRounds),
+		RowBudgetNs:  o.RowBudgetNs,
+		MaxInflight:  uint16(o.MaxInflight),
+	}
+	if c.callTimeout > 0 {
+		//lint:allow errwrap open-only path: an unarmable deadline surfaces as the exchange's own write/read failure just below
+		c.conn.SetDeadline(time.Now().Add(c.callTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	err := func() error {
+		defer c.wmu.Unlock()
+		if err := c.writeFrame(FrameStreamOpen, req.AppendTo(nil)); err != nil {
+			return err
+		}
+		return c.bw.Flush()
+	}()
+	if err != nil {
+		return nil, err
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameStreamOpenAck {
+		return nil, fmt.Errorf("server: expected stream-open-ack, got frame type %d", t)
+	}
+	ack, err := ParseStreamOpenAck(payload)
+	if err != nil {
+		return nil, err
+	}
+	if ack.Status != StatusOK {
+		return nil, fmt.Errorf("server: stream refused (status %d): %s", ack.Status, ack.Message)
+	}
+	if ack.RowBits == 0 {
+		return nil, fmt.Errorf("server: stream-open-ack advertises zero-width rows")
+	}
+	return &Stream{c: c, params: ack}, nil
+}
+
+// Params returns the server-resolved session parameters.
+func (s *Stream) Params() StreamOpenAck { return s.params }
+
+// RowBits is the per-round detector count every pushed row must have.
+func (s *Stream) RowBits() int { return int(s.params.RowBits) }
+
+// Sent reports the number of rounds shipped so far.
+func (s *Stream) Sent() uint64 { return s.sent }
+
+// SendRounds ships consecutive syndrome rounds (each row.Len() ==
+// RowBits), splitting across frames at the protocol's per-frame cap.
+func (s *Stream) SendRounds(rows []bitvec.Vec) error {
+	if s.closedSend {
+		return fmt.Errorf("server: stream send half already closed")
+	}
+	for len(rows) > 0 {
+		n := len(rows)
+		if n > maxStreamRowsPerFrame {
+			n = maxStreamRowsPerFrame
+		}
+		if err := s.sendBatch(rows[:n]); err != nil {
+			return err
+		}
+		rows = rows[n:]
+	}
+	return nil
+}
+
+func (s *Stream) sendBatch(rows []bitvec.Vec) error {
+	c := s.c
+	width := int(s.params.RowBits)
+	s.enc = s.enc[:0]
+	for _, r := range rows {
+		if r.Len() != width {
+			return fmt.Errorf("server: stream row has %d bits, want %d", r.Len(), width)
+		}
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.callTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.callTimeout)); err != nil {
+			return fmt.Errorf("server: arming stream send deadline: %w", err)
+		}
+	}
+	for _, r := range rows {
+		s.enc = c.codec.Encode(r, s.enc)
+	}
+	frame := StreamRounds{FirstRow: s.sent, Count: uint16(len(rows)), Rows: s.enc}
+	if err := c.writeFrame(FrameStreamRounds, frame.AppendTo(nil)); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	s.sent += uint64(len(rows))
+	return nil
+}
+
+// CloseSend declares the round stream complete (the last pushed row is the
+// final data-measurement round). The server flushes every remaining window
+// and answers with a StreamClosed summary — keep calling Recv until it
+// reports Closed.
+func (s *Stream) CloseSend() error {
+	if s.closedSend {
+		return fmt.Errorf("server: stream send half already closed")
+	}
+	s.closedSend = true
+	c := s.c
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.callTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.callTimeout)); err != nil {
+			return fmt.Errorf("server: arming stream close deadline: %w", err)
+		}
+	}
+	if err := c.writeFrame(FrameStreamClose, nil); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// StreamEvent is one server-to-client streaming message: a committed
+// window correction, or (Closed true) the final stream summary.
+type StreamEvent struct {
+	Commit  StreamCorrections
+	Closed  bool
+	Summary StreamClosed
+}
+
+// Forced reports a commit whose window cut was forced (approximate seam).
+func (e StreamEvent) Forced() bool { return e.Commit.Flags&FlagForcedSeam != 0 }
+
+// DeadlineMiss reports a commit that overran its row-budget deadline.
+func (e StreamEvent) DeadlineMiss() bool { return e.Commit.Flags&FlagDeadlineMiss != 0 }
+
+// Recv blocks for the next commit or the final summary. After a Closed
+// event the session is over and the Client is usable for decode traffic
+// again.
+func (s *Stream) Recv() (StreamEvent, error) {
+	c := s.c
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.callTimeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.callTimeout)); err != nil {
+			return StreamEvent{}, fmt.Errorf("server: arming stream recv deadline: %w", err)
+		}
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		return StreamEvent{}, err
+	}
+	switch t {
+	case FrameStreamCorrections:
+		cm, err := ParseStreamCorrections(payload)
+		if err != nil {
+			return StreamEvent{}, err
+		}
+		return StreamEvent{Commit: cm}, nil
+	case FrameStreamClosed:
+		sum, err := ParseStreamClosed(payload)
+		if err != nil {
+			return StreamEvent{}, err
+		}
+		return StreamEvent{Closed: true, Summary: sum}, nil
+	case FrameError:
+		e, err := ParseErrorFrame(payload)
+		if err != nil {
+			return StreamEvent{}, err
+		}
+		return StreamEvent{}, fmt.Errorf("server: stream error (status %d): %s", e.Code, e.Message)
+	default:
+		return StreamEvent{}, fmt.Errorf("server: unexpected frame type %d in stream", t)
+	}
+}

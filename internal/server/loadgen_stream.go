@@ -1,0 +1,269 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/dem"
+	"astrea/internal/montecarlo"
+	"astrea/internal/prng"
+	"astrea/internal/stream"
+)
+
+// StreamLoadConfig parameterises one streaming load-generation run: an
+// open-loop syndrome-round stream pushed at a configurable arrival rate
+// while commits are drained concurrently, the measurement matching how a
+// control system would actually feed the decoder.
+type StreamLoadConfig struct {
+	// Addr is the daemon's TCP address.
+	Addr string
+	// Distance and P select the DEM the rounds are sampled from.
+	Distance int
+	P        float64
+	// Codec is the compress wire ID to negotiate.
+	Codec uint8
+	// Rounds is the total number of syndrome rounds to stream.
+	Rounds int
+	// RatePerSec is the open-loop round arrival rate; 0 pushes as fast as
+	// the socket accepts. The paper's real-time operating point is one
+	// round per µs, i.e. 1e6.
+	RatePerSec float64
+	// Batch is the number of rounds per StreamRounds frame (default 8).
+	Batch int
+	// Window carries the requested session parameters (zero = server
+	// defaults; the server may clamp — the report echoes resolved values).
+	Window StreamOptions
+	// Seed drives the syndrome sampler.
+	Seed uint64
+	// Verify replays the same rounds through a local pipeline at the
+	// server-resolved parameters and counts per-commit mismatches: the
+	// wire must add transport, never approximation. VerifyDecoder names
+	// the local decoder ("astrea" by default — match the daemon's).
+	Verify        bool
+	VerifyDecoder string
+
+	// env shares a pre-built environment in tests.
+	env *montecarlo.Env
+}
+
+// StreamLoadReport is the outcome of a streaming load run.
+type StreamLoadReport struct {
+	// Resolved echoes the server-resolved session parameters.
+	Resolved StreamOpenAck
+	// Rounds is the number of rounds streamed; Windows the commits
+	// received; both totals also arrive in Summary and must agree.
+	Rounds  int
+	Windows int
+	// Flag accounting over received commits.
+	ForcedCuts     int
+	Degraded       int
+	DeadlineMisses int
+	// Mismatches counts commits that disagreed with the local replay
+	// (Verify only): any nonzero value is a wire-layer bug.
+	Mismatches int
+	// CommitLatencyNs holds one client-observed latency per commit: last
+	// round of the window sent → commit received.
+	CommitLatencyNs []float64
+	// ServerSojournNs holds the server-reported cut→commit sojourn per
+	// commit.
+	ServerSojournNs []float64
+	// Summary is the server's closing aggregate.
+	Summary StreamClosed
+
+	ElapsedSec    float64
+	RoundsPerSec  float64
+	WindowsPerSec float64
+	ObsMask       uint64 // cumulative correction (XOR of all commits)
+}
+
+// RunStreamLoad opens a streaming session and drives it open-loop: a
+// sender goroutine paces rounds while the caller's goroutine drains
+// commits, checking on the fly that the commit row ranges partition the
+// stream — a dropped or duplicated commit fails the run, chaos or not.
+func RunStreamLoad(cfg StreamLoadConfig) (*StreamLoadReport, error) {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 10_000
+	}
+	if cfg.Distance == 0 {
+		cfg.Distance = 5
+	}
+	if cfg.P <= 0 {
+		cfg.P = 1e-3
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
+	env := cfg.env
+	if env == nil {
+		var err error
+		env, err = montecarlo.SharedEnv(cfg.Distance, cfg.Distance, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Pre-sample the whole round stream (whole shots, split into rows) so
+	// pacing measures the wire and the decode pipeline, not the sampler.
+	width := stream.RowWidth(env)
+	detRows := env.Graph.N / width
+	rng := prng.New(cfg.Seed)
+	smp := dem.NewSampler(env.Model)
+	synd := bitvec.New(env.Model.NumDetectors)
+	rows := make([]bitvec.Vec, 0, cfg.Rounds+detRows)
+	for len(rows) < cfg.Rounds {
+		smp.Sample(rng, synd)
+		for r := 0; r < detRows; r++ {
+			row := bitvec.New(width)
+			for k := 0; k < width; k++ {
+				if synd.Get(r*width + k) {
+					row.Set(k)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	rows = rows[:cfg.Rounds]
+
+	// Registered before client.Close so the LIFO defer order closes the
+	// connection first, unblocking a sender mid-SendRounds before the wait.
+	var senderWG sync.WaitGroup
+	defer senderWG.Wait()
+	client, err := DialOptions(cfg.Addr, cfg.Distance, cfg.Codec, ClientOptions{
+		Features: FeatureStream | FeatureChecksum,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	st, err := client.OpenStream(cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	if st.RowBits() != width {
+		return nil, fmt.Errorf("server: daemon row width %d != local model %d (mismatched noise model?)", st.RowBits(), width)
+	}
+
+	rep := &StreamLoadReport{Resolved: st.Params(), Rounds: cfg.Rounds}
+	sendAtNs := make([]int64, cfg.Rounds)
+	sendErr := make(chan error, 1)
+	start := time.Now()
+	senderWG.Add(1)
+	go func() {
+		defer senderWG.Done()
+		var gap time.Duration
+		if cfg.RatePerSec > 0 {
+			gap = time.Duration(float64(time.Second) / cfg.RatePerSec)
+		}
+		for i := 0; i < len(rows); i += cfg.Batch {
+			end := i + cfg.Batch
+			if end > len(rows) {
+				end = len(rows)
+			}
+			if gap > 0 {
+				// Pace to the batch's last round: rounds arrive at the
+				// syndrome period, frames amortise them.
+				target := start.Add(time.Duration(end-1) * gap)
+				if d := time.Until(target); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			now := time.Since(start).Nanoseconds()
+			for r := i; r < end; r++ {
+				atomic.StoreInt64(&sendAtNs[r], now)
+			}
+			if err := st.SendRounds(rows[i:end]); err != nil {
+				sendErr <- fmt.Errorf("server: stream send at round %d: %w", i, err)
+				return
+			}
+		}
+		sendErr <- st.CloseSend()
+	}()
+
+	var nextRow uint64
+	var gotCommits []StreamCorrections
+	for {
+		ev, err := st.Recv()
+		if err != nil {
+			<-sendErr
+			return nil, fmt.Errorf("server: stream died after %d commits: %w", rep.Windows, err)
+		}
+		if ev.Closed {
+			rep.Summary = ev.Summary
+			break
+		}
+		cm := ev.Commit
+		nowNs := time.Since(start).Nanoseconds()
+		// The partition invariant is the point of the whole exercise: under
+		// chaos or load, a gap, replay or duplicate here is a decode-stream
+		// integrity bug, not a performance artifact.
+		if cm.WindowSeq != uint64(rep.Windows) || cm.FirstRow != nextRow || cm.RowCount == 0 {
+			return nil, fmt.Errorf("server: commit %d violates the stream partition: seq %d row %d count %d (want seq %d row %d)",
+				rep.Windows, cm.WindowSeq, cm.FirstRow, cm.RowCount, rep.Windows, nextRow)
+		}
+		last := cm.FirstRow + uint64(cm.RowCount) - 1
+		if last >= uint64(cfg.Rounds) {
+			return nil, fmt.Errorf("server: commit covers row %d beyond the %d streamed", last, cfg.Rounds)
+		}
+		nextRow += uint64(cm.RowCount)
+		rep.Windows++
+		rep.ObsMask ^= cm.ObsMask
+		gotCommits = append(gotCommits, cm)
+		rep.CommitLatencyNs = append(rep.CommitLatencyNs, float64(nowNs-atomic.LoadInt64(&sendAtNs[last])))
+		rep.ServerSojournNs = append(rep.ServerSojournNs, float64(cm.SojournNs))
+		if cm.Flags&FlagForcedSeam != 0 {
+			rep.ForcedCuts++
+		}
+		if cm.Flags&FlagDegraded != 0 {
+			rep.Degraded++
+		}
+		if cm.Flags&FlagDeadlineMiss != 0 {
+			rep.DeadlineMisses++
+		}
+	}
+	if err := <-sendErr; err != nil {
+		return nil, err
+	}
+	rep.ElapsedSec = time.Since(start).Seconds()
+	if nextRow != uint64(cfg.Rounds) {
+		return nil, fmt.Errorf("server: commits cover %d of %d rounds", nextRow, cfg.Rounds)
+	}
+	if rep.Summary.TotalRows != uint64(cfg.Rounds) || rep.Summary.Windows != uint64(rep.Windows) ||
+		rep.Summary.ObsMask != rep.ObsMask {
+		return nil, fmt.Errorf("server: closing summary %+v disagrees with observed commits (%d windows, obs %#x)",
+			rep.Summary, rep.Windows, rep.ObsMask)
+	}
+	if rep.ElapsedSec > 0 {
+		rep.RoundsPerSec = float64(rep.Rounds) / rep.ElapsedSec
+		rep.WindowsPerSec = float64(rep.Windows) / rep.ElapsedSec
+	}
+
+	if cfg.Verify {
+		ack := rep.Resolved
+		local, _, err := stream.DecodeClosed(stream.Config{
+			Env:          env,
+			Decoder:      cfg.VerifyDecoder,
+			WindowRounds: int(ack.WindowRounds),
+			GapRounds:    int(ack.GapRounds),
+			PadRounds:    int(ack.PadRounds),
+			RowBudgetNs:  float64(ack.RowBudgetNs),
+			MaxInflight:  int(ack.MaxInflight),
+		}, rows)
+		if err != nil {
+			return nil, err
+		}
+		if len(local) != len(gotCommits) {
+			rep.Mismatches = rep.Windows
+		} else {
+			for i, cm := range gotCommits {
+				want := local[i]
+				if cm.FirstRow != want.FirstRow || int(cm.RowCount) != want.RowCount || cm.ObsMask != want.ObsMask {
+					rep.Mismatches++
+				}
+			}
+		}
+	}
+	return rep, nil
+}

@@ -651,8 +651,17 @@ func (s *Server) serveConn(c *conn) {
 			c.writeFrame(FramePong, payload)
 			continue
 		}
+		if t == FrameStreamOpen {
+			// Switch into a windowed streaming session; a nil return means
+			// the stream closed cleanly and the connection resumes ordinary
+			// decode traffic.
+			if err := s.serveStream(c, codec, payload); err != nil {
+				return
+			}
+			continue
+		}
 		if t != FrameDecode {
-			return // protocol violation: only decode/probe frames after handshake
+			return // protocol violation: only decode/probe/stream frames after handshake
 		}
 		arrival := time.Now()
 		req, err := ParseDecodeRequest(payload)

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/compress"
+	"astrea/internal/montecarlo"
+	"astrea/internal/stream"
+)
+
+// Streaming session handler: a FrameStreamOpen on a FeatureStream
+// connection switches the read loop into a windowed streaming session
+// backed by an internal/stream pipeline. The session ends with a clean
+// StreamClose/StreamClosed exchange — after which the connection returns
+// to ordinary decode mode — or tears the connection down on any protocol
+// or transport fault (rounds must be contiguous; a lost frame is
+// unrecoverable mid-stream).
+
+const (
+	// maxStreamDetRows bounds the embedded window environments a session
+	// may demand: the Global Weight Table is dense N², so detector rows ×
+	// row width is capped regardless of what the client requests.
+	maxStreamDetRows = 4096
+	// maxStreamInflight bounds the per-session decode concurrency a client
+	// may request.
+	maxStreamInflight = 64
+)
+
+// resolveStreamConfig clamps a client's requested window parameters into a
+// pipeline configuration the server is willing to run.
+func resolveStreamConfig(env *montecarlo.Env, decoderName string, req StreamOpen) stream.Config {
+	width := stream.RowWidth(env)
+	maxRows := maxStreamDetRows / width
+	if maxRows < 4 {
+		maxRows = 4
+	}
+
+	pad := int(req.PadRounds)
+	if pad <= 0 {
+		pad = env.Distance
+	}
+	if pad > maxRows/4 {
+		pad = maxRows / 4
+	}
+	if pad < 1 {
+		pad = 1
+	}
+
+	limit := maxRows - 2*pad
+	if limit < 4 {
+		limit = 4
+	}
+	wr := int(req.WindowRounds)
+	if wr <= 0 {
+		wr = 4 * env.Distance
+	}
+	if wr > limit {
+		wr = limit
+	}
+
+	inflight := int(req.MaxInflight)
+	if inflight > maxStreamInflight {
+		inflight = maxStreamInflight
+	}
+
+	return stream.Config{
+		Env:          env,
+		Decoder:      decoderName,
+		WindowRounds: wr,
+		GapRounds:    int(req.GapRounds),
+		PadRounds:    pad,
+		RowBudgetNs:  float64(req.RowBudgetNs),
+		MaxInflight:  inflight,
+	}
+}
+
+// serveStream runs one streaming session on the connection. A nil return
+// hands the connection back to the decode loop (clean close); an error
+// closes it.
+func (s *Server) serveStream(c *conn, codec compress.Codec, payload []byte) error {
+	if c.features&FeatureStream == 0 {
+		return fmt.Errorf("server: stream-open on a connection that did not negotiate FeatureStream")
+	}
+	req, err := ParseStreamOpen(payload)
+	if err != nil {
+		return err
+	}
+
+	cfg := resolveStreamConfig(c.pool.env, s.cfg.Decoder, req)
+	p, err := stream.New(cfg)
+	if err != nil {
+		// Refuse the session but keep the connection: the decode path is
+		// still healthy.
+		s.stats.streamsRefused.Add(1)
+		//lint:allow errwrap best-effort refusal; a failed write already closed the conn and the next read exits the loop
+		c.writeFrame(FrameStreamOpenAck, StreamOpenAck{
+			Status:  StatusInternalError,
+			Message: err.Error(),
+		}.AppendTo(nil))
+		return nil
+	}
+	s.stats.streamsOpened.Add(1)
+
+	width := stream.RowWidth(c.pool.env)
+	resolved := p.Stats()
+	ack := StreamOpenAck{
+		Status:       StatusOK,
+		WindowRounds: uint16(resolved.WindowRounds),
+		GapRounds:    uint16(resolved.GapRounds),
+		PadRounds:    uint16(resolved.PadRounds),
+		RowBudgetNs:  uint32(resolved.RowBudgetNs),
+		MaxInflight:  uint16(cfg.MaxInflight),
+		RowBits:      uint16(width),
+	}
+	if err := c.writeFrame(FrameStreamOpenAck, ack.AppendTo(nil)); err != nil {
+		p.Abort()
+		return err
+	}
+
+	// Commit writer: one goroutine streams corrections back as the fuse
+	// stage emits them, concurrently with the round-reading loop below.
+	var (
+		writerWG sync.WaitGroup
+		wmu      sync.Mutex
+		writeErr error
+	)
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for cm := range p.Commits() {
+			var flags uint8
+			if cm.DeadlineMiss {
+				flags |= FlagDeadlineMiss
+			}
+			if cm.Forced {
+				flags |= FlagForcedSeam
+			}
+			if cm.Fallback {
+				flags |= FlagDegraded
+			}
+			f := StreamCorrections{
+				WindowSeq:   cm.WindowSeq,
+				FirstRow:    cm.FirstRow,
+				RowCount:    uint16(cm.RowCount),
+				ObsMask:     cm.ObsMask,
+				WeightMilli: uint64(cm.Weight*1000 + 0.5),
+				SojournNs:   uint64(cm.SojournNs),
+				Flags:       flags,
+			}
+			if err := c.writeFrame(FrameStreamCorrections, f.AppendTo(nil)); err != nil {
+				wmu.Lock()
+				if writeErr == nil {
+					writeErr = err
+				}
+				wmu.Unlock()
+				// The client is gone; stop the pipeline and discard the
+				// remaining commits so the fuse stage can exit.
+				p.Abort()
+				for range p.Commits() {
+				}
+				return
+			}
+		}
+	}()
+
+	abort := func(err error) error {
+		p.Abort()
+		writerWG.Wait()
+		s.accumulateStreamStats(p.Stats())
+		s.stats.streamsAborted.Add(1)
+		return err
+	}
+
+	row := bitvec.New(width)
+	var rowsReceived uint64
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			if err := c.Conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				return abort(err)
+			}
+		}
+		t, payload, err := c.readFrame(s.cfg.MaxFrameBytes)
+		if errors.Is(err, ErrChecksum) {
+			// Rounds are contiguous by contract: a corrupted frame cannot be
+			// skipped the way a lone decode request can, so the stream dies.
+			s.stats.checksumFail.Add(1)
+			//lint:allow errwrap best-effort fault report; the session is being torn down either way
+			c.writeFrame(FrameError, ErrorFrame{
+				Seq:     rowsReceived,
+				Code:    StatusProtocolError,
+				Message: "frame checksum mismatch mid-stream",
+			}.AppendTo(nil))
+			return abort(ErrChecksum)
+		}
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.stats.idleReaped.Add(1)
+			}
+			return abort(err)
+		}
+		c.touch()
+
+		switch {
+		case t == FramePing && c.features&FeatureProbe != 0:
+			s.stats.pings.Add(1)
+			//lint:allow errwrap best-effort probe echo; a failed write already closed the conn and the next read exits the loop
+			c.writeFrame(FramePong, payload)
+			continue
+		case t == FrameStreamRounds:
+			frame, err := ParseStreamRounds(payload)
+			if err != nil {
+				return abort(err)
+			}
+			if frame.FirstRow != rowsReceived {
+				return abort(fmt.Errorf("server: stream rounds arrived at row %d, want %d (gap or replay)",
+					frame.FirstRow, rowsReceived))
+			}
+			rest := frame.Rows
+			for i := 0; i < int(frame.Count); i++ {
+				consumed, err := codec.Decode(rest, row)
+				if err != nil {
+					s.stats.malformed.Add(1)
+					return abort(fmt.Errorf("server: undecodable stream row %d: %w", rowsReceived, err))
+				}
+				rest = rest[consumed:]
+				if err := p.PushRow(row); err != nil {
+					return abort(err)
+				}
+				rowsReceived++
+			}
+			if len(rest) != 0 {
+				return abort(fmt.Errorf("server: stream-rounds frame has %d trailing bytes", len(rest)))
+			}
+			s.stats.bytesIn.Add(int64(len(frame.Rows)))
+		case t == FrameStreamClose:
+			if err := p.Close(); err != nil {
+				return abort(err)
+			}
+			writerWG.Wait() // every commit has been written (or the writer failed)
+			wmu.Lock()
+			werr := writeErr
+			wmu.Unlock()
+			if werr != nil {
+				s.accumulateStreamStats(p.Stats())
+				s.stats.streamsAborted.Add(1)
+				return werr
+			}
+			st := p.Stats()
+			var flags uint8
+			if st.ForcedCuts > 0 {
+				flags |= FlagForcedSeam
+			}
+			if st.DeadlineMisses > 0 {
+				flags |= FlagDeadlineMiss
+			}
+			summary := StreamClosed{
+				TotalRows:      st.Rows,
+				Windows:        st.Windows,
+				ForcedCuts:     st.ForcedCuts,
+				ObsMask:        st.ObsMask,
+				WeightMilli:    uint64(st.Weight*1000 + 0.5),
+				DeadlineMisses: st.DeadlineMisses,
+				Flags:          flags,
+			}
+			if err := c.writeFrame(FrameStreamClosed, summary.AppendTo(nil)); err != nil {
+				s.accumulateStreamStats(st)
+				s.stats.streamsAborted.Add(1)
+				return err
+			}
+			s.accumulateStreamStats(st)
+			s.stats.streamsCompleted.Add(1)
+			return nil
+		default:
+			return abort(fmt.Errorf("server: unexpected frame type %d mid-stream", t))
+		}
+	}
+}
+
+// accumulateStreamStats folds one finished session's pipeline counters
+// into the daemon totals.
+func (s *Server) accumulateStreamStats(st stream.Stats) {
+	s.stats.streamRows.Add(int64(st.Rows))
+	s.stats.streamWindows.Add(int64(st.Windows))
+	s.stats.streamForced.Add(int64(st.ForcedCuts))
+	s.stats.streamMisses.Add(int64(st.DeadlineMisses))
+}

@@ -33,7 +33,16 @@ type stats struct {
 	batches      atomic.Int64 // worker wake-ups
 	batched      atomic.Int64 // requests drained across all batches
 	bytesIn      atomic.Int64 // compressed syndrome payload bytes received
-	tracker      *realtime.Tracker
+	// Streaming-session accounting (FeatureStream connections).
+	streamsOpened    atomic.Int64 // sessions accepted
+	streamsRefused   atomic.Int64 // stream-opens refused (pipeline setup failed)
+	streamsCompleted atomic.Int64 // sessions ending with a clean Close exchange
+	streamsAborted   atomic.Int64 // sessions torn down mid-stream
+	streamRows       atomic.Int64 // syndrome rounds ingested across all sessions
+	streamWindows    atomic.Int64 // windows committed across all sessions
+	streamForced     atomic.Int64 // forced (approximate) cuts across all sessions
+	streamMisses     atomic.Int64 // window commits that overran their row budget
+	tracker          *realtime.Tracker
 }
 
 func newStats(cfg Config, deadlineNs float64) *stats {
@@ -84,6 +93,16 @@ type Snapshot struct {
 
 	BytesIn int64 `json:"bytes_in"`
 
+	// Streaming-session accounting (FeatureStream windowed sessions).
+	StreamsOpened        int64 `json:"streams_opened"`
+	StreamsRefused       int64 `json:"streams_refused"`
+	StreamsCompleted     int64 `json:"streams_completed"`
+	StreamsAborted       int64 `json:"streams_aborted"`
+	StreamRows           int64 `json:"stream_rows"`
+	StreamWindows        int64 `json:"stream_windows"`
+	StreamForcedCuts     int64 `json:"stream_forced_cuts"`
+	StreamDeadlineMisses int64 `json:"stream_deadline_misses"`
+
 	// Deadline accounting over completed decodes (realtime semantics:
 	// on time ⇔ sojourn ≤ per-request budget).
 	DefaultDeadlineNs float64 `json:"default_deadline_ns"`
@@ -111,27 +130,35 @@ func (s *Server) Snapshot() Snapshot {
 	completed := st.completed.Load()
 	batches := st.batches.Load()
 	snap := Snapshot{
-		UptimeSec:         up,
-		Offered:           st.offered.Load(),
-		Accepted:          st.accepted.Load(),
-		Rejected:          st.rejected.Load(),
-		Completed:         completed,
-		Malformed:         st.malformed.Load(),
-		ChecksumFailures:  st.checksumFail.Load(),
-		Pings:             st.pings.Load(),
-		Fingerprints:      s.fingerprintStrings(),
-		Panics:            st.panics.Load(),
-		Degraded:          st.degraded.Load(),
-		IdleReaped:        st.idleReaped.Load(),
-		ConnsOverCap:      st.overCap.Load(),
-		ActiveConns:       s.activeConns(),
-		QueueDepth:        len(s.queue),
-		QueueCap:          st.queueCap,
-		Batches:           batches,
-		BytesIn:           st.bytesIn.Load(),
-		DefaultDeadlineNs: st.deadline,
-		DeadlineMisses:    st.tracker.Total() - st.tracker.OnTime(),
-		DeadlineMissRate:  st.tracker.MissRate(),
+		UptimeSec:            up,
+		Offered:              st.offered.Load(),
+		Accepted:             st.accepted.Load(),
+		Rejected:             st.rejected.Load(),
+		Completed:            completed,
+		Malformed:            st.malformed.Load(),
+		ChecksumFailures:     st.checksumFail.Load(),
+		Pings:                st.pings.Load(),
+		Fingerprints:         s.fingerprintStrings(),
+		Panics:               st.panics.Load(),
+		Degraded:             st.degraded.Load(),
+		IdleReaped:           st.idleReaped.Load(),
+		ConnsOverCap:         st.overCap.Load(),
+		ActiveConns:          s.activeConns(),
+		QueueDepth:           len(s.queue),
+		QueueCap:             st.queueCap,
+		Batches:              batches,
+		BytesIn:              st.bytesIn.Load(),
+		StreamsOpened:        st.streamsOpened.Load(),
+		StreamsRefused:       st.streamsRefused.Load(),
+		StreamsCompleted:     st.streamsCompleted.Load(),
+		StreamsAborted:       st.streamsAborted.Load(),
+		StreamRows:           st.streamRows.Load(),
+		StreamWindows:        st.streamWindows.Load(),
+		StreamForcedCuts:     st.streamForced.Load(),
+		StreamDeadlineMisses: st.streamMisses.Load(),
+		DefaultDeadlineNs:    st.deadline,
+		DeadlineMisses:       st.tracker.Total() - st.tracker.OnTime(),
+		DeadlineMissRate:     st.tracker.MissRate(),
 	}
 	if batches > 0 {
 		snap.MeanBatch = float64(st.batched.Load()) / float64(batches)

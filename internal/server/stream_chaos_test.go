@@ -1,0 +1,197 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"astrea/internal/compress"
+	"astrea/internal/faultinject"
+	"astrea/internal/montecarlo"
+)
+
+// TestStreamChaosSoak is the streaming chaos acceptance test: sessions
+// through a fault-injecting proxy (stalls, corruption, drops, partial
+// writes), sessions whose client wedges mid-stream and gets idle-reaped,
+// and sessions whose connection is killed between a commit and the next
+// fuse — racing the in-flight window decodes against teardown. Invariants:
+// no round is ever committed twice (checksummed frames make client-side
+// contiguity accounting sound: a corrupted commit kills the session before
+// it can masquerade as a duplicate), every opened session is accounted
+// completed or aborted, and no pipeline goroutine outlives its session
+// (the package leak check would trip).
+func TestStreamChaosSoak(t *testing.T) {
+	leakCheck(t)
+	env := testEnv(t, 3)
+	chaosSessions, shotsPerSession := 8, 60
+	if testing.Short() {
+		chaosSessions, shotsPerSession = 4, 20
+	}
+	srv := startServer(t, Config{
+		Distances:        []int{3},
+		P:                1e-3,
+		HandshakeTimeout: 2 * time.Second,
+		IdleTimeout:      500 * time.Millisecond,
+		WriteTimeout:     2 * time.Second,
+		Envs:             map[int]*montecarlo.Env{3: env},
+	})
+	proxy, err := faultinject.NewProxy(srv.Addr().String(), faultinject.Config{
+		Seed:       41,
+		StallP:     0.02,
+		StallMin:   100 * time.Microsecond,
+		StallMax:   2 * time.Millisecond,
+		CorruptP:   0.005,
+		DropP:      0.002,
+		PartialP:   0.005,
+		ShortReadP: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Chaotic sessions through the proxy. Any of them may die at any point;
+	// the invariant each carries is that every commit it DOES observe is
+	// contiguous — a duplicate or replayed round fails the test.
+	var wg sync.WaitGroup
+	errs := make(chan error, chaosSessions+2)
+	for g := 0; g < chaosSessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client, err := DialOptions(proxy.Addr(), 3, compress.IDSparse, ClientOptions{
+				HandshakeTimeout: time.Second,
+				CallTimeout:      time.Second,
+				Features:         FeatureStream | FeatureChecksum,
+			})
+			if err != nil {
+				return // chaos killed the handshake; fine
+			}
+			defer client.Close()
+			rows := sampleStreamRows(env, uint64(0x50A1+g), shotsPerSession)
+			commits, summary, _, err := driveStreamSession(client, StreamOptions{}, rows)
+			// Whatever prefix of commits arrived must be contiguous from row
+			// zero — duplicated or replayed commits are a bug even (especially)
+			// on a session chaos killed halfway.
+			var next uint64
+			for i, cm := range commits {
+				if cm.WindowSeq != uint64(i) || cm.FirstRow != next || cm.RowCount == 0 {
+					errs <- fmt.Errorf("chaos session %d commit %d: seq %d row %d count %d (want seq %d row %d)",
+						g, i, cm.WindowSeq, cm.FirstRow, cm.RowCount, i, next)
+					return
+				}
+				next += uint64(cm.RowCount)
+			}
+			if err != nil {
+				return // session chaos-killed after a valid prefix; fine
+			}
+			if next != uint64(len(rows)) || summary.TotalRows != uint64(len(rows)) {
+				errs <- fmt.Errorf("chaos session %d closed clean but covered %d of %d rows", g, next, len(rows))
+			}
+		}(g)
+	}
+
+	// A session whose client wedges mid-stream without closing: the server's
+	// idle deadline must reap it (and tear its pipeline down) rather than
+	// holding the window buffers forever.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client, err := DialOptions(srv.Addr().String(), 3, compress.IDSparse, ClientOptions{
+			CallTimeout: 10 * time.Second,
+			Features:    FeatureStream,
+		})
+		if err != nil {
+			errs <- fmt.Errorf("stalled session dial: %w", err)
+			return
+		}
+		defer client.Close()
+		st, err := client.OpenStream(StreamOptions{})
+		if err != nil {
+			errs <- fmt.Errorf("stalled session open: %w", err)
+			return
+		}
+		rows := sampleStreamRows(env, 0x57A11, 4)
+		if err := st.SendRounds(rows); err != nil {
+			errs <- fmt.Errorf("stalled session push: %w", err)
+			return
+		}
+		// Wedge: no more rounds, no close. Recv must fail once the server
+		// reaps the connection.
+		if ev, err := st.Recv(); err == nil && ev.Closed {
+			errs <- fmt.Errorf("stalled session got a clean close without sending one")
+		}
+	}()
+
+	// A session killed between commit and fuse: push enough rounds to keep
+	// windows in flight, take the first commit, then slam the connection
+	// shut while later windows are still decoding.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client, err := DialOptions(srv.Addr().String(), 3, compress.IDSparse, ClientOptions{
+			CallTimeout: 10 * time.Second,
+			Features:    FeatureStream,
+		})
+		if err != nil {
+			errs <- fmt.Errorf("killed session dial: %w", err)
+			return
+		}
+		st, err := client.OpenStream(StreamOptions{})
+		if err != nil {
+			client.Close()
+			errs <- fmt.Errorf("killed session open: %w", err)
+			return
+		}
+		rows := sampleStreamRows(env, 0xDEAD, 80)
+		go func() {
+			for len(rows) > 0 { // feed until the conn dies under us
+				n := 8
+				if n > len(rows) {
+					n = len(rows)
+				}
+				if st.SendRounds(rows[:n]) != nil {
+					return
+				}
+				rows = rows[n:]
+			}
+		}()
+		for {
+			ev, err := st.Recv()
+			if err != nil {
+				break // conn may die first if commits outpace our reads
+			}
+			if ev.Closed {
+				errs <- fmt.Errorf("killed session saw a clean close it never requested")
+				break
+			}
+			break // first commit observed: kill now, mid-fuse
+		}
+		client.Close()
+	}()
+
+	wg.Wait()
+	proxy.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := srv.Snapshot()
+	// Every session the server opened ended exactly one way.
+	if snap.StreamsOpened != snap.StreamsCompleted+snap.StreamsAborted {
+		t.Fatalf("session accounting leaks: opened %d != completed %d + aborted %d",
+			snap.StreamsOpened, snap.StreamsCompleted, snap.StreamsAborted)
+	}
+	// The wedged and killed sessions guarantee aborts happened, so the
+	// teardown path (pipeline Abort + writer drain) actually soaked.
+	if snap.StreamsAborted < 2 {
+		t.Fatalf("only %d aborted sessions; the teardown path went unexercised", snap.StreamsAborted)
+	}
+	t.Logf("stream soak: %+v", snap)
+}

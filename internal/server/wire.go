@@ -60,6 +60,18 @@ const (
 	FrameError    FrameType = 6 // server → client: per-request failure
 	FramePing     FrameType = 7 // client → server: health probe (FeatureProbe)
 	FramePong     FrameType = 8 // server → client: probe echo
+
+	// Streaming frames (FeatureStream). A StreamOpen switches the
+	// connection into a windowed-streaming session: the client pushes
+	// syndrome rounds with StreamRounds frames, the server answers with
+	// in-order StreamCorrections commits, and StreamClose/StreamClosed end
+	// the session (after which plain Decode frames are accepted again).
+	FrameStreamOpen        FrameType = 9  // client → server: open a streaming session
+	FrameStreamOpenAck     FrameType = 10 // server → client: accept/refuse + resolved window parameters
+	FrameStreamRounds      FrameType = 11 // client → server: a batch of consecutive syndrome rounds
+	FrameStreamCorrections FrameType = 12 // server → client: one committed window's correction
+	FrameStreamClose       FrameType = 13 // client → server: end of the round stream
+	FrameStreamClosed      FrameType = 14 // server → client: final stream summary
 )
 
 // Wire feature bits, offered by the client in an extended Hello and echoed
@@ -74,9 +86,15 @@ const (
 	// FeatureProbe enables Ping/Pong health-probe frames on the stream, so
 	// a fleet client can verify liveness without spending a decode.
 	FeatureProbe uint32 = 1 << 1
+	// FeatureStream enables windowed streaming sessions (the FrameStream*
+	// frames): unbounded syndrome-round streams decoded in overlapping
+	// time windows and committed in round order. A v2 peer that did not
+	// negotiate the bit refuses stream frames cleanly as a protocol
+	// violation instead of misparsing them.
+	FeatureStream uint32 = 1 << 2
 
 	// supportedFeatures is what this build negotiates.
-	supportedFeatures = FeatureChecksum | FeatureProbe
+	supportedFeatures = FeatureChecksum | FeatureProbe | FeatureStream
 )
 
 // Result flag bits.
@@ -89,6 +107,12 @@ const (
 	// consumed most of its deadline budget, so the server traded accuracy
 	// for an on-time answer (graceful degradation under overload).
 	FlagDegraded uint8 = 1 << 3
+	// FlagForcedSeam marks a streamed window commit whose cut was forced by
+	// the window-length cap instead of placed in a quiet gap: trailing seam
+	// rounds were carried into the next window for re-matching against the
+	// committed frontier, so this commit's correction is approximate rather
+	// than whole-shot-exact (see internal/stream).
+	FlagForcedSeam uint8 = 1 << 4
 )
 
 // WriteFrame writes one frame. payload may be nil.

@@ -1,0 +1,478 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/realtime"
+)
+
+// cutKind classifies why the planner ended a window.
+type cutKind uint8
+
+const (
+	// cutNone: keep buffering, no window ends here.
+	cutNone cutKind = iota
+	// cutClean: a quiet-gap (or all-quiet length-capped) cut — exact.
+	cutClean
+	// cutForced: a length-capped cut with no safe gap — approximate; the
+	// trailing seam is carried into the successor window.
+	cutForced
+	// cutFinal: the stream closed — the remainder commits with a closed
+	// top edge (the final data-measurement round).
+	cutFinal
+)
+
+// Pipeline decodes an unbounded round stream: PushRow feeds syndrome
+// rounds in order, Commits delivers committed window corrections in round
+// order, Close declares the stream complete (final data-measurement round
+// received) and Abort tears everything down early. One goroutine may call
+// PushRow/Close; Commits is read by one consumer; Abort/Stats/Err are safe
+// from anywhere. The consumer must drain Commits until it closes (or call
+// Abort) or the pipeline's goroutines stall on backpressure by design.
+type Pipeline struct {
+	cfg      Config
+	width    int // detector bits per round
+	rowWords int // 64-bit words per buffered row
+
+	// Planner state, owned by the PushRow/Close caller.
+	buf        []uint64 // bufRows×rowWords, row-major
+	rowDefects []int    // per-buffered-row defect count
+	bufRows    int
+	bufDefects int
+	quietRun   int    // trailing defect-free rounds in the buffer
+	firstRow   uint64 // absolute round index of buf row 0
+	nextSeq    uint64
+	// carryRows counts leading placeholder rows whose content arrives via
+	// pendingCarry (a forced predecessor's resolved seam).
+	carryRows    int
+	pendingCarry chan []uint64
+	closed       bool
+	scratch      []int
+
+	jobs    chan *window
+	results chan decoded
+	commits chan Commit
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	workerWG sync.WaitGroup
+	auxWG    sync.WaitGroup
+
+	tracker *realtime.Tracker
+
+	mu    sync.Mutex
+	stats Stats
+	err   error
+}
+
+// New starts a pipeline: MaxInflight decode workers, a fuse stage
+// reordering window results into round-order commits, and bounded channels
+// end to end so a slow consumer backpressures PushRow instead of growing
+// queues.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	// Fail fast on an unresolvable decoder name (workers would only hit it
+	// on the first non-empty window).
+	if _, err := factoryFor(cfg.Decoder); err != nil {
+		return nil, err
+	}
+	width := rowWidth(cfg.Env)
+	p := &Pipeline{
+		cfg:      cfg,
+		width:    width,
+		rowWords: (width + 63) / 64,
+		jobs:     make(chan *window, cfg.MaxInflight),
+		results:  make(chan decoded, cfg.MaxInflight),
+		commits:  make(chan Commit, cfg.MaxInflight),
+		stop:     make(chan struct{}),
+		tracker:  realtime.NewTracker(cfg.RowBudgetNs),
+	}
+	p.workerWG.Add(cfg.MaxInflight)
+	for i := 0; i < cfg.MaxInflight; i++ {
+		go p.worker()
+	}
+	p.auxWG.Add(2)
+	go p.closer()
+	go p.fuse()
+	return p, nil
+}
+
+// Tracker exposes the pipeline's commit-latency tracker (budget = row
+// budget × committed rows per observation).
+func (p *Pipeline) Tracker() *realtime.Tracker { return p.tracker }
+
+// Commits returns the committed-correction channel. It is closed after
+// Close once every window has committed, or on Abort/failure (check Err).
+func (p *Pipeline) Commits() <-chan Commit { return p.commits }
+
+// Err returns the first pipeline error (nil after a clean run; ErrAborted
+// after Abort).
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Stats returns a snapshot of the pipeline's counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	s := p.stats
+	p.mu.Unlock()
+	s.GapRounds = p.cfg.GapRounds
+	s.WindowRounds = p.cfg.WindowRounds
+	s.PadRounds = p.cfg.PadRounds
+	s.RowBudgetNs = p.cfg.RowBudgetNs
+	return s
+}
+
+// PushRow appends the next syndrome round (row.Len() must equal the
+// environment's per-round detector count) and dispatches any window the
+// planner cuts. It blocks when MaxInflight windows are already in flight.
+func (p *Pipeline) PushRow(row bitvec.Vec) error {
+	if p.closed {
+		return ErrClosed
+	}
+	if row.Len() != p.width {
+		return fmt.Errorf("stream: row has %d bits, environment rounds have %d", row.Len(), p.width)
+	}
+	select {
+	case <-p.stop:
+		return p.stopErr()
+	default:
+	}
+
+	base := p.bufRows * p.rowWords
+	p.buf = append(p.buf, make([]uint64, p.rowWords)...)
+	p.scratch = row.Ones(p.scratch[:0])
+	for _, k := range p.scratch {
+		p.buf[base+k>>6] |= 1 << (uint(k) & 63)
+	}
+	defects := len(p.scratch)
+	p.rowDefects = append(p.rowDefects, defects)
+	p.bufRows++
+	p.bufDefects += defects
+	if defects == 0 {
+		p.quietRun++
+	} else {
+		p.quietRun = 0
+	}
+
+	p.mu.Lock()
+	p.stats.Rows++
+	p.stats.Defects += uint64(defects)
+	p.mu.Unlock()
+
+	return p.cut(p.decide())
+}
+
+// decide applies the planner's cut rules to the current buffer.
+func (p *Pipeline) decide() cutKind {
+	if p.bufDefects > 0 && p.quietRun >= p.cfg.GapRounds {
+		return cutClean
+	}
+	if p.bufRows >= p.cfg.WindowRounds {
+		if p.bufDefects == 0 {
+			return cutClean // all-quiet buffer: an exact (empty) window
+		}
+		return cutForced
+	}
+	return cutNone
+}
+
+// cut dispatches the window the planner chose, if any, and rebases the
+// buffer on the retained tail.
+func (p *Pipeline) cut(k cutKind) error {
+	switch k {
+	case cutNone:
+		return nil
+	case cutClean:
+		// Cut mid-gap: retain half the quiet run so both the committed
+		// window and its successor keep a quiet margin at the cut.
+		keep := p.cfg.GapRounds / 2
+		if keep < 1 {
+			keep = 1
+		}
+		if keep > p.quietRun {
+			keep = p.quietRun
+		}
+		if p.bufRows-keep < p.carryRows {
+			// The cut would split a carried seam prefix whose content is
+			// still in flight; keep buffering until the window can take the
+			// whole prefix.
+			return nil
+		}
+		return p.dispatch(p.bufRows-keep, 0)
+	case cutForced:
+		seam := p.cfg.PadRounds
+		if seam > p.bufRows-1 {
+			seam = p.bufRows - 1
+		}
+		return p.dispatch(p.bufRows, seam)
+	case cutFinal:
+		return p.dispatch(p.bufRows, 0)
+	}
+	return nil
+}
+
+// dispatch sends rows [0, take) of the buffer as one window (retaining the
+// last seam of them as the successor's carried prefix when seam > 0) and
+// rebases the buffer.
+func (p *Pipeline) dispatch(take, seam int) error {
+	w := &window{
+		seq:          p.nextSeq,
+		firstRow:     p.firstRow,
+		rows:         take,
+		words:        make([]uint64, take*p.rowWords),
+		defects:      0,
+		closedBottom: p.firstRow == 0,
+		closedTop:    p.closed && take == p.bufRows,
+		forced:       seam > 0,
+		carrySeam:    seam,
+		cutAtNs:      time.Now().UnixNano(),
+	}
+	copy(w.words, p.buf[:take*p.rowWords])
+	for _, d := range p.rowDefects[:take] {
+		w.defects += d
+	}
+	if p.carryRows > 0 {
+		w.carryFrom = p.pendingCarry
+		p.pendingCarry = nil
+	}
+	if seam > 0 {
+		w.carryTo = make(chan []uint64, 1)
+	}
+	p.nextSeq++
+
+	// Rebase the buffer: a forced cut leaves seam placeholder rows (their
+	// true content arrives through the carry channel, but their pre-clear
+	// defect counts stand in for planner decisions — clearing can only make
+	// them quieter); a clean cut leaves the retained quiet tail.
+	committed := take - seam
+	rest := p.bufRows - committed
+	if seam > 0 {
+		// Zero the placeholder rows; keep any rows pushed after the cut
+		// point (there are none today — cuts happen on push — but the
+		// rebase is written for the general shape).
+		tail := make([]uint64, rest*p.rowWords)
+		copy(tail[seam*p.rowWords:], p.buf[take*p.rowWords:p.bufRows*p.rowWords])
+		p.buf = append(p.buf[:0], tail...)
+		p.carryRows = seam
+		p.pendingCarry = w.carryTo
+	} else {
+		p.buf = append(p.buf[:0], p.buf[committed*p.rowWords:p.bufRows*p.rowWords]...)
+		p.carryRows = 0
+	}
+	p.rowDefects = append(p.rowDefects[:0], p.rowDefects[committed:]...)
+	p.bufRows = rest
+	p.bufDefects = 0
+	for _, d := range p.rowDefects {
+		p.bufDefects += d
+	}
+	if p.quietRun > rest {
+		p.quietRun = rest
+	}
+	p.firstRow += uint64(committed)
+
+	select {
+	case p.jobs <- w:
+		return nil
+	case <-p.stop:
+		return p.stopErr()
+	}
+}
+
+// Close declares the round stream complete: the buffered remainder becomes
+// the final window (its last row is the stream's data-measurement round)
+// and, once every window commits, the Commits channel closes.
+func (p *Pipeline) Close() error {
+	if p.closed {
+		return ErrClosed
+	}
+	p.closed = true
+	var err error
+	if p.bufRows > 0 {
+		err = p.cut(cutFinal)
+	}
+	close(p.jobs)
+	return err
+}
+
+// Abort tears the pipeline down without waiting for in-flight windows and
+// blocks until every pipeline goroutine has exited. Safe to call more than
+// once and after Close.
+func (p *Pipeline) Abort() {
+	p.fail(ErrAborted)
+	p.auxWG.Wait()
+}
+
+// fail records the first error and stops every stage.
+func (p *Pipeline) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.stopOnce.Do(func() { close(p.stop) })
+}
+
+// stopErr returns the recorded failure, defaulting to ErrAborted.
+func (p *Pipeline) stopErr() error {
+	if err := p.Err(); err != nil {
+		return err
+	}
+	return ErrAborted
+}
+
+func (p *Pipeline) worker() {
+	defer p.workerWG.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case w, ok := <-p.jobs:
+			if !ok {
+				return
+			}
+			var d decoded
+			if w.defects == 0 && w.carryFrom == nil {
+				d = decoded{win: w, empty: true}
+			} else {
+				var err error
+				d, err = p.decodeWindow(w)
+				if err != nil {
+					p.fail(err)
+					return
+				}
+			}
+			select {
+			case p.results <- d:
+			case <-p.stop:
+				return
+			}
+		}
+	}
+}
+
+// closer closes the results channel once every worker has exited (clean
+// drain after Close, or stop), which in turn lets fuse finish.
+func (p *Pipeline) closer() {
+	defer p.auxWG.Done()
+	p.workerWG.Wait()
+	close(p.results)
+}
+
+// fuse reorders per-window results into committed, round-ordered
+// corrections and applies deadline accounting.
+func (p *Pipeline) fuse() {
+	defer p.auxWG.Done()
+	defer close(p.commits)
+	pending := make(map[uint64]decoded)
+	next := uint64(0)
+	for d := range p.results {
+		pending[d.win.seq] = d
+		for {
+			dd, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			select {
+			case p.commits <- p.commitOf(dd):
+			case <-p.stop:
+				return
+			}
+			next++
+		}
+	}
+}
+
+// commitOf turns one decoded window into its commit, updating counters and
+// the latency tracker.
+func (p *Pipeline) commitOf(d decoded) Commit {
+	w := d.win
+	sojournNs := float64(time.Now().UnixNano() - w.cutAtNs)
+	if sojournNs < 0 {
+		sojournNs = 0
+	}
+	miss := !p.tracker.ObserveBudget(sojournNs, p.cfg.RowBudgetNs*float64(w.rows))
+
+	p.mu.Lock()
+	p.stats.Windows++
+	p.stats.Commits++
+	if d.empty {
+		p.stats.EmptyWindows++
+	}
+	if w.forced {
+		p.stats.ForcedCuts++
+	}
+	if d.fallback {
+		p.stats.Fallbacks++
+	}
+	if miss {
+		p.stats.DeadlineMisses++
+	}
+	p.stats.ObsMask ^= d.obs
+	p.stats.Weight += d.weight
+	if w.rows > p.stats.MaxWindowRows {
+		p.stats.MaxWindowRows = w.rows
+	}
+	p.mu.Unlock()
+
+	return Commit{
+		WindowSeq:    w.seq,
+		FirstRow:     w.firstRow,
+		RowCount:     w.rows,
+		ObsMask:      d.obs,
+		Weight:       d.weight,
+		Defects:      d.defects,
+		SojournNs:    sojournNs,
+		DeadlineMiss: miss,
+		Forced:       w.forced,
+		Fallback:     d.fallback,
+		Empty:        d.empty,
+	}
+}
+
+// DecodeClosed runs a complete (closed) round stream through a pipeline
+// and returns every commit in round order plus the final stats: the
+// whole-shot-equivalence entry point used by tests and benchmarks, and a
+// reference for driving a Pipeline by hand.
+func DecodeClosed(cfg Config, rows []bitvec.Vec) ([]Commit, Stats, error) {
+	p, err := New(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var (
+		commits []Commit
+		drainWG sync.WaitGroup
+	)
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		for c := range p.Commits() {
+			commits = append(commits, c)
+		}
+	}()
+	for _, r := range rows {
+		if err := p.PushRow(r); err != nil {
+			p.Abort()
+			drainWG.Wait()
+			return nil, p.Stats(), err
+		}
+	}
+	if err := p.Close(); err != nil {
+		p.Abort()
+		drainWG.Wait()
+		return nil, p.Stats(), err
+	}
+	drainWG.Wait()
+	if err := p.Err(); err != nil {
+		return nil, p.Stats(), err
+	}
+	return commits, p.Stats(), nil
+}

@@ -1,0 +1,454 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/dem"
+	"astrea/internal/leakcheck"
+	"astrea/internal/montecarlo"
+	"astrea/internal/prng"
+)
+
+// rowsOf splits a whole-shot syndrome into its per-round detector rows.
+func rowsOf(env *montecarlo.Env, synd bitvec.Vec) []bitvec.Vec {
+	s := rowWidth(env)
+	rows := make([]bitvec.Vec, env.Rounds+1)
+	for r := range rows {
+		row := bitvec.New(s)
+		for k := 0; k < s; k++ {
+			if synd.Get(r*s + k) {
+				row.Set(k)
+			}
+		}
+		rows[r] = row
+	}
+	return rows
+}
+
+// checkPartition asserts the commits cover rounds [0, total) in order,
+// each exactly once.
+func checkPartition(t *testing.T, commits []Commit, total uint64) {
+	t.Helper()
+	var next uint64
+	for i, c := range commits {
+		if c.WindowSeq != uint64(i) {
+			t.Fatalf("commit %d has WindowSeq %d", i, c.WindowSeq)
+		}
+		if c.FirstRow != next {
+			t.Fatalf("commit %d starts at row %d, want %d (gap or overlap)", i, c.FirstRow, next)
+		}
+		if c.RowCount <= 0 {
+			t.Fatalf("commit %d covers %d rows", i, c.RowCount)
+		}
+		next += uint64(c.RowCount)
+	}
+	if next != total {
+		t.Fatalf("commits cover %d rows, stream had %d", next, total)
+	}
+}
+
+func TestSafeGapRounds(t *testing.T) {
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := SafeGapRounds(env)
+	if g < 2 {
+		t.Fatalf("SafeGapRounds = %d, want ≥ 2", g)
+	}
+	if again := SafeGapRounds(env); again != g {
+		t.Fatalf("SafeGapRounds not stable: %d then %d", g, again)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a config without an environment")
+	}
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Env: env, Decoder: "nope"}); err == nil {
+		t.Fatal("New accepted an unknown decoder")
+	}
+}
+
+func TestPushRowWidthMismatch(t *testing.T) {
+	leakcheck.Check(t)
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Abort()
+	if err := p.PushRow(bitvec.New(rowWidth(env) + 1)); err == nil {
+		t.Fatal("PushRow accepted a row of the wrong width")
+	}
+}
+
+// TestEmptyStream closes a pipeline without pushing anything: no commits,
+// no goroutines left behind.
+func TestEmptyStream(t *testing.T) {
+	leakcheck.Check(t)
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits, stats, err := DecodeClosed(Config{Env: env}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(commits) != 0 || stats.Windows != 0 || stats.Rows != 0 {
+		t.Fatalf("empty stream produced commits=%d windows=%d rows=%d", len(commits), stats.Windows, stats.Rows)
+	}
+}
+
+// TestQuietStream feeds a long defect-free stream: every committed window
+// must take the empty fast path, carry no correction, and still partition
+// the rounds exactly.
+func TestQuietStream(t *testing.T) {
+	leakcheck.Check(t)
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 200
+	rows := make([]bitvec.Vec, total)
+	for i := range rows {
+		rows[i] = bitvec.New(rowWidth(env))
+	}
+	commits, stats, err := DecodeClosed(Config{Env: env}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, commits, total)
+	if len(commits) < 2 {
+		t.Fatalf("quiet stream of %d rounds produced %d windows, want several", total, len(commits))
+	}
+	for _, c := range commits {
+		if !c.Empty || c.ObsMask != 0 || c.Weight != 0 || c.Forced {
+			t.Fatalf("quiet window %+v should be an empty exact commit", c)
+		}
+	}
+	if stats.EmptyWindows != stats.Windows || stats.ForcedCuts != 0 || stats.ObsMask != 0 {
+		t.Fatalf("quiet stream stats %+v", stats)
+	}
+}
+
+// TestClosedStreamEquivalence is the subsystem's core guarantee: decoding
+// a closed stream window by window commits the bit-identical observable
+// correction to a whole-shot decode, for d ∈ {3, 5, 7} across ≥ 1k seeded
+// shots, with real multi-window splits (more windows than shots).
+func TestClosedStreamEquivalence(t *testing.T) {
+	leakcheck.Check(t)
+	cases := []struct {
+		d     int
+		p     float64
+		total int // rounds per shot (stream length)
+		shots int
+	}{
+		{d: 3, p: 3e-3, total: 41, shots: 600},
+		{d: 5, p: 2e-3, total: 31, shots: 300},
+		{d: 7, p: 1e-3, total: 21, shots: 150},
+	}
+	if testing.Short() {
+		for i := range cases {
+			cases[i].shots /= 10
+		}
+	}
+	for _, tc := range cases {
+		env, err := montecarlo.SharedEnv(tc.d, tc.total-1, tc.p)
+		if err != nil {
+			t.Fatalf("d=%d: %v", tc.d, err)
+		}
+		whole, err := factoryFor("mwpm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := whole(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Env:     env,
+			Decoder: "mwpm",
+			// A cap above the stream length excludes forced cuts: every cut
+			// in this test is a provably exact quiet-gap cut.
+			WindowRounds: tc.total + 1,
+		}
+
+		smp := dem.NewSampler(env.Model)
+		rng := prng.New(uint64(0xA57EA<<8 | tc.d))
+		synd := bitvec.New(env.Graph.N)
+		var windows, shotsSplit uint64
+		for shot := 0; shot < tc.shots; shot++ {
+			smp.Sample(rng, synd)
+			want := ref.Decode(synd)
+
+			commits, stats, err := DecodeClosed(cfg, rowsOf(env, synd))
+			if err != nil {
+				t.Fatalf("d=%d shot %d: %v", tc.d, shot, err)
+			}
+			checkPartition(t, commits, uint64(tc.total))
+			if stats.ForcedCuts != 0 {
+				t.Fatalf("d=%d shot %d: unexpected forced cut", tc.d, shot)
+			}
+			if stats.ObsMask != want.ObsPrediction {
+				t.Fatalf("d=%d shot %d: windowed obs %#x != whole-shot obs %#x (%d windows)",
+					tc.d, shot, stats.ObsMask, want.ObsPrediction, stats.Windows)
+			}
+			if diff := math.Abs(stats.Weight - want.Weight); diff > 1e-6*(1+math.Abs(want.Weight)) {
+				t.Fatalf("d=%d shot %d: windowed weight %v != whole-shot weight %v",
+					tc.d, shot, stats.Weight, want.Weight)
+			}
+			windows += stats.Windows
+			if stats.Windows > 1 {
+				shotsSplit++
+			}
+		}
+		if windows <= uint64(tc.shots) {
+			t.Fatalf("d=%d: only %d windows over %d shots — streams never split, the test is vacuous",
+				tc.d, windows, tc.shots)
+		}
+		t.Logf("d=%d: %d shots, %d windows, %d shots split", tc.d, tc.shots, windows, shotsSplit)
+	}
+}
+
+// TestForcedCutsPartition drives a gap-free stream (every round has a
+// defect) so every cut is forced, then checks the seam-carry bookkeeping:
+// rounds still partition exactly, forced windows are flagged, and the
+// stream completes.
+func TestForcedCutsPartition(t *testing.T) {
+	leakcheck.Check(t)
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 120
+	width := rowWidth(env)
+	rng := prng.New(7)
+	rows := make([]bitvec.Vec, total)
+	for i := range rows {
+		row := bitvec.New(width)
+		row.Set(int(rng.Uint64() % uint64(width))) // ≥ 1 defect per round: no quiet gap ever
+		rows[i] = row
+	}
+	commits, stats, err := DecodeClosed(Config{Env: env, Decoder: "mwpm"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, commits, total)
+	if stats.ForcedCuts == 0 {
+		t.Fatal("gap-free stream produced no forced cuts")
+	}
+	forced := 0
+	for _, c := range commits {
+		if c.Forced {
+			forced++
+		}
+	}
+	if uint64(forced) != stats.ForcedCuts {
+		t.Fatalf("%d forced commits vs %d forced cuts in stats", forced, stats.ForcedCuts)
+	}
+	if stats.Defects == 0 || stats.Rows != total {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestAstreaFallback streams with the Astrea decoder at a rate that keeps
+// windows under its Hamming-weight cap most of the time; windows above the
+// cap must be answered by the exact MWPM fallback, never the identity.
+func TestAstreaFallback(t *testing.T) {
+	leakcheck.Check(t)
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := rowWidth(env)
+	const total = 60
+	rows := make([]bitvec.Vec, total)
+	for i := range rows {
+		row := bitvec.New(width)
+		// Dense defects: windows accumulate > 10 defects, beyond Astrea's cap.
+		for k := 0; k < width; k += 2 {
+			row.Set(k)
+		}
+		rows[i] = row
+	}
+	commits, stats, err := DecodeClosed(Config{Env: env, Decoder: "astrea"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, commits, total)
+	if stats.Fallbacks == 0 {
+		t.Fatal("overweight windows never reached the exact fallback pool")
+	}
+}
+
+// TestAbortMidStream aborts with windows in flight: PushRow must unblock
+// with ErrAborted and every pipeline goroutine must exit (leakcheck).
+func TestAbortMidStream(t *testing.T) {
+	leakcheck.Check(t)
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Env: env, Decoder: "mwpm", MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := rowWidth(env)
+	pushed := make(chan error, 1)
+	go func() {
+		// Nobody drains Commits, so the pipeline backpressures; PushRow must
+		// unblock only through Abort.
+		for i := 0; ; i++ {
+			row := bitvec.New(width)
+			row.Set(i % width)
+			if err := p.PushRow(row); err != nil {
+				pushed <- err
+				return
+			}
+		}
+	}()
+	// Let the pusher wedge against the undrained pipeline, then abort.
+	for p.Stats().Windows == 0 && p.Stats().Rows < 1<<16 {
+		time.Sleep(time.Millisecond)
+	}
+	p.Abort()
+	if err := <-pushed; !errors.Is(err, ErrAborted) {
+		t.Fatalf("PushRow after abort returned %v, want ErrAborted", err)
+	}
+	if err := p.Err(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Err() = %v, want ErrAborted", err)
+	}
+	// Abort is idempotent, and the commits channel must be closed.
+	p.Abort()
+	for range p.Commits() {
+	}
+}
+
+// TestPushAfterClose checks the lifecycle sentinels.
+func TestPushAfterClose(t *testing.T) {
+	leakcheck.Check(t)
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PushRow(bitvec.New(rowWidth(env))); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PushRow after Close returned %v, want ErrClosed", err)
+	}
+	if err := p.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close returned %v, want ErrClosed", err)
+	}
+	for range p.Commits() {
+	}
+}
+
+// TestSharedPools is the shared-operating-point regression: two pipelines
+// on the same (d, p) must share decoder pools (and, through
+// montecarlo.SharedEnv, one weight table) rather than building their own.
+func TestSharedPools(t *testing.T) {
+	leakcheck.Check(t)
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sharedPool(env, "mwpm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharedPool(env, "mwpm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("two lookups of the same (env, decoder) returned distinct pools")
+	}
+
+	// End to end: run the same stream through two pipelines and check the
+	// pool registry didn't grow between runs (all window environments and
+	// pools were reused).
+	width := rowWidth(env)
+	rng := prng.New(11)
+	rows := make([]bitvec.Vec, 80)
+	for i := range rows {
+		row := bitvec.New(width)
+		if rng.Uint64()%4 == 0 {
+			row.Set(int(rng.Uint64() % uint64(width)))
+		}
+		rows[i] = row
+	}
+	if _, _, err := DecodeClosed(Config{Env: env, Decoder: "mwpm"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	before := poolCount()
+	if _, _, err := DecodeClosed(Config{Env: env, Decoder: "mwpm"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	if after := poolCount(); after != before {
+		t.Fatalf("second identical stream grew the pool registry %d → %d", before, after)
+	}
+}
+
+// TestWindowEnvAlignment pins the embedded-environment rules: closed edges
+// align with the environment's genuine temporal boundaries, open edges are
+// padded, and a both-closed window reuses the base environment exactly.
+func TestWindowEnvAlignment(t *testing.T) {
+	base, err := montecarlo.SharedEnv(3, 20, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pad, sizeClass = 3, 8
+
+	env, off, err := windowEnv(base, 21, pad, sizeClass, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env != base || off != 0 {
+		t.Fatalf("both-closed full-height window: env reused=%v offset=%d", env == base, off)
+	}
+
+	env, off, err = windowEnv(base, 5, pad, sizeClass, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0 {
+		t.Fatalf("closed-bottom window must sit at offset 0, got %d", off)
+	}
+	if rows := env.Rounds + 1; rows < 5+pad || rows%sizeClass != 0 {
+		t.Fatalf("closed-bottom env has %d rows, want padded multiple of %d", rows, sizeClass)
+	}
+
+	env, off, err = windowEnv(base, 5, pad, sizeClass, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := env.Rounds + 1; off != rows-5 {
+		t.Fatalf("closed-top window must end on the final row: offset %d of %d rows", off, rows)
+	}
+
+	env, off, err = windowEnv(base, 5, pad, sizeClass, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := env.Rounds + 1
+	if off < pad || rows-(off+5) < pad {
+		t.Fatalf("open window has margins %d below / %d above, want ≥ %d", off, rows-(off+5), pad)
+	}
+}

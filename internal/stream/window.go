@@ -1,0 +1,345 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decoder"
+	"astrea/internal/montecarlo"
+)
+
+// Caches shared by every pipeline in the process: the per-environment safe
+// gap (SafeGapRounds) and the per-(environment, decoder) instance pools.
+// Keying by *montecarlo.Env pointer is sound because montecarlo.SharedEnv
+// canonicalises environments — equal operating points yield the identical
+// pointer — and environments are immutable after construction.
+var (
+	gapMu    sync.Mutex
+	gapCache = map[*montecarlo.Env]int{}
+
+	poolMu sync.Mutex
+	pools  = map[poolKey]*decPool{}
+)
+
+type poolKey struct {
+	env *montecarlo.Env
+	dec string
+}
+
+// decPool recycles decoder instances for one (environment, decoder name)
+// pair. Most decoders are stateful (scratch buffers) and not concurrency
+// safe, so workers check an instance out per window; instances that panic
+// mid-decode are discarded rather than recycled (their scratch state is
+// unknowable), mirroring the serving layer's fault contract.
+type decPool struct {
+	env     *montecarlo.Env
+	factory montecarlo.Factory
+	pool    sync.Pool
+}
+
+func (p *decPool) get() (decoder.Decoder, error) {
+	if d, ok := p.pool.Get().(decoder.Decoder); ok && d != nil {
+		return d, nil
+	}
+	return p.factory(p.env)
+}
+
+func (p *decPool) put(d decoder.Decoder) { p.pool.Put(d) }
+
+// sharedPool returns the process-wide decoder pool for (env, name),
+// creating it on first use. Concurrent streams at the same operating point
+// share one pool — and, through montecarlo.SharedEnv, one weight table.
+func sharedPool(env *montecarlo.Env, name string) (*decPool, error) {
+	key := poolKey{env: env, dec: name}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if p, ok := pools[key]; ok {
+		return p, nil
+	}
+	f, err := factoryFor(name)
+	if err != nil {
+		return nil, err
+	}
+	p := &decPool{env: env, factory: f}
+	pools[key] = p
+	return p, nil
+}
+
+// poolCount reports the number of registered decoder pools (test hook for
+// the shared-pool regression test).
+func poolCount() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return len(pools)
+}
+
+// rowWidth returns the stream's row width: detectors per measurement round
+// of the environment's tracked stabiliser type.
+func rowWidth(env *montecarlo.Env) int { return env.Graph.N / (env.Rounds + 1) }
+
+// window is one planned slice of the round stream, cut and ready to decode.
+type window struct {
+	seq      uint64
+	firstRow uint64
+	rows     int      // committed height in rounds
+	words    []uint64 // rows×rowWords detector bits, row-major
+	defects  int
+	// closedBottom/closedTop mark real stream edges: the stream's init
+	// round and its final data-measurement round. Open edges are padded in
+	// the embedded environment instead.
+	closedBottom, closedTop bool
+	// forced marks a window produced by a forced (length-capped) cut;
+	// carrySeam is the seam height carried into the successor window.
+	forced    bool
+	carrySeam int
+	// carryFrom, when non-nil, delivers this window's leading rows: the
+	// predecessor's forced-cut seam after the defects its committed body
+	// consumed were cleared. The decode worker blocks on it before
+	// decoding, which is what re-matches surviving seam defects against the
+	// committed frontier.
+	carryFrom chan []uint64
+	// carryTo, when non-nil (forced windows), receives the resolved seam
+	// for the successor. Buffered; the worker sends exactly once.
+	carryTo chan []uint64
+	// cutAtNs is the monotonic cut timestamp; commit latency is measured
+	// from here.
+	cutAtNs int64
+}
+
+// decoded is a window's decode outcome, headed for the fuse stage.
+type decoded struct {
+	win      *window
+	obs      uint64
+	weight   float64
+	defects  int
+	fallback bool
+	empty    bool
+}
+
+// windowEnv resolves the embedded environment for a window of h rounds and
+// the row offset at which the window's first row lands in it. Open edges
+// receive at least pad defect-free rounds of padding; heights are rounded
+// up to the size class so the set of distinct environments stays small.
+// Closed edges align with the environment's genuine temporal boundaries:
+// a closed bottom pins the window to row 0 (the init-comparison row), a
+// closed top pins the window's last row to the final data-measurement row.
+// A window closed at both ends gets an exact-height environment.
+func windowEnv(base *montecarlo.Env, h, pad, sizeClass int, closedBottom, closedTop bool) (*montecarlo.Env, int, error) {
+	padBottom, padTop := pad, pad
+	if closedBottom {
+		padBottom = 0
+	}
+	if closedTop {
+		padTop = 0
+	}
+	detRows := h + padBottom + padTop
+	if !(closedBottom && closedTop) {
+		if rem := detRows % sizeClass; rem != 0 {
+			detRows += sizeClass - rem
+		}
+	}
+	offset := padBottom
+	if closedTop {
+		offset = detRows - h // absorb the quantisation slack below the window
+	}
+	// The base environment itself is reusable when the heights agree — the
+	// whole-stream-in-one-window case, and artifact-served operating points
+	// whose env never passed through the shared cache.
+	if detRows == base.Rounds+1 {
+		return base, offset, nil
+	}
+	env, err := montecarlo.SharedEnvBasis(base.Basis, base.Distance, detRows-1, base.P)
+	if err != nil {
+		return nil, 0, fmt.Errorf("stream: window environment (d=%d rounds=%d): %w", base.Distance, detRows-1, err)
+	}
+	return env, offset, nil
+}
+
+// decodeWindow decodes one non-empty window on its embedded environment and
+// splits the matching at a forced seam. It resolves carried rows first,
+// checks instances out of the shared pools, and falls back to the exact
+// MWPM pool when the configured decoder declines the window or reports no
+// matching to split.
+func (p *Pipeline) decodeWindow(w *window) (decoded, error) {
+	if w.carryFrom != nil {
+		select {
+		case prefix := <-w.carryFrom:
+			copy(w.words, prefix)
+		case <-p.stop:
+			return decoded{}, ErrAborted
+		}
+		w.defects = countDefects(w.words, w.rows, p.rowWords, p.width)
+		if w.defects == 0 {
+			// Every defect lived in the carried prefix and was consumed by
+			// the predecessor's committed body. A forced window must still
+			// hand its (now defect-free) seam to its successor, or the
+			// successor would wait on the carry channel forever.
+			if w.forced {
+				w.carryTo <- make([]uint64, w.carrySeam*p.rowWords)
+				w.rows -= w.carrySeam
+			}
+			return decoded{win: w, empty: true}, nil
+		}
+	}
+
+	env, offset, err := windowEnv(p.cfg.Env, w.rows, p.cfg.PadRounds, p.cfg.SizeClassRounds, w.closedBottom, w.closedTop)
+	if err != nil {
+		return decoded{}, err
+	}
+
+	res, fellBack, err := p.decodeOn(env, p.buildSyndrome(w, env.Graph.N, offset))
+	if err != nil {
+		return decoded{}, err
+	}
+
+	if !w.forced {
+		return decoded{win: w, obs: res.ObsPrediction, weight: res.Weight, defects: w.defects, fallback: fellBack}, nil
+	}
+	return p.splitForced(w, env, offset, res, fellBack)
+}
+
+// decodeOn runs the configured decoder on the syndrome, retrying on the
+// exact MWPM pool when the primary declines (e.g. Astrea beyond its
+// Hamming-weight cap). The boolean reports whether the fallback answered.
+func (p *Pipeline) decodeOn(env *montecarlo.Env, synd bitvec.Vec) (decoder.Result, bool, error) {
+	pool, err := sharedPool(env, p.cfg.Decoder)
+	if err != nil {
+		return decoder.Result{}, false, err
+	}
+	res, err := poolDecode(pool, synd)
+	if err != nil {
+		return decoder.Result{}, false, err
+	}
+	if !res.Skipped || p.cfg.Decoder == "mwpm" {
+		return res, false, nil
+	}
+	exact, err := sharedPool(env, "mwpm")
+	if err != nil {
+		return decoder.Result{}, false, err
+	}
+	res, err = poolDecode(exact, synd)
+	return res, true, err
+}
+
+// poolDecode checks an instance out, decodes, and recycles it — unless the
+// decode panics, in which case the poisoned instance is dropped and the
+// panic converted to an error (one bad window must not kill the pipeline).
+func poolDecode(pool *decPool, synd bitvec.Vec) (res decoder.Result, err error) {
+	d, err := pool.get()
+	if err != nil {
+		return decoder.Result{}, err
+	}
+	poisoned := true
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("stream: decoder %s panicked: %v", d.Name(), r)
+			return
+		}
+		if !poisoned {
+			pool.put(d)
+		}
+	}()
+	res = d.Decode(synd)
+	poisoned = false
+	return res, nil
+}
+
+// splitForced splits a forced window's matching at the seam. Chains with at
+// least one endpoint in the committed body are committed (a body–seam chain
+// consumes its seam defect, clearing it from the carried rows); chains
+// living entirely in the seam are deferred — their defects survive in the
+// carried rows and are re-matched by the successor window against this
+// window's committed frontier. Committed observable parity and weight are
+// rebuilt chain by chain from the weight table, because the decoder's
+// aggregate covers deferred chains too.
+func (p *Pipeline) splitForced(w *window, env *montecarlo.Env, offset int, res decoder.Result, fellBack bool) (decoded, error) {
+	if res.Pairs == nil {
+		// A table decoder predicts the observable without a matching, which
+		// cannot be split; the exact fallback always produces pairs.
+		exact, err := sharedPool(env, "mwpm")
+		if err != nil {
+			return decoded{}, err
+		}
+		res, err = poolDecode(exact, p.buildSyndrome(w, env.Graph.N, offset))
+		if err != nil {
+			return decoded{}, err
+		}
+		fellBack = true
+	}
+
+	bodyRows := w.rows - w.carrySeam
+	carry := make([]uint64, w.carrySeam*p.rowWords)
+	copy(carry, w.words[bodyRows*p.rowWords:])
+
+	gwt := env.GWT
+	inBody := func(det int) bool { return det/p.width-offset < bodyRows }
+	clearCarried := func(det int) {
+		local := det/p.width - offset - bodyRows
+		bit := det % p.width
+		carry[local*p.rowWords+bit>>6] &^= 1 << (uint(bit) & 63)
+	}
+
+	var obs uint64
+	var weight float64
+	for _, pair := range res.Pairs {
+		i, j := pair[0], pair[1]
+		if j == decoder.Boundary {
+			if inBody(i) {
+				obs ^= gwt.Obs(i, i)
+				weight += gwt.BoundaryWeight(i)
+			}
+			continue // seam–boundary: defer, defect survives in carry
+		}
+		bi, bj := inBody(i), inBody(j)
+		switch {
+		case bi && bj:
+			obs ^= gwt.Obs(i, j)
+			weight += gwt.Weight(i, j)
+		case bi || bj:
+			obs ^= gwt.Obs(i, j)
+			weight += gwt.Weight(i, j)
+			if bi {
+				clearCarried(j)
+			} else {
+				clearCarried(i)
+			}
+		default:
+			// seam–seam: defer whole chain
+		}
+	}
+
+	w.rows = bodyRows
+	w.carryTo <- carry
+	return decoded{win: w, obs: obs, weight: weight, defects: w.defects, fallback: fellBack}, nil
+}
+
+// buildSyndrome embeds a window's detector bits into a syndrome of the
+// embedded environment at the given row offset.
+func (p *Pipeline) buildSyndrome(w *window, envN, offset int) bitvec.Vec {
+	synd := bitvec.New(envN)
+	for r := 0; r < w.rows; r++ {
+		base := r * p.rowWords
+		embedded := (offset + r) * p.width
+		for k := 0; k < p.width; k++ {
+			if w.words[base+k>>6]&(1<<(uint(k)&63)) != 0 {
+				synd.Set(embedded + k)
+			}
+		}
+	}
+	return synd
+}
+
+// countDefects counts set detector bits across rows of packed words.
+func countDefects(words []uint64, rows, rowWords, width int) int {
+	n := 0
+	for r := 0; r < rows; r++ {
+		base := r * rowWords
+		for k := 0; k < width; k++ {
+			if words[base+k>>6]&(1<<(uint(k)&63)) != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
