@@ -2,10 +2,15 @@ package astrea
 
 import (
 	"encoding/json"
+	"net"
 	"os"
 	"sort"
 	"testing"
 	"time"
+
+	"astrea/internal/compress"
+	"astrea/internal/montecarlo"
+	"astrea/internal/server"
 )
 
 // streamingBench is the schema of BENCH_streaming.json: the committed
@@ -35,6 +40,20 @@ type streamingBench struct {
 		ShotsPerSec  float64 `json:"shots_per_sec"`
 		RoundsPerSec float64 `json:"rounds_per_sec"`
 	} `json:"whole_shot"`
+
+	// Resume is the resilience scenario: the same class of round stream
+	// pushed over a real socket through a resumable session whose
+	// connection is severed at scheduled points, with bit-identity against
+	// the uninterrupted local decode enforced (zero mismatches).
+	Resume struct {
+		Rounds         int     `json:"rounds"`
+		Kills          int     `json:"kills"`
+		Reconnects     int     `json:"reconnects"`
+		ReplayedRounds uint64  `json:"replayed_rounds"`
+		RecoveryP50Ns  float64 `json:"recovery_p50_ns"`
+		RecoveryP95Ns  float64 `json:"recovery_p95_ns"`
+		RecoveryMaxNs  float64 `json:"recovery_max_ns"`
+	} `json:"resume"`
 }
 
 // TestStreamingBenchArtifact keeps BENCH_streaming.json honest: the
@@ -98,6 +117,52 @@ func TestStreamingBenchArtifact(t *testing.T) {
 		bench.WholeShot.ShotsPerSec = float64(iters*len(wholeShots)) / sec
 		bench.WholeShot.RoundsPerSec = float64(iters*len(wholeShots)*roundsPerShot) / sec
 
+		// Resume scenario: a live daemon, a resumable session, scheduled
+		// connection kills, bit-identity enforced by Verify.
+		env, err := montecarlo.SharedEnv(distance, distance, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{
+			Distances: []int{distance},
+			P:         p,
+			Envs:      map[int]*montecarlo.Env{distance: env},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		rrep, err := server.RunStreamResumeLoad(server.StreamResumeLoadConfig{
+			Addr:     ln.Addr().String(),
+			Distance: distance,
+			P:        p,
+			Codec:    compress.IDSparse,
+			Rounds:   len(rows),
+			Seed:     1,
+			Kills:    3,
+			Verify:   true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if rrep.Mismatches != 0 {
+			t.Fatalf("resume scenario broke bit-identity: %d mismatched commits", rrep.Mismatches)
+		}
+		bench.Resume.Rounds = rrep.Rounds
+		bench.Resume.Kills = rrep.Kills
+		bench.Resume.Reconnects = rrep.Reconnects
+		bench.Resume.ReplayedRounds = rrep.ReplayedRounds
+		bench.Resume.RecoveryP50Ns = quantileNs(rrep.RecoveryNs, 0.50)
+		bench.Resume.RecoveryP95Ns = quantileNs(rrep.RecoveryNs, 0.95)
+		bench.Resume.RecoveryMaxNs = quantileNs(rrep.RecoveryNs, 1)
+
 		out, err := json.MarshalIndent(bench, "", "  ")
 		if err != nil {
 			t.Fatal(err)
@@ -132,5 +197,12 @@ func TestStreamingBenchArtifact(t *testing.T) {
 	}
 	if bench.Streaming.GapRounds <= 0 || bench.Streaming.WindowRounds <= bench.Streaming.GapRounds {
 		t.Fatalf("implausible resolved planner parameters: %+v", bench.Streaming)
+	}
+	if bench.Resume.Rounds <= 0 || bench.Resume.Reconnects <= 0 || bench.Resume.ReplayedRounds == 0 {
+		t.Fatalf("degenerate resume scenario (a resilience run with no recoveries measures nothing): %+v", bench.Resume)
+	}
+	if bench.Resume.RecoveryP50Ns <= 0 || bench.Resume.RecoveryP95Ns < bench.Resume.RecoveryP50Ns ||
+		bench.Resume.RecoveryMaxNs < bench.Resume.RecoveryP95Ns {
+		t.Fatalf("recovery quantiles are not a CDF: %+v", bench.Resume)
 	}
 }

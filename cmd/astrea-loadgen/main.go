@@ -38,6 +38,15 @@
 //	-pad N            requested seam padding in rounds (0 = server default)
 //	-inflight N       requested concurrent window decodes (0 = default)
 //
+// Stream-resume mode (resilience measurement):
+//
+//	-stream-resume    like -stream, but through a resumable session whose
+//	                  connection is severed at -stream-kills scheduled
+//	                  points; reports reconnect count, replayed rounds and
+//	                  a recovery-time CDF. The commit stream must still be
+//	                  bit-identical to an uninterrupted run (-verify).
+//	-stream-kills N   scheduled connection kills (default 3)
+//
 // Fleet mode (replicated daemons):
 //
 //	-servers a,b,c        comma-separated replica addresses; enables the
@@ -101,6 +110,8 @@ func run(args []string) error {
 	gapRounds := fs.Int("gap", 0, "streaming mode: requested quiet-gap cut length (0 = provably safe)")
 	padRounds := fs.Int("pad", 0, "streaming mode: requested seam padding in rounds (0 = server default)")
 	inflight := fs.Int("inflight", 0, "streaming mode: requested concurrent window decodes (0 = default)")
+	streamResume := fs.Bool("stream-resume", false, "resilience mode: resumable session with scheduled connection kills")
+	streamKills := fs.Int("stream-kills", 3, "stream-resume mode: scheduled connection kills")
 	servers := fs.String("servers", "", "comma-separated replica addresses (fleet mode)")
 	failover := fs.Bool("failover", true, "fleet mode: re-send unanswered requests to the next healthy replica")
 	hedge := fs.Bool("hedge", false, "fleet mode: race a second replica when the first is slow")
@@ -121,8 +132,8 @@ func run(args []string) error {
 		if *chaos {
 			return fmt.Errorf("-chaos applies to the single-daemon path; fleet mode injects faults server-side")
 		}
-		if *streamMode {
-			return fmt.Errorf("-stream applies to the single-daemon path; a windowed session pins one connection")
+		if *streamMode || *streamResume {
+			return fmt.Errorf("-stream/-stream-resume apply to the single-daemon path; a windowed session pins one connection")
 		}
 		var fp decodegraph.Fingerprint
 		switch {
@@ -187,6 +198,39 @@ func run(args []string) error {
 		defer proxy.Close()
 		target = proxy.Addr()
 		fmt.Fprintf(os.Stderr, "astrea-loadgen: chaos proxy on %s (seed=%d)\n", target, *chaosSeed)
+	}
+
+	if *streamResume {
+		if *chaos {
+			return fmt.Errorf("-chaos and -stream-resume are mutually exclusive; resume mode interposes its own connection-killing proxy")
+		}
+		rcfg := server.StreamResumeLoadConfig{
+			Addr:       target,
+			Distance:   *d,
+			P:          *p,
+			Codec:      codecID,
+			Rounds:     *n,
+			RatePerSec: *rate,
+			Batch:      *streamBatch,
+			Window: server.StreamOptions{
+				WindowRounds: *windowRounds,
+				GapRounds:    *gapRounds,
+				PadRounds:    *padRounds,
+				RowBudgetNs:  uint32(deadline.Nanoseconds()),
+				MaxInflight:  *inflight,
+			},
+			Seed:          *seed,
+			Kills:         *streamKills,
+			Verify:        *verify,
+			VerifyDecoder: *verifyDecoder,
+		}
+		fmt.Fprintf(os.Stderr, "astrea-loadgen: streaming %d d=%d rounds to %s with %d scheduled connection kills (codec=%s, rate=%s, batch=%d)\n",
+			*n, *d, *addr, *streamKills, *codecName, rateLabel(*rate), *streamBatch)
+		rep, err := server.RunStreamResumeLoad(rcfg)
+		if err != nil {
+			return err
+		}
+		return renderStreamResume(rep, rcfg)
 	}
 
 	if *streamMode {
@@ -421,4 +465,39 @@ func missRate(rep *server.LoadReport) float64 {
 		return 0
 	}
 	return float64(rep.DeadlineMisses) / float64(rep.Accepted)
+}
+
+func renderStreamResume(rep *server.StreamResumeLoadReport, cfg server.StreamResumeLoadConfig) error {
+	out := os.Stdout
+
+	t := report.Table{
+		Title:   "astread stream-resume resilience report",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("rounds streamed", rep.Rounds)
+	t.AddRow("windows committed", rep.Windows)
+	t.AddRow("forced cuts", rep.ForcedCuts)
+	t.AddRow("connection kills landed", rep.Kills)
+	t.AddRow("reconnects", rep.Reconnects)
+	t.AddRow("rounds replayed", rep.ReplayedRounds)
+	t.AddRow("rounds/s", rep.RoundsPerSec)
+	t.AddRow("windows/s", rep.WindowsPerSec)
+	t.AddRow("window cap / gap / pad", fmt.Sprintf("%d / %d / %d rounds",
+		rep.Resolved.WindowRounds, rep.Resolved.GapRounds, rep.Resolved.PadRounds))
+	t.AddRow("cumulative correction", fmt.Sprintf("%#x", rep.ObsMask))
+	if cfg.Verify {
+		t.AddRow("verified mismatches", rep.Mismatches)
+	}
+	if err := t.Write(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	if err := report.CDF(out, "recovery time (connection death → session re-established)", rep.RecoveryNs, 0); err != nil {
+		return err
+	}
+	if rep.Mismatches > 0 {
+		return fmt.Errorf("%d commits disagree with the local %s decoder — resume broke bit-identity", rep.Mismatches, cfg.VerifyDecoder)
+	}
+	return nil
 }

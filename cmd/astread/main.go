@@ -28,6 +28,16 @@
 //	                  fallback (FlagDegraded) (default 0.75, 0 disables)
 //	-drain-timeout dur      SIGTERM drain bound; requests still queued when it
 //	                  expires are abandoned and counted (default 10s, 0 = unbounded)
+//	-stream-resume-ttl dur  how long a streaming session whose connection
+//	                  died stays parked and resumable; expired sessions are
+//	                  torn down and their pipelines aborted (default 2m,
+//	                  0 disables resume entirely — the FeatureStreamResume
+//	                  bit is never granted)
+//	-stream-resume-max-sessions N  parked-session cap; parking beyond it
+//	                  evicts the oldest parked session (default 64)
+//	-stream-resume-max-bytes N     estimated memory retained by parked
+//	                  sessions (buffers + retained commits) before oldest-
+//	                  first eviction (default 16MiB)
 //	-artifact files   comma-separated compiled .astc bundles (astrea compile)
 //	                  to hydrate decoder pools from, skipping the inline
 //	                  build pipeline (DEM extraction + BuildGWT) entirely
@@ -106,6 +116,9 @@ func buildConfig(args []string) (opts options, err error) {
 	idleTO := fs.Duration("idle-timeout", 5*time.Minute, "reap connections idle this long (0 disables)")
 	writeTO := fs.Duration("write-timeout", 30*time.Second, "per-response write bound (0 disables)")
 	degrade := fs.Float64("degrade", 0.75, "deadline fraction before Union-Find fallback (0 disables)")
+	resumeTTL := fs.Duration("stream-resume-ttl", 2*time.Minute, "parked streaming sessions kept resumable this long (0 disables resume)")
+	resumeMaxSessions := fs.Int("stream-resume-max-sessions", 64, "parked streaming session cap (oldest evicted beyond it)")
+	resumeMaxBytes := fs.Int64("stream-resume-max-bytes", 16<<20, "estimated bytes retained by parked sessions before eviction")
 	fs.DurationVar(&opts.drain, "drain-timeout", 10*time.Second, "SIGTERM drain bound (0 = unbounded)")
 	artifacts := fs.String("artifact", "", "comma-separated compiled .astc bundles to serve from")
 	artifactDir := fs.String("artifact-dir", "", "load every *.astc bundle in this directory")
@@ -128,6 +141,9 @@ func buildConfig(args []string) (opts options, err error) {
 	} else {
 		cfg.DegradeFraction = *degrade
 	}
+	cfg.StreamResumeTTL = orDisabled(*resumeTTL)
+	cfg.StreamResumeMaxSessions = orDisabledInt(*resumeMaxSessions)
+	cfg.StreamResumeMaxBytes = orDisabledInt64(*resumeMaxBytes)
 	for _, part := range strings.Split(*distances, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -203,6 +219,13 @@ func orDisabled(d time.Duration) time.Duration {
 }
 
 func orDisabledInt(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
+}
+
+func orDisabledInt64(n int64) int64 {
 	if n <= 0 {
 		return -1
 	}

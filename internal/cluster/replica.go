@@ -63,6 +63,7 @@ type replica struct {
 	hedges     atomic.Int64 // times this replica was raced as a hedge
 	probes     atomic.Int64 // health probes sent
 	probeFails atomic.Int64 // health probes failed
+	streams    atomic.Int64 // streaming sessions dialed here (opens + failovers)
 }
 
 func newReplica(addr string, cfg *Config) *replica {
@@ -277,6 +278,7 @@ type ReplicaStats struct {
 	Hedges        int64 `json:"hedges"`
 	Probes        int64 `json:"probes"`
 	ProbeFailures int64 `json:"probe_failures"`
+	Streams       int64 `json:"streams"`
 	IdleConns     int   `json:"idle_conns"`
 }
 
@@ -296,5 +298,6 @@ func (r *replica) snapshot() ReplicaStats {
 	st.Hedges = r.hedges.Load()
 	st.Probes = r.probes.Load()
 	st.ProbeFailures = r.probeFails.Load()
+	st.Streams = r.streams.Load()
 	return st
 }

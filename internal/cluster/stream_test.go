@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/dem"
+	"astrea/internal/faultinject"
+	"astrea/internal/montecarlo"
+	"astrea/internal/prng"
+	"astrea/internal/server"
+	"astrea/internal/stream"
+)
+
+// streamRetry keeps the reconnect loop fast in tests while still walking
+// the jittered backoff path.
+var streamRetry = server.RetryPolicy{
+	MaxAttempts: 12,
+	BaseBackoff: 200 * time.Microsecond,
+	MaxBackoff:  5 * time.Millisecond,
+	Seed:        1,
+}
+
+// sampleFleetRows mirrors the server package's row sampler: whole shots
+// split into per-round rows, concatenated into one closed round stream.
+func sampleFleetRows(env *montecarlo.Env, seed uint64, shots int) []bitvec.Vec {
+	width := stream.RowWidth(env)
+	detRows := env.Graph.N / width
+	rng := prng.New(seed)
+	smp := dem.NewSampler(env.Model)
+	synd := bitvec.New(env.Model.NumDetectors)
+	rows := make([]bitvec.Vec, 0, shots*detRows)
+	for s := 0; s < shots; s++ {
+		smp.Sample(rng, synd)
+		for r := 0; r < detRows; r++ {
+			row := bitvec.New(width)
+			for k := 0; k < width; k++ {
+				if synd.Get(r*width + k) {
+					row.Set(k)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// driveFleetStream pushes a closed round stream through a fleet-opened
+// resuming stream, invoking kill after crossing sent-row threshold
+// killAt (0 disables), and returns the commits and summary.
+func driveFleetStream(rs *server.ResumingStream, rows []bitvec.Vec, killAt int, kill func()) ([]server.StreamCorrections, server.StreamClosed, error) {
+	sendErr := make(chan error, 1)
+	go func() {
+		killed := killAt <= 0
+		const batch = 8
+		for i := 0; i < len(rows); i += batch {
+			end := i + batch
+			if end > len(rows) {
+				end = len(rows)
+			}
+			if err := rs.SendRounds(rows[i:end]); err != nil {
+				sendErr <- err
+				return
+			}
+			if !killed && end >= killAt {
+				kill()
+				killed = true
+			}
+		}
+		sendErr <- rs.CloseSend()
+	}()
+	var commits []server.StreamCorrections
+	var summary server.StreamClosed
+	for {
+		ev, err := rs.Recv()
+		if err != nil {
+			<-sendErr
+			return commits, summary, fmt.Errorf("fleet stream died after %d commits: %w", len(commits), err)
+		}
+		if ev.Closed {
+			summary = ev.Summary
+			break
+		}
+		commits = append(commits, ev.Commit)
+	}
+	if err := <-sendErr; err != nil {
+		return commits, summary, err
+	}
+	return commits, summary, nil
+}
+
+// checkFleetBitIdentity re-decodes rows with a local pipeline at the
+// session's resolved operating point and requires the fleet-served commit
+// stream to match it bit for bit.
+func checkFleetBitIdentity(t *testing.T, env *montecarlo.Env, rs *server.ResumingStream, rows []bitvec.Vec, commits []server.StreamCorrections) {
+	t.Helper()
+	ack := rs.Params()
+	local, _, err := stream.DecodeClosed(stream.Config{
+		Env:          env,
+		Decoder:      "astrea",
+		WindowRounds: int(ack.WindowRounds),
+		GapRounds:    int(ack.GapRounds),
+		PadRounds:    int(ack.PadRounds),
+		RowBudgetNs:  float64(ack.RowBudgetNs),
+		MaxInflight:  int(ack.MaxInflight),
+	}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != len(commits) {
+		t.Fatalf("fleet committed %d windows, uninterrupted local pipeline %d", len(commits), len(local))
+	}
+	var next uint64
+	for i, cm := range commits {
+		want := local[i]
+		if cm.FirstRow != next {
+			t.Fatalf("commit %d starts at row %d, want %d (partition broken)", i, cm.FirstRow, next)
+		}
+		if cm.FirstRow != want.FirstRow || int(cm.RowCount) != want.RowCount || cm.ObsMask != want.ObsMask {
+			t.Fatalf("commit %d: fleet {row %d n %d obs %#x} != local {row %d n %d obs %#x}",
+				i, cm.FirstRow, cm.RowCount, cm.ObsMask, want.FirstRow, want.RowCount, want.ObsMask)
+		}
+		next += uint64(cm.RowCount)
+	}
+	if next != uint64(len(rows)) {
+		t.Fatalf("commits cover %d of %d rows", next, len(rows))
+	}
+}
+
+// streamsServed sums and locates the per-replica stream dial counters.
+func streamsServed(f *Fleet) (total int64, byAddr map[string]int64) {
+	byAddr = make(map[string]int64)
+	for _, st := range f.Stats() {
+		byAddr[st.Addr] = st.Streams
+		total += st.Streams
+	}
+	return total, byAddr
+}
+
+// TestFleetStreamFailover is the fleet failover acceptance test: a
+// streaming session starts on one of two fingerprint-consistent replicas;
+// that replica's proxy is torn down mid-stream, its breaker absorbs the
+// dial failures, and the session moves to the survivor — a cold re-open
+// with full uncommitted-tail replay, since the survivor has never seen the
+// session token. The committed stream must be bit-identical to an
+// uninterrupted local run.
+func TestFleetStreamFailover(t *testing.T) {
+	leakCheck(t)
+	env := testEnv(t, 1e-3)
+	srvA, addrA := startReplica(t, env)
+	srvB, addrB := startReplica(t, env)
+	proxyA, err := faultinject.NewProxy(addrA, faultinject.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyA.Close()
+	proxyB, err := faultinject.NewProxy(addrB, faultinject.Config{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyB.Close()
+
+	fleet, err := New(Config{
+		Addrs:          []string{proxyA.Addr(), proxyB.Addr()},
+		Distance:       3,
+		HealthInterval: -1,
+		Client:         server.ClientOptions{CallTimeout: 10 * time.Second, Features: server.FeatureChecksum},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	shots := 120
+	if testing.Short() {
+		shots = 30
+	}
+	// A tight forced-cut geometry makes the failover carry a resolved seam
+	// into the cold re-open.
+	rows := sampleFleetRows(env, 0xF1EE7, shots)
+	rs, err := fleet.OpenStream(server.ResumingStreamOptions{
+		Stream: server.StreamOptions{WindowRounds: 24, GapRounds: 22},
+		Retry:  streamRetry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	// The session landed on exactly one replica; kill that one mid-stream.
+	_, byAddr := streamsServed(fleet)
+	victim, survivor := proxyA, proxyB
+	victimSrv, survivorSrv := srvA, srvB
+	if byAddr[proxyB.Addr()] > 0 {
+		victim, survivor = proxyB, proxyA
+		victimSrv, survivorSrv = srvB, srvA
+	}
+	commits, summary, err := driveFleetStream(rs, rows, len(rows)/2, func() { victim.Close() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.TotalRows != uint64(len(rows)) {
+		t.Fatalf("summary covers %d of %d rows", summary.TotalRows, len(rows))
+	}
+	if rs.Reconnects() == 0 {
+		t.Fatal("the victim's death never forced a reconnect")
+	}
+	checkFleetBitIdentity(t, env, rs, rows, commits)
+
+	total, byAddr := streamsServed(fleet)
+	if total < 2 || byAddr[survivor.Addr()] == 0 {
+		t.Fatalf("failover never moved the stream: %d stream dials, survivor served %d",
+			total, byAddr[survivor.Addr()])
+	}
+	// The survivor opened the failed-over session cold; the victim parked
+	// the original when its proxy died.
+	if snap := survivorSrv.Snapshot(); snap.StreamsOpened == 0 {
+		t.Fatal("survivor replica never opened the failed-over session")
+	}
+	if snap := victimSrv.Snapshot(); snap.StreamsParked == 0 {
+		t.Fatalf("victim replica never parked the dropped session: %+v", snap)
+	}
+}
+
+// TestFleetStreamWarmResume pins the sticky half of sticky-but-movable: a
+// connection kill that leaves the replica healthy must warm-resume on the
+// same replica — the session token is honoured and the server replays
+// retained commits instead of re-opening.
+func TestFleetStreamWarmResume(t *testing.T) {
+	leakCheck(t)
+	env := testEnv(t, 1e-3)
+	srv, addr := startReplica(t, env)
+	proxy, err := faultinject.NewProxy(addr, faultinject.Config{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	fleet, err := New(Config{
+		Addrs:          []string{proxy.Addr()},
+		Distance:       3,
+		HealthInterval: -1,
+		Client:         server.ClientOptions{CallTimeout: 10 * time.Second, Features: server.FeatureChecksum},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	shots := 80
+	if testing.Short() {
+		shots = 20
+	}
+	rows := sampleFleetRows(env, 0x3A3A, shots)
+	rs, err := fleet.OpenStream(server.ResumingStreamOptions{Retry: streamRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	commits, summary, err := driveFleetStream(rs, rows, len(rows)/2, func() { proxy.KillActive() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.TotalRows != uint64(len(rows)) {
+		t.Fatalf("summary covers %d of %d rows", summary.TotalRows, len(rows))
+	}
+	if rs.Reconnects() == 0 {
+		t.Fatal("the connection kill never forced a reconnect")
+	}
+	checkFleetBitIdentity(t, env, rs, rows, commits)
+	snap := srv.Snapshot()
+	if snap.StreamsResumed == 0 {
+		t.Fatalf("kill on a healthy replica should warm-resume, not re-open: %+v", snap)
+	}
+}
+
+// TestFleetStreamCapabilitySkip pins the capability guard: a healthy
+// replica that does not negotiate stream resume (resume cache disabled) is
+// skipped without tripping its breaker, and a fleet with no capable
+// replica fails with a capability error — not a breaker or dial error.
+func TestFleetStreamCapabilitySkip(t *testing.T) {
+	leakCheck(t)
+	env := testEnv(t, 1e-3)
+	legacy, err := server.New(server.Config{
+		Distances:       []int{3},
+		Envs:            map[int]*montecarlo.Env{3: env},
+		StreamResumeTTL: -1, // resume cache disabled: FeatureStreamResume never granted
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go legacy.Serve(ln)
+	t.Cleanup(func() { legacy.Close() })
+	_, capable := startReplica(t, env)
+
+	fleet, err := New(Config{
+		Addrs:          []string{ln.Addr().String(), capable},
+		Distance:       3,
+		HealthInterval: -1,
+		Client:         server.ClientOptions{CallTimeout: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	// Whatever the round-robin start, every open must land on the capable
+	// replica and leave the legacy one's breaker closed.
+	for i := 0; i < 3; i++ {
+		rs, err := fleet.OpenStream(server.ResumingStreamOptions{Retry: streamRetry})
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if err := rs.CloseSend(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			ev, err := rs.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Closed {
+				break
+			}
+		}
+		rs.Close()
+	}
+	_, byAddr := streamsServed(fleet)
+	if byAddr[capable] != 3 || byAddr[ln.Addr().String()] != 0 {
+		t.Fatalf("stream dials landed wrong: %v", byAddr)
+	}
+	for _, st := range fleet.Stats() {
+		if st.State != "closed" {
+			t.Fatalf("replica %s breaker %s; refusing a capability must not trip it", st.Addr, st.State)
+		}
+	}
+
+	// A fleet with only the legacy replica: capability error, not a dial error.
+	lone, err := New(Config{
+		Addrs:          []string{ln.Addr().String()},
+		Distance:       3,
+		HealthInterval: -1,
+		Client:         server.ClientOptions{CallTimeout: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lone.Close()
+	if _, err := lone.OpenStream(server.ResumingStreamOptions{Retry: streamRetry}); err == nil ||
+		!strings.Contains(err.Error(), "did not negotiate stream resume") {
+		t.Fatalf("lone legacy replica: %v", err)
+	}
+}

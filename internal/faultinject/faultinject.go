@@ -237,6 +237,24 @@ func (p *Proxy) Close() error {
 	return err
 }
 
+// KillActive severs every currently proxied connection without stopping
+// the proxy: clients see an abrupt disconnect and may immediately redial
+// through the same proxy. It returns the number of connections severed
+// (both directions of one proxied session count once each way's conn, so a
+// single client session reports 2). Used to chaos-test reconnect paths —
+// streaming resume in particular — on a controlled schedule rather than a
+// probabilistic one.
+func (p *Proxy) KillActive() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for c := range p.conns {
+		c.Close()
+		n++
+	}
+	return n
+}
+
 // track registers c for teardown; it reports false (and closes c) if the
 // proxy is already closed.
 func (p *Proxy) track(c net.Conn) bool {

@@ -28,6 +28,14 @@ type Stream struct {
 	c      *Client
 	params StreamOpenAck
 
+	// Resume-session identity (connections that negotiated
+	// FeatureStreamResume): the server-issued token plus the park TTL the
+	// token survives a disconnect for. On such connections the open and
+	// commit frames use their extended layouts.
+	resumable   bool
+	token       uint64
+	resumeTTLMs uint32
+
 	sent       uint64 // rounds shipped (the next frame's FirstRow)
 	closedSend bool
 	enc        []byte
@@ -38,9 +46,30 @@ type Stream struct {
 // servers never advertise the bit, so v2 clients fail here cleanly instead
 // of sending frames the peer cannot parse.
 func (c *Client) OpenStream(o StreamOptions) (*Stream, error) {
+	return c.openStream(o, 0, 0, 0, nil)
+}
+
+// OpenStreamAt re-opens a stream mid-way (a cold resume): the new session
+// starts at absolute round startRow with window sequence nextSeq, seeded
+// with the resolved seam of the predecessor's trailing forced commit
+// (carrySeam rows of little-endian row words, exactly as the last
+// StreamEvent's CarrySeam/Carry reported them — both zero when the
+// predecessor's last commit was an exact cut). Rounds sent on the returned
+// stream continue from startRow, and its first commit abuts the
+// predecessor's last. Requires a handshake that accepted
+// FeatureStreamResume.
+func (c *Client) OpenStreamAt(o StreamOptions, startRow, nextSeq uint64, carrySeam uint16, carry []byte) (*Stream, error) {
+	if c.features&FeatureStreamResume == 0 {
+		return nil, fmt.Errorf("server: stream did not negotiate resume frames")
+	}
+	return c.openStream(o, startRow, nextSeq, carrySeam, carry)
+}
+
+func (c *Client) openStream(o StreamOptions, startRow, nextSeq uint64, carrySeam uint16, carry []byte) (*Stream, error) {
 	if c.features&FeatureStream == 0 {
 		return nil, fmt.Errorf("server: stream did not negotiate streaming frames")
 	}
+	resumable := c.features&FeatureStreamResume != 0
 	c.wmu.Lock()
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
@@ -51,6 +80,18 @@ func (c *Client) OpenStream(o StreamOptions) (*Stream, error) {
 		RowBudgetNs:  o.RowBudgetNs,
 		MaxInflight:  uint16(o.MaxInflight),
 	}
+	var reqPayload []byte
+	if resumable {
+		reqPayload = StreamOpenExt{
+			StreamOpen: req,
+			StartRow:   startRow,
+			NextSeq:    nextSeq,
+			CarrySeam:  carrySeam,
+			Carry:      carry,
+		}.AppendTo(nil)
+	} else {
+		reqPayload = req.AppendTo(nil)
+	}
 	if c.callTimeout > 0 {
 		//lint:allow errwrap open-only path: an unarmable deadline surfaces as the exchange's own write/read failure just below
 		c.conn.SetDeadline(time.Now().Add(c.callTimeout))
@@ -58,7 +99,7 @@ func (c *Client) OpenStream(o StreamOptions) (*Stream, error) {
 	}
 	err := func() error {
 		defer c.wmu.Unlock()
-		if err := c.writeFrame(FrameStreamOpen, req.AppendTo(nil)); err != nil {
+		if err := c.writeFrame(FrameStreamOpen, reqPayload); err != nil {
 			return err
 		}
 		return c.bw.Flush()
@@ -73,21 +114,102 @@ func (c *Client) OpenStream(o StreamOptions) (*Stream, error) {
 	if t != FrameStreamOpenAck {
 		return nil, fmt.Errorf("server: expected stream-open-ack, got frame type %d", t)
 	}
-	ack, err := ParseStreamOpenAck(payload)
-	if err != nil {
-		return nil, err
+	st := &Stream{c: c, resumable: resumable, sent: startRow}
+	if resumable {
+		ext, err := ParseStreamOpenAckExt(payload)
+		if err != nil {
+			return nil, err
+		}
+		st.params = ext.StreamOpenAck
+		st.token = ext.SessionToken
+		st.resumeTTLMs = ext.ResumeTTLMs
+	} else {
+		ack, err := ParseStreamOpenAck(payload)
+		if err != nil {
+			return nil, err
+		}
+		st.params = ack
 	}
-	if ack.Status != StatusOK {
-		return nil, fmt.Errorf("server: stream refused (status %d): %s", ack.Status, ack.Message)
+	if st.params.Status != StatusOK {
+		return nil, fmt.Errorf("server: stream refused (status %d): %s", st.params.Status, st.params.Message)
 	}
-	if ack.RowBits == 0 {
+	if st.params.RowBits == 0 {
 		return nil, fmt.Errorf("server: stream-open-ack advertises zero-width rows")
 	}
-	return &Stream{c: c, params: ack}, nil
+	return st, nil
+}
+
+// ResumeStream reattaches to a parked session by token. ackRow is the
+// client's commit watermark (every round below it is covered by a received
+// commit) and sentRows how many rounds it had shipped. On success the
+// returned Stream continues the session: its send watermark is the server's
+// RowsReceived (replay rounds from there), and unacknowledged commits are
+// re-delivered through Recv. A clean refusal — unknown or expired token,
+// stale watermark — returns a nil Stream with the refusing StreamResumed
+// and a nil error; the connection stays usable and the caller re-opens cold
+// with OpenStreamAt. Requires a handshake that accepted FeatureStreamResume.
+func (c *Client) ResumeStream(token, ackRow, sentRows uint64, params StreamOpenAck) (*Stream, StreamResumed, error) {
+	if c.features&FeatureStream == 0 || c.features&FeatureStreamResume == 0 {
+		return nil, StreamResumed{}, fmt.Errorf("server: stream did not negotiate resume frames")
+	}
+	c.wmu.Lock()
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	req := StreamResume{Token: token, AckRow: ackRow, SentRows: sentRows}
+	if c.callTimeout > 0 {
+		//lint:allow errwrap resume-only path: an unarmable deadline surfaces as the exchange's own write/read failure just below
+		c.conn.SetDeadline(time.Now().Add(c.callTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	err := func() error {
+		defer c.wmu.Unlock()
+		if err := c.writeFrame(FrameStreamResume, req.AppendTo(nil)); err != nil {
+			return err
+		}
+		return c.bw.Flush()
+	}()
+	if err != nil {
+		return nil, StreamResumed{}, err
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		return nil, StreamResumed{}, err
+	}
+	if t != FrameStreamResumed {
+		return nil, StreamResumed{}, fmt.Errorf("server: expected stream-resumed, got frame type %d", t)
+	}
+	res, err := ParseStreamResumed(payload)
+	if err != nil {
+		return nil, StreamResumed{}, err
+	}
+	if res.Status != StatusOK {
+		return nil, res, nil
+	}
+	st := &Stream{
+		c:         c,
+		params:    params,
+		resumable: true,
+		token:     token,
+		sent:      res.RowsReceived,
+		// A session the server already saw close cannot take more rounds;
+		// the resumed stream only drains.
+		closedSend: res.Closed != 0,
+	}
+	return st, res, nil
 }
 
 // Params returns the server-resolved session parameters.
 func (s *Stream) Params() StreamOpenAck { return s.params }
+
+// SessionToken returns the server-issued resume token (zero unless the
+// connection negotiated FeatureStreamResume).
+func (s *Stream) SessionToken() uint64 { return s.token }
+
+// ResumeTTL is how long the server parks this session after a disconnect
+// before the token expires (zero on non-resumable streams).
+func (s *Stream) ResumeTTL() time.Duration {
+	return time.Duration(s.resumeTTLMs) * time.Millisecond
+}
 
 // RowBits is the per-round detector count every pushed row must have.
 func (s *Stream) RowBits() int { return int(s.params.RowBits) }
@@ -168,11 +290,19 @@ func (s *Stream) CloseSend() error {
 }
 
 // StreamEvent is one server-to-client streaming message: a committed
-// window correction, or (Closed true) the final stream summary.
+// window correction, or (Closed true) the final stream summary. On
+// resume-negotiated streams every commit also carries AckRows — the
+// server's contiguous rows-received watermark, which releases the client's
+// replay buffer below it — and, for forced commits, the resolved seam
+// (CarrySeam rows of little-endian row words) a cold re-open from this
+// commit's watermark must pass to OpenStreamAt.
 type StreamEvent struct {
-	Commit  StreamCorrections
-	Closed  bool
-	Summary StreamClosed
+	Commit    StreamCorrections
+	AckRows   uint64
+	CarrySeam uint16
+	Carry     []byte
+	Closed    bool
+	Summary   StreamClosed
 }
 
 // Forced reports a commit whose window cut was forced (approximate seam).
@@ -199,6 +329,18 @@ func (s *Stream) Recv() (StreamEvent, error) {
 	}
 	switch t {
 	case FrameStreamCorrections:
+		if s.resumable {
+			ext, err := ParseStreamCorrectionsExt(payload)
+			if err != nil {
+				return StreamEvent{}, err
+			}
+			return StreamEvent{
+				Commit:    ext.StreamCorrections,
+				AckRows:   ext.AckRows,
+				CarrySeam: ext.CarrySeam,
+				Carry:     ext.Carry,
+			}, nil
+		}
 		cm, err := ParseStreamCorrections(payload)
 		if err != nil {
 			return StreamEvent{}, err

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/dem"
+	"astrea/internal/faultinject"
+	"astrea/internal/montecarlo"
+	"astrea/internal/prng"
+	"astrea/internal/stream"
+)
+
+// StreamResumeLoadConfig parameterises one resilience load run: an
+// open-loop round stream pushed through a resumable session whose
+// connection is deliberately severed on a schedule, measuring what
+// recovery actually costs — reconnect counts, replayed rounds and
+// recovery-time quantiles — while holding the commit stream to the same
+// bit-identity bar as a fault-free run.
+type StreamResumeLoadConfig struct {
+	// Addr is the daemon's TCP address. The run interposes its own
+	// connection-killing proxy between the client and this address.
+	Addr string
+	// Distance and P select the DEM the rounds are sampled from.
+	Distance int
+	P        float64
+	// Codec is the compress wire ID to negotiate.
+	Codec uint8
+	// Rounds is the total number of syndrome rounds to stream.
+	Rounds int
+	// RatePerSec is the open-loop round arrival rate; 0 pushes as fast as
+	// the socket accepts.
+	RatePerSec float64
+	// Batch is the number of rounds per StreamRounds frame (default 8).
+	Batch int
+	// Window carries the requested session parameters (zero = server
+	// defaults).
+	Window StreamOptions
+	// Seed drives the syndrome sampler and the kill schedule.
+	Seed uint64
+	// Kills is the number of scheduled connection kills, spread across the
+	// send schedule at seeded points (default 3).
+	Kills int
+	// Retry tunes the reconnect loop (zero = RetryPolicy defaults).
+	Retry RetryPolicy
+	// Verify replays the same rounds through a local pipeline at the
+	// server-resolved parameters and counts per-commit mismatches: resume
+	// must add recovery, never approximation. VerifyDecoder names the
+	// local decoder ("astrea" by default — match the daemon's).
+	Verify        bool
+	VerifyDecoder string
+
+	// env shares a pre-built environment in tests.
+	env *montecarlo.Env
+}
+
+// StreamResumeLoadReport is the outcome of a resilience load run.
+type StreamResumeLoadReport struct {
+	// Resolved echoes the server-resolved session parameters.
+	Resolved StreamOpenAck
+	// Rounds streamed and Windows committed; both also arrive in Summary.
+	Rounds  int
+	Windows int
+	// Flag accounting over received commits.
+	ForcedCuts     int
+	DeadlineMisses int
+	// Mismatches counts commits disagreeing with the local replay (Verify
+	// only): any nonzero value is a resume-layer bug.
+	Mismatches int
+
+	// Kills is the number of scheduled severs that found a live
+	// connection; Reconnects the successful re-attaches (warm or cold);
+	// ReplayedRounds the sent-but-uncommitted rounds re-sent across all
+	// recoveries.
+	Kills          int
+	Reconnects     int
+	ReplayedRounds uint64
+	// RecoveryNs holds one sample per recovery: connection-death
+	// detection → session re-established (the client-side outage window).
+	// Sorted ascending, ready for CDF reporting.
+	RecoveryNs []float64
+
+	// Summary is the server's closing aggregate.
+	Summary StreamClosed
+
+	ElapsedSec    float64
+	RoundsPerSec  float64
+	WindowsPerSec float64
+	ObsMask       uint64 // cumulative correction (XOR of all commits)
+}
+
+// sampleLoadRows pre-samples at least rounds whole-shot rows so pacing
+// measures the wire and the pipeline, not the sampler.
+func sampleLoadRows(env *montecarlo.Env, seed uint64, rounds int) []bitvec.Vec {
+	width := stream.RowWidth(env)
+	detRows := env.Graph.N / width
+	rng := prng.New(seed)
+	smp := dem.NewSampler(env.Model)
+	synd := bitvec.New(env.Model.NumDetectors)
+	rows := make([]bitvec.Vec, 0, rounds+detRows)
+	for len(rows) < rounds {
+		smp.Sample(rng, synd)
+		for r := 0; r < detRows; r++ {
+			row := bitvec.New(width)
+			for k := 0; k < width; k++ {
+				if synd.Get(r*width + k) {
+					row.Set(k)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows[:rounds]
+}
+
+// RunStreamResumeLoad drives one resumable streaming session through a
+// deliberately hostile connection: a proxy in front of the daemon severs
+// every live connection at Kills seeded points in the send schedule, and
+// the session's reconnect loop must absorb each one. The commit-stream
+// partition is enforced on the fly; with Verify the commits must also be
+// bit-identical to an uninterrupted local decode.
+func RunStreamResumeLoad(cfg StreamResumeLoadConfig) (*StreamResumeLoadReport, error) {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 10_000
+	}
+	if cfg.Distance == 0 {
+		cfg.Distance = 5
+	}
+	if cfg.P <= 0 {
+		cfg.P = 1e-3
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
+	if cfg.Kills <= 0 {
+		cfg.Kills = 3
+	}
+	env := cfg.env
+	if env == nil {
+		var err error
+		env, err = montecarlo.SharedEnv(cfg.Distance, cfg.Distance, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows := sampleLoadRows(env, cfg.Seed, cfg.Rounds)
+
+	proxy, err := faultinject.NewProxy(cfg.Addr, faultinject.Config{Seed: cfg.Seed ^ 0x6B11})
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+
+	// Kill thresholds: distinct seeded points in the send schedule, away
+	// from the very first batch so the session is established.
+	rng := prng.New(cfg.Seed ^ 0xDEAD)
+	killAt := map[int]bool{}
+	for len(killAt) < cfg.Kills && len(killAt) < cfg.Rounds/2 {
+		killAt[cfg.Batch+rng.Intn(cfg.Rounds-cfg.Batch)] = true
+	}
+	thresholds := make([]int, 0, len(killAt))
+	for v := range killAt {
+		thresholds = append(thresholds, v)
+	}
+	sort.Ints(thresholds)
+
+	var senderWG sync.WaitGroup
+	defer senderWG.Wait()
+	rs, err := NewResumingStream(func() (*Client, error) {
+		return DialOptions(proxy.Addr(), cfg.Distance, cfg.Codec, ClientOptions{
+			Features: FeatureStream | FeatureStreamResume | FeatureChecksum,
+		})
+	}, ResumingStreamOptions{Stream: cfg.Window, Retry: cfg.Retry})
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	width := stream.RowWidth(env)
+	if rs.RowBits() != width {
+		return nil, fmt.Errorf("server: daemon row width %d != local model %d (mismatched noise model?)", rs.RowBits(), width)
+	}
+
+	rep := &StreamResumeLoadReport{Resolved: rs.Params(), Rounds: cfg.Rounds}
+	sendErr := make(chan error, 1)
+	start := time.Now()
+	senderWG.Add(1)
+	go func() {
+		defer senderWG.Done()
+		var gap time.Duration
+		if cfg.RatePerSec > 0 {
+			gap = time.Duration(float64(time.Second) / cfg.RatePerSec)
+		}
+		ki := 0
+		for i := 0; i < len(rows); i += cfg.Batch {
+			end := i + cfg.Batch
+			if end > len(rows) {
+				end = len(rows)
+			}
+			if gap > 0 {
+				target := start.Add(time.Duration(end-1) * gap)
+				if d := time.Until(target); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			if err := rs.SendRounds(rows[i:end]); err != nil {
+				sendErr <- fmt.Errorf("server: resumable stream send at round %d: %w", i, err)
+				return
+			}
+			for ki < len(thresholds) && end >= thresholds[ki] {
+				if proxy.KillActive() > 0 {
+					rep.Kills++
+				}
+				ki++
+			}
+		}
+		sendErr <- rs.CloseSend()
+	}()
+
+	var nextRow uint64
+	var gotCommits []StreamCorrections
+	for {
+		ev, err := rs.Recv()
+		if err != nil {
+			<-sendErr
+			return nil, fmt.Errorf("server: resumable stream died after %d commits: %w", rep.Windows, err)
+		}
+		if ev.Closed {
+			rep.Summary = ev.Summary
+			break
+		}
+		cm := ev.Commit
+		if cm.FirstRow != nextRow || cm.RowCount == 0 {
+			return nil, fmt.Errorf("server: commit %d violates the stream partition: row %d count %d (want row %d)",
+				rep.Windows, cm.FirstRow, cm.RowCount, nextRow)
+		}
+		nextRow += uint64(cm.RowCount)
+		rep.Windows++
+		rep.ObsMask ^= cm.ObsMask
+		gotCommits = append(gotCommits, cm)
+		if cm.Flags&FlagForcedSeam != 0 {
+			rep.ForcedCuts++
+		}
+		if cm.Flags&FlagDeadlineMiss != 0 {
+			rep.DeadlineMisses++
+		}
+	}
+	if err := <-sendErr; err != nil {
+		return nil, err
+	}
+	rep.ElapsedSec = time.Since(start).Seconds()
+	if nextRow != uint64(cfg.Rounds) {
+		return nil, fmt.Errorf("server: commits cover %d of %d rounds", nextRow, cfg.Rounds)
+	}
+	if rep.Summary.TotalRows != uint64(cfg.Rounds) || rep.Summary.Windows != uint64(rep.Windows) ||
+		rep.Summary.ObsMask != rep.ObsMask {
+		return nil, fmt.Errorf("server: closing summary %+v disagrees with observed commits (%d windows, obs %#x)",
+			rep.Summary, rep.Windows, rep.ObsMask)
+	}
+	rep.Reconnects = rs.Reconnects()
+	rep.ReplayedRounds = rs.ReplayedRounds()
+	for _, d := range rs.Recoveries() {
+		rep.RecoveryNs = append(rep.RecoveryNs, float64(d.Nanoseconds()))
+	}
+	sort.Float64s(rep.RecoveryNs)
+	if rep.ElapsedSec > 0 {
+		rep.RoundsPerSec = float64(rep.Rounds) / rep.ElapsedSec
+		rep.WindowsPerSec = float64(rep.Windows) / rep.ElapsedSec
+	}
+
+	if cfg.Verify {
+		ack := rep.Resolved
+		local, _, err := stream.DecodeClosed(stream.Config{
+			Env:          env,
+			Decoder:      cfg.VerifyDecoder,
+			WindowRounds: int(ack.WindowRounds),
+			GapRounds:    int(ack.GapRounds),
+			PadRounds:    int(ack.PadRounds),
+			RowBudgetNs:  float64(ack.RowBudgetNs),
+			MaxInflight:  int(ack.MaxInflight),
+		}, rows)
+		if err != nil {
+			return nil, err
+		}
+		if len(local) != len(gotCommits) {
+			rep.Mismatches = rep.Windows
+		} else {
+			for i, cm := range gotCommits {
+				want := local[i]
+				if cm.FirstRow != want.FirstRow || int(cm.RowCount) != want.RowCount || cm.ObsMask != want.ObsMask {
+					rep.Mismatches++
+				}
+			}
+		}
+	}
+	return rep, nil
+}

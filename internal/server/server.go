@@ -80,6 +80,20 @@ type Config struct {
 	// negative disables degradation.
 	DegradeFraction float64
 
+	// StreamResumeTTL bounds how long a resumable streaming session whose
+	// connection died stays parked in the resume cache awaiting a
+	// StreamResume before it is aborted. Default 2m; negative disables
+	// session resume entirely (FeatureStreamResume is not advertised).
+	StreamResumeTTL time.Duration
+	// StreamResumeMaxSessions caps concurrently parked sessions; beyond
+	// it the oldest parked session is evicted (aborted). Default 64;
+	// negative removes the cap.
+	StreamResumeMaxSessions int
+	// StreamResumeMaxBytes caps the estimated memory retained by parked
+	// sessions (planner buffers plus redelivery rings), enforced by
+	// oldest-first eviction. Default 16 MiB; negative removes the cap.
+	StreamResumeMaxBytes int64
+
 	// Envs supplies pre-built environments keyed by distance (tests and
 	// embedders share one env between server and client to halve setup
 	// cost); missing distances are built normally.
@@ -143,6 +157,19 @@ func (c *Config) applyDefaults() {
 		c.DegradeFraction = 0.75
 	case c.DegradeFraction < 0:
 		c.DegradeFraction = 0
+	}
+	c.StreamResumeTTL = defaultDuration(c.StreamResumeTTL, 2*time.Minute)
+	switch {
+	case c.StreamResumeMaxSessions == 0:
+		c.StreamResumeMaxSessions = 64
+	case c.StreamResumeMaxSessions < 0:
+		c.StreamResumeMaxSessions = 0
+	}
+	switch {
+	case c.StreamResumeMaxBytes == 0:
+		c.StreamResumeMaxBytes = 16 << 20
+	case c.StreamResumeMaxBytes < 0:
+		c.StreamResumeMaxBytes = 0
 	}
 }
 
@@ -268,6 +295,9 @@ type Server struct {
 	pools map[int]*distPool
 	queue chan *request
 	stats *stats
+	// features is the advertised feature-bit set: supportedFeatures minus
+	// anything the configuration disables (session resume).
+	features uint32
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -280,7 +310,20 @@ type Server struct {
 	connWG   sync.WaitGroup
 	workerWG sync.WaitGroup
 
-	// reaperStop ends the idle-connection reaper; reaperWG waits for it.
+	// streamWG tracks per-session commit pumps, which outlive their
+	// connection when a resumable session parks.
+	streamWG sync.WaitGroup
+
+	// resumeMu guards the resumable-session registry: sessions holds every
+	// live resumable session by token, parked the disconnected subset (the
+	// resume cache). Lock order is resumeMu before any streamSession.mu.
+	resumeMu  sync.Mutex
+	sessions  map[uint64]*streamSession
+	parked    map[uint64]*streamSession
+	resumeSeq atomic.Uint64
+
+	// reaperStop ends the idle-connection and resume-cache reapers;
+	// reaperWG waits for them.
 	reaperStop chan struct{}
 	reaperWG   sync.WaitGroup
 }
@@ -303,9 +346,16 @@ func New(cfg Config) (*Server, error) {
 		pools:      make(map[int]*distPool, len(cfg.Distances)),
 		queue:      make(chan *request, cfg.QueueDepth),
 		stats:      newStats(cfg, float64(cfg.DefaultDeadlineNs)),
+		features:   supportedFeatures,
 		conns:      make(map[*conn]struct{}),
+		sessions:   make(map[uint64]*streamSession),
+		parked:     make(map[uint64]*streamSession),
 		reaperStop: make(chan struct{}),
 	}
+	if !s.resumeEnabled() {
+		s.features &^= FeatureStreamResume
+	}
+	s.resumeSeq.Store(uint64(time.Now().UnixNano()))
 	for _, d := range cfg.Distances {
 		if _, dup := s.pools[d]; dup {
 			return nil, fmt.Errorf("server: distance %d listed twice", d)
@@ -369,6 +419,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IdleTimeout > 0 {
 		s.reaperWG.Add(1)
 		go s.reaper(cfg.IdleTimeout)
+	}
+	if s.resumeEnabled() {
+		s.reaperWG.Add(1)
+		go s.resumeReaper(cfg.StreamResumeTTL)
 	}
 	return s, nil
 }
@@ -574,8 +628,20 @@ func (s *Server) Close() error {
 	// The queue's senders are the serveConn goroutines; closing their conns
 	// above makes each exit on its next read, but one may already hold a
 	// parsed frame it is about to enqueue. Wait for all of them before
-	// closing the queue, then drain the workers and stop the reaper.
+	// closing the queue, then drain the workers and stop the reapers.
 	s.connWG.Wait()
+	// With every read loop gone, any surviving resumable session is parked
+	// (or already terminal); abort them so their pumps exit.
+	s.resumeMu.Lock()
+	live := make([]*streamSession, 0, len(s.sessions))
+	for _, v := range s.sessions {
+		live = append(live, v)
+	}
+	s.resumeMu.Unlock()
+	for _, v := range live {
+		s.dropParked(v)
+	}
+	s.streamWG.Wait()
 	close(s.queue)
 	s.workerWG.Wait()
 	close(s.reaperStop)
@@ -656,6 +722,16 @@ func (s *Server) serveConn(c *conn) {
 			// the stream closed cleanly and the connection resumes ordinary
 			// decode traffic.
 			if err := s.serveStream(c, codec, payload); err != nil {
+				return
+			}
+			continue
+		}
+		if t == FrameStreamResume {
+			// Reattach to a parked streaming session; a nil return means
+			// the connection is back in (or never left) decode mode — the
+			// resume was refused cleanly or the resumed session has since
+			// closed.
+			if err := s.serveStreamResume(c, codec, payload); err != nil {
 				return
 			}
 			continue
@@ -772,7 +848,7 @@ func (s *Server) handshake(c *conn) error {
 	// supported features and advertise this distance's configuration
 	// fingerprint. The negotiated framing (checksums) applies to every
 	// frame AFTER the ack, which itself still travels unchecked.
-	ack.Features = h.Features & supportedFeatures
+	ack.Features = h.Features & s.features
 	ack.Fingerprint = uint64(pool.fp)
 	if err := c.writeFrame(FrameHelloAck, ack.AppendToExt(nil)); err != nil {
 		return err

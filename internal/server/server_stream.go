@@ -1,10 +1,12 @@
 package server
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"astrea/internal/bitvec"
@@ -20,6 +22,19 @@ import (
 // to ordinary decode mode — or tears the connection down on any protocol
 // or transport fault (rounds must be contiguous; a lost frame is
 // unrecoverable mid-stream).
+//
+// On connections that negotiated FeatureStreamResume the session outlives
+// its connection: the pipeline and a ring of recently written commits are
+// owned by a streamSession, a per-session pump goroutine moves commits
+// from the fuse stage to whichever connection is currently attached, and
+// a connection loss parks the session in a TTL-bounded resume cache (see
+// server_resume.go) instead of aborting it. A StreamResume frame on a new
+// connection reattaches, re-delivers the commits the client has not
+// acknowledged, and the client replays the rounds the server never
+// received — bit-for-bit identical to an uninterrupted run because the
+// pipeline never restarted. Protocol violations (gaps, undecodable rows,
+// unexpected frames) still abort: they are client bugs, not transport
+// faults, and a replay from a buggy client is not trustworthy.
 
 const (
 	// maxStreamDetRows bounds the embedded window environments a session
@@ -29,7 +44,134 @@ const (
 	// maxStreamInflight bounds the per-session decode concurrency a client
 	// may request.
 	maxStreamInflight = 64
+	// maxRetainedCommits bounds one resumable session's redelivery ring.
+	// TCP delivers commits in order, so the commits a client is missing
+	// are always a contiguous suffix: either the ring still covers the
+	// client's ack watermark and a warm resume replays from it, or the
+	// ring was trimmed past it and the resume is refused — the client then
+	// re-opens cold, which is always bit-identical.
+	maxRetainedCommits = 512
 )
+
+// sessionState tracks where a streaming session is in its lifecycle.
+// Exactly one transition into sessionDone wins, and that claimant
+// performs the terminal accounting.
+type sessionState uint8
+
+const (
+	// sessionAttached: a connection's read loop is feeding the session.
+	sessionAttached sessionState = iota
+	// sessionParked: the connection died; the session waits in the resume
+	// cache for a StreamResume (or the TTL reaper).
+	sessionParked
+	// sessionDone: terminal — completed, aborted, expired or evicted.
+	sessionDone
+)
+
+// retainedCommit is one already-delivered commit kept for resume
+// redelivery, in wire shape (the carry already serialised).
+type retainedCommit struct {
+	cm    StreamCorrections
+	seam  uint16
+	carry []byte
+	size  int
+}
+
+// streamSession is one windowed streaming session. The attached
+// connection's read loop feeds the pipeline; the pump goroutine drains
+// commits to the ring and the attached connection. Legacy (non-resumable)
+// sessions use the same structure but die with their connection, exactly
+// as before the resume feature existed.
+type streamSession struct {
+	token     uint64
+	resumable bool
+	p         *stream.Pipeline
+	pool      *distPool
+	width     int
+	rowWords  int
+	// baseBytes estimates the session's parked memory footprint outside
+	// the redelivery ring (planner buffer plus in-flight windows), used by
+	// the resume cache's byte bound.
+	baseBytes int
+
+	// rowsReceived is the contiguous-rounds watermark: every round below
+	// it has been pushed into the pipeline. Written by the attached read
+	// loop, read by the pump (commit ack watermarks) and the resume path.
+	rowsReceived atomic.Uint64
+
+	// pumpDone closes when the pump goroutine has drained the commit
+	// channel — after that the pipeline's stats and the ring are final.
+	pumpDone chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on every state transition
+	state    sessionState
+	attached *conn
+	writeErr error     // first pump write failure on the attached conn
+	parkedAt time.Time // TTL/eviction clock, valid while parked
+	// summary is set when the stream closed cleanly but the connection
+	// died before the StreamClosed frame was delivered; a resumed
+	// connection drains the ring and then this summary.
+	summary *StreamClosed
+	// retained is the redelivery ring in write order. trimmed records that
+	// old entries were dropped, in which case only ack watermarks still in
+	// the ring are warm-resumable. commitHigh is the round watermark after
+	// the newest retained commit (the session's StartRow before any).
+	retained      []retainedCommit
+	retainedBytes int
+	trimmed       bool
+	commitHigh    uint64
+}
+
+// claimDone claims the terminal state; exactly one caller wins and must
+// perform the terminal accounting.
+func (sess *streamSession) claimDone() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.state == sessionDone {
+		return false
+	}
+	sess.state = sessionDone
+	sess.attached = nil
+	sess.cond.Broadcast()
+	return true
+}
+
+// footprint estimates the session's resident bytes for the resume cache's
+// byte bound.
+func (sess *streamSession) footprint() int {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.baseBytes + sess.retainedBytes
+}
+
+// retain appends one commit to the redelivery ring; callers hold sess.mu.
+func (sess *streamSession) retain(rc retainedCommit) {
+	sess.retained = append(sess.retained, rc)
+	sess.retainedBytes += rc.size
+	sess.commitHigh = rc.cm.FirstRow + uint64(rc.cm.RowCount)
+	for len(sess.retained) > maxRetainedCommits {
+		sess.retainedBytes -= sess.retained[0].size
+		sess.retained = sess.retained[1:]
+		sess.trimmed = true
+	}
+}
+
+// replayStart locates the ring index to redeliver from for a client whose
+// commit watermark is ack; ok is false when the ring no longer covers it
+// or the watermark is not a commit boundary the server knows. Callers
+// hold sess.mu.
+func (sess *streamSession) replayStart(ack uint64) (int, bool) {
+	if ack == sess.commitHigh {
+		return len(sess.retained), true
+	}
+	for i := range sess.retained {
+		if sess.retained[i].cm.FirstRow == ack {
+			return i, true
+		}
+	}
+	return 0, false
+}
 
 // resolveStreamConfig clamps a client's requested window parameters into a
 // pipeline configuration the server is willing to run.
@@ -79,35 +221,94 @@ func resolveStreamConfig(env *montecarlo.Env, decoderName string, req StreamOpen
 	}
 }
 
-// serveStream runs one streaming session on the connection. A nil return
-// hands the connection back to the decode loop (clean close); an error
-// closes it.
+// serveStream starts one streaming session on the connection. A nil
+// return hands the connection back to the decode loop (clean close, or a
+// refused open); an error closes the connection — which parks rather than
+// kills a resumable session.
 func (s *Server) serveStream(c *conn, codec compress.Codec, payload []byte) error {
 	if c.features&FeatureStream == 0 {
 		return fmt.Errorf("server: stream-open on a connection that did not negotiate FeatureStream")
 	}
-	req, err := ParseStreamOpen(payload)
+	resumable := c.features&FeatureStreamResume != 0
+
+	// A connection that negotiated the resume bit uses the extended frame
+	// forms in both directions, deterministically; legacy connections see
+	// the v2 wire byte for byte.
+	var req StreamOpen
+	var ext StreamOpenExt
+	var err error
+	if resumable {
+		ext, err = ParseStreamOpenExt(payload)
+		req = ext.StreamOpen
+	} else {
+		req, err = ParseStreamOpen(payload)
+	}
 	if err != nil {
 		return err
 	}
 
-	cfg := resolveStreamConfig(c.pool.env, s.cfg.Decoder, req)
-	p, err := stream.New(cfg)
-	if err != nil {
+	refuse := func(msg string) error {
 		// Refuse the session but keep the connection: the decode path is
 		// still healthy.
 		s.stats.streamsRefused.Add(1)
+		ack := StreamOpenAck{Status: StatusInternalError, Message: msg}
+		pl := ack.AppendTo(nil)
+		if resumable {
+			pl = StreamOpenAckExt{StreamOpenAck: ack}.AppendTo(nil)
+		}
 		//lint:allow errwrap best-effort refusal; a failed write already closed the conn and the next read exits the loop
-		c.writeFrame(FrameStreamOpenAck, StreamOpenAck{
-			Status:  StatusInternalError,
-			Message: err.Error(),
-		}.AppendTo(nil))
+		c.writeFrame(FrameStreamOpenAck, pl)
 		return nil
+	}
+
+	cfg := resolveStreamConfig(c.pool.env, s.cfg.Decoder, req)
+	width := stream.RowWidth(c.pool.env)
+	rowWords := (width + 63) / 64
+	if resumable && (ext.StartRow > 0 || ext.NextSeq > 0 || ext.CarrySeam > 0) {
+		// Cold re-open: the client restarts a lost session from its commit
+		// watermark and will replay the uncommitted tail.
+		if len(ext.Carry) != int(ext.CarrySeam)*rowWords*8 {
+			return refuse(fmt.Sprintf("resumed carry is %d bytes, want %d (%d rows × %d words)",
+				len(ext.Carry), int(ext.CarrySeam)*rowWords*8, ext.CarrySeam, rowWords))
+		}
+		cfg.StartRow = ext.StartRow
+		cfg.StartSeq = ext.NextSeq
+		cfg.CarrySeam = int(ext.CarrySeam)
+		if n := int(ext.CarrySeam) * rowWords; n > 0 {
+			words := make([]uint64, n)
+			for i := range words {
+				words[i] = binary.LittleEndian.Uint64(ext.Carry[i*8:])
+			}
+			cfg.Carry = words
+		}
+	}
+
+	p, err := stream.New(cfg)
+	if err != nil {
+		return refuse(err.Error())
 	}
 	s.stats.streamsOpened.Add(1)
 
-	width := stream.RowWidth(c.pool.env)
 	resolved := p.Stats()
+	sess := &streamSession{
+		resumable:  resumable,
+		p:          p,
+		pool:       c.pool,
+		width:      width,
+		rowWords:   rowWords,
+		pumpDone:   make(chan struct{}),
+		state:      sessionAttached,
+		attached:   c,
+		commitHigh: cfg.StartRow,
+	}
+	sess.cond = sync.NewCond(&sess.mu)
+	sess.rowsReceived.Store(cfg.StartRow)
+	inflight := cfg.MaxInflight
+	if inflight < 1 {
+		inflight = 1
+	}
+	sess.baseBytes = rowWords * 8 * (resolved.WindowRounds + 2*resolved.PadRounds) * (inflight + 2)
+
 	ack := StreamOpenAck{
 		Status:       StatusOK,
 		WindowRounds: uint16(resolved.WindowRounds),
@@ -117,92 +318,138 @@ func (s *Server) serveStream(c *conn, codec compress.Codec, payload []byte) erro
 		MaxInflight:  uint16(cfg.MaxInflight),
 		RowBits:      uint16(width),
 	}
-	if err := c.writeFrame(FrameStreamOpenAck, ack.AppendTo(nil)); err != nil {
-		p.Abort()
-		return err
+	ackPayload := ack.AppendTo(nil)
+	if resumable {
+		sess.token = s.newStreamToken()
+		s.registerSession(sess)
+		ackPayload = StreamOpenAckExt{
+			StreamOpenAck: ack,
+			SessionToken:  sess.token,
+			ResumeTTLMs:   uint32(s.cfg.StreamResumeTTL / time.Millisecond),
+		}.AppendTo(nil)
 	}
 
-	// Commit writer: one goroutine streams corrections back as the fuse
-	// stage emits them, concurrently with the round-reading loop below.
-	var (
-		writerWG sync.WaitGroup
-		wmu      sync.Mutex
-		writeErr error
-	)
-	writerWG.Add(1)
-	go func() {
-		defer writerWG.Done()
-		for cm := range p.Commits() {
-			var flags uint8
-			if cm.DeadlineMiss {
-				flags |= FlagDeadlineMiss
-			}
-			if cm.Forced {
-				flags |= FlagForcedSeam
-			}
-			if cm.Fallback {
-				flags |= FlagDegraded
-			}
-			f := StreamCorrections{
-				WindowSeq:   cm.WindowSeq,
-				FirstRow:    cm.FirstRow,
-				RowCount:    uint16(cm.RowCount),
-				ObsMask:     cm.ObsMask,
-				WeightMilli: uint64(cm.Weight*1000 + 0.5),
-				SojournNs:   uint64(cm.SojournNs),
-				Flags:       flags,
-			}
-			if err := c.writeFrame(FrameStreamCorrections, f.AppendTo(nil)); err != nil {
-				wmu.Lock()
-				if writeErr == nil {
-					writeErr = err
-				}
-				wmu.Unlock()
-				// The client is gone; stop the pipeline and discard the
-				// remaining commits so the fuse stage can exit.
-				p.Abort()
-				for range p.Commits() {
-				}
-				return
-			}
+	// The pump starts before the ack write so every teardown path can wait
+	// on pumpDone; no commit can precede the ack because no round has been
+	// pushed yet.
+	s.streamWG.Add(1)
+	go s.pumpStream(sess)
+
+	if err := c.writeFrame(FrameStreamOpenAck, ackPayload); err != nil {
+		return s.abortStream(sess, err)
+	}
+	return s.runStream(c, codec, sess)
+}
+
+// pumpStream drains the pipeline's commits into the session: every commit
+// is retained for redelivery (resumable sessions) and written to the
+// attached connection, if any.
+func (s *Server) pumpStream(sess *streamSession) {
+	defer s.streamWG.Done()
+	defer close(sess.pumpDone)
+	for cm := range sess.p.Commits() {
+		sess.deliver(cm)
+	}
+}
+
+// deliver retains and writes one commit. A write failure detaches the
+// connection (the read loop observes the closed conn and parks or aborts
+// the session); legacy sessions also abort the pipeline immediately, as
+// the pre-resume protocol did.
+func (sess *streamSession) deliver(cm stream.Commit) {
+	var flags uint8
+	if cm.DeadlineMiss {
+		flags |= FlagDeadlineMiss
+	}
+	if cm.Forced {
+		flags |= FlagForcedSeam
+	}
+	if cm.Fallback {
+		flags |= FlagDegraded
+	}
+	f := StreamCorrections{
+		WindowSeq:   cm.WindowSeq,
+		FirstRow:    cm.FirstRow,
+		RowCount:    uint16(cm.RowCount),
+		ObsMask:     cm.ObsMask,
+		WeightMilli: uint64(cm.Weight*1000 + 0.5),
+		SojournNs:   uint64(cm.SojournNs),
+		Flags:       flags,
+	}
+	var seam uint16
+	var carry []byte
+	if cm.Forced {
+		seam = uint16(cm.CarryRows)
+		carry = make([]byte, len(cm.Carry)*8)
+		for i, w := range cm.Carry {
+			binary.LittleEndian.PutUint64(carry[i*8:], w)
 		}
-	}()
-
-	abort := func(err error) error {
-		p.Abort()
-		writerWG.Wait()
-		s.accumulateStreamStats(p.Stats())
-		s.stats.streamsAborted.Add(1)
-		return err
 	}
 
-	row := bitvec.New(width)
-	var rowsReceived uint64
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.resumable {
+		sess.retain(retainedCommit{cm: f, seam: seam, carry: carry, size: 53 + len(carry)})
+	}
+	c := sess.attached
+	if c == nil || sess.writeErr != nil {
+		return
+	}
+	payload := f.AppendTo(nil)
+	if sess.resumable {
+		payload = StreamCorrectionsExt{
+			StreamCorrections: f,
+			AckRows:           sess.rowsReceived.Load(),
+			CarrySeam:         seam,
+			Carry:             carry,
+		}.AppendTo(nil)
+	}
+	if err := c.writeFrame(FrameStreamCorrections, payload); err != nil {
+		// writeFrame already closed the conn; the read loop observes the
+		// death and parks (resumable) or aborts (legacy) the session.
+		sess.writeErr = err
+		sess.attached = nil
+		if !sess.resumable {
+			// Legacy sessions cannot be resumed: stop decoding now so the
+			// remaining commits drain and the pump can exit.
+			sess.p.Abort()
+		}
+	}
+}
+
+// runStream is the session read loop on the attached connection, entered
+// from serveStream and re-entered after a successful warm resume. A nil
+// return hands the connection back to the decode loop.
+func (s *Server) runStream(c *conn, codec compress.Codec, sess *streamSession) error {
+	p := sess.p
+	row := bitvec.New(sess.width)
 	for {
 		if s.cfg.IdleTimeout > 0 {
 			if err := c.Conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
-				return abort(err)
+				return s.suspendStream(sess, err)
 			}
 		}
 		t, payload, err := c.readFrame(s.cfg.MaxFrameBytes)
 		if errors.Is(err, ErrChecksum) {
-			// Rounds are contiguous by contract: a corrupted frame cannot be
-			// skipped the way a lone decode request can, so the stream dies.
+			// Rounds are contiguous by contract: a corrupted frame cannot
+			// be skipped the way a lone decode request can, so this
+			// connection dies — but corruption is a transport fault, so a
+			// resumable session parks and the client replays on reconnect.
 			s.stats.checksumFail.Add(1)
-			//lint:allow errwrap best-effort fault report; the session is being torn down either way
+			//lint:allow errwrap best-effort fault report; the session's connection is being torn down either way
 			c.writeFrame(FrameError, ErrorFrame{
-				Seq:     rowsReceived,
+				Seq:     sess.rowsReceived.Load(),
 				Code:    StatusProtocolError,
 				Message: "frame checksum mismatch mid-stream",
 			}.AppendTo(nil))
-			return abort(ErrChecksum)
+			return s.suspendStream(sess, ErrChecksum)
 		}
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				s.stats.idleReaped.Add(1)
 			}
-			return abort(err)
+			return s.suspendStream(sess, err)
 		}
 		c.touch()
 
@@ -215,10 +462,11 @@ func (s *Server) serveStream(c *conn, codec compress.Codec, payload []byte) erro
 		case t == FrameStreamRounds:
 			frame, err := ParseStreamRounds(payload)
 			if err != nil {
-				return abort(err)
+				return s.abortStream(sess, err)
 			}
+			rowsReceived := sess.rowsReceived.Load()
 			if frame.FirstRow != rowsReceived {
-				return abort(fmt.Errorf("server: stream rounds arrived at row %d, want %d (gap or replay)",
+				return s.abortStream(sess, fmt.Errorf("server: stream rounds arrived at row %d, want %d (gap or replay)",
 					frame.FirstRow, rowsReceived))
 			}
 			rest := frame.Rows
@@ -226,59 +474,105 @@ func (s *Server) serveStream(c *conn, codec compress.Codec, payload []byte) erro
 				consumed, err := codec.Decode(rest, row)
 				if err != nil {
 					s.stats.malformed.Add(1)
-					return abort(fmt.Errorf("server: undecodable stream row %d: %w", rowsReceived, err))
+					return s.abortStream(sess, fmt.Errorf("server: undecodable stream row %d: %w", rowsReceived, err))
 				}
 				rest = rest[consumed:]
 				if err := p.PushRow(row); err != nil {
-					return abort(err)
+					return s.abortStream(sess, err)
 				}
 				rowsReceived++
+				sess.rowsReceived.Store(rowsReceived)
 			}
 			if len(rest) != 0 {
-				return abort(fmt.Errorf("server: stream-rounds frame has %d trailing bytes", len(rest)))
+				return s.abortStream(sess, fmt.Errorf("server: stream-rounds frame has %d trailing bytes", len(rest)))
 			}
 			s.stats.bytesIn.Add(int64(len(frame.Rows)))
 		case t == FrameStreamClose:
 			if err := p.Close(); err != nil {
-				return abort(err)
+				return s.abortStream(sess, err)
 			}
-			writerWG.Wait() // every commit has been written (or the writer failed)
-			wmu.Lock()
-			werr := writeErr
-			wmu.Unlock()
-			if werr != nil {
-				s.accumulateStreamStats(p.Stats())
-				s.stats.streamsAborted.Add(1)
-				return werr
+			<-sess.pumpDone // every commit retained and (if attached) written
+			sess.mu.Lock()
+			werr := sess.writeErr
+			sess.mu.Unlock()
+			summary := buildStreamSummary(p.Stats())
+			if werr == nil {
+				err := c.writeFrame(FrameStreamClosed, summary.AppendTo(nil))
+				if err == nil {
+					s.finishStream(sess, true)
+					return nil
+				}
+				werr = err
 			}
-			st := p.Stats()
-			var flags uint8
-			if st.ForcedCuts > 0 {
-				flags |= FlagForcedSeam
+			// The client is gone with the summary undelivered: park so a
+			// resumed connection can drain it, or account the abort.
+			if sess.resumable {
+				sess.mu.Lock()
+				sess.summary = &summary
+				sess.mu.Unlock()
 			}
-			if st.DeadlineMisses > 0 {
-				flags |= FlagDeadlineMiss
-			}
-			summary := StreamClosed{
-				TotalRows:      st.Rows,
-				Windows:        st.Windows,
-				ForcedCuts:     st.ForcedCuts,
-				ObsMask:        st.ObsMask,
-				WeightMilli:    uint64(st.Weight*1000 + 0.5),
-				DeadlineMisses: st.DeadlineMisses,
-				Flags:          flags,
-			}
-			if err := c.writeFrame(FrameStreamClosed, summary.AppendTo(nil)); err != nil {
-				s.accumulateStreamStats(st)
-				s.stats.streamsAborted.Add(1)
-				return err
-			}
-			s.accumulateStreamStats(st)
-			s.stats.streamsCompleted.Add(1)
-			return nil
+			return s.suspendStream(sess, werr)
 		default:
-			return abort(fmt.Errorf("server: unexpected frame type %d mid-stream", t))
+			return s.abortStream(sess, fmt.Errorf("server: unexpected frame type %d mid-stream", t))
 		}
+	}
+}
+
+// buildStreamSummary shapes a finished pipeline's stats into the closing
+// summary frame.
+func buildStreamSummary(st stream.Stats) StreamClosed {
+	var flags uint8
+	if st.ForcedCuts > 0 {
+		flags |= FlagForcedSeam
+	}
+	if st.DeadlineMisses > 0 {
+		flags |= FlagDeadlineMiss
+	}
+	return StreamClosed{
+		TotalRows:      st.Rows,
+		Windows:        st.Windows,
+		ForcedCuts:     st.ForcedCuts,
+		ObsMask:        st.ObsMask,
+		WeightMilli:    uint64(st.Weight*1000 + 0.5),
+		DeadlineMisses: st.DeadlineMisses,
+		Flags:          flags,
+	}
+}
+
+// suspendStream handles a connection loss: resumable sessions park in the
+// resume cache awaiting a StreamResume; legacy sessions abort.
+func (s *Server) suspendStream(sess *streamSession, err error) error {
+	if sess.resumable && s.parkStream(sess) {
+		return err
+	}
+	return s.abortStream(sess, err)
+}
+
+// abortStream tears the session down and performs the terminal accounting
+// exactly once.
+func (s *Server) abortStream(sess *streamSession, err error) error {
+	sess.p.Abort()
+	<-sess.pumpDone
+	if sess.claimDone() {
+		s.unregisterSession(sess)
+		s.accumulateStreamStats(sess.p.Stats())
+		s.stats.streamsAborted.Add(1)
+	}
+	return err
+}
+
+// finishStream performs the clean-completion accounting exactly once
+// (completed is false only for redundant callers racing a teardown).
+func (s *Server) finishStream(sess *streamSession, completed bool) {
+	if !sess.claimDone() {
+		return
+	}
+	s.unregisterSession(sess)
+	s.accumulateStreamStats(sess.p.Stats())
+	if completed {
+		s.stats.streamsCompleted.Add(1)
+	} else {
+		s.stats.streamsAborted.Add(1)
 	}
 }
 

@@ -42,7 +42,13 @@ type stats struct {
 	streamWindows    atomic.Int64 // windows committed across all sessions
 	streamForced     atomic.Int64 // forced (approximate) cuts across all sessions
 	streamMisses     atomic.Int64 // window commits that overran their row budget
-	tracker          *realtime.Tracker
+	// Resume accounting (FeatureStreamResume sessions).
+	streamsParked        atomic.Int64 // sessions parked after a connection loss
+	streamsResumed       atomic.Int64 // successful StreamResume reattaches
+	streamsResumeMisses  atomic.Int64 // resumes refused (unknown token, stale watermark)
+	streamsResumeExpired atomic.Int64 // parked sessions reaped at the TTL
+	streamsResumeEvicted atomic.Int64 // parked sessions evicted at the cache bounds
+	tracker              *realtime.Tracker
 }
 
 func newStats(cfg Config, deadlineNs float64) *stats {
@@ -103,6 +109,18 @@ type Snapshot struct {
 	StreamForcedCuts     int64 `json:"stream_forced_cuts"`
 	StreamDeadlineMisses int64 `json:"stream_deadline_misses"`
 
+	// Resume accounting (FeatureStreamResume sessions): parked/resumed
+	// flows plus the resume cache's current occupancy. A drained daemon
+	// always ends with ResumeCacheSessions == 0 — every parked session is
+	// eventually resumed, expired or evicted.
+	StreamsParked       int64 `json:"streams_parked"`
+	StreamsResumed      int64 `json:"streams_resumed"`
+	StreamResumeMisses  int64 `json:"stream_resume_misses"`
+	StreamResumeExpired int64 `json:"stream_resume_expired"`
+	StreamResumeEvicted int64 `json:"stream_resume_evicted"`
+	ResumeCacheSessions int   `json:"resume_cache_sessions"`
+	ResumeCacheBytes    int64 `json:"resume_cache_bytes"`
+
 	// Deadline accounting over completed decodes (realtime semantics:
 	// on time ⇔ sojourn ≤ per-request budget).
 	DefaultDeadlineNs float64 `json:"default_deadline_ns"`
@@ -156,10 +174,16 @@ func (s *Server) Snapshot() Snapshot {
 		StreamWindows:        st.streamWindows.Load(),
 		StreamForcedCuts:     st.streamForced.Load(),
 		StreamDeadlineMisses: st.streamMisses.Load(),
+		StreamsParked:        st.streamsParked.Load(),
+		StreamsResumed:       st.streamsResumed.Load(),
+		StreamResumeMisses:   st.streamsResumeMisses.Load(),
+		StreamResumeExpired:  st.streamsResumeExpired.Load(),
+		StreamResumeEvicted:  st.streamsResumeEvicted.Load(),
 		DefaultDeadlineNs:    st.deadline,
 		DeadlineMisses:       st.tracker.Total() - st.tracker.OnTime(),
 		DeadlineMissRate:     st.tracker.MissRate(),
 	}
+	snap.ResumeCacheSessions, snap.ResumeCacheBytes = s.resumeCacheGauges()
 	if batches > 0 {
 		snap.MeanBatch = float64(st.batched.Load()) / float64(batches)
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -194,4 +195,136 @@ func TestStreamChaosSoak(t *testing.T) {
 		t.Fatalf("only %d aborted sessions; the teardown path went unexercised", snap.StreamsAborted)
 	}
 	t.Logf("stream soak: %+v", snap)
+}
+
+// TestStreamChaosSoakResume is the resume-enabled chaos soak: resumable
+// sessions through a fault-injecting proxy whose connections are
+// additionally slammed shut on a tight schedule. Unlike the legacy soak —
+// where a killed session is allowed to die after a valid prefix — every
+// resumable session here MUST finish: the reconnect loop absorbs kills,
+// corruption (checksummed frames turn it into connection death), stalls
+// and short reads. Invariants: each session's commit stream is a
+// contiguous partition with no round committed twice, the resume cache
+// drains to zero once the server shuts down, session accounting balances,
+// and no pipeline or pump goroutine leaks (package leak check).
+func TestStreamChaosSoakResume(t *testing.T) {
+	leakCheck(t)
+	env := testEnv(t, 3)
+	sessions, shotsPerSession := 6, 150
+	if testing.Short() {
+		sessions, shotsPerSession = 3, 40
+	}
+	srv := startServer(t, Config{
+		Distances:       []int{3},
+		P:               1e-3,
+		Decoder:         "astrea",
+		WriteTimeout:    2 * time.Second,
+		StreamResumeTTL: 10 * time.Second,
+		Envs:            map[int]*montecarlo.Env{3: env},
+	})
+	proxy, err := faultinject.NewProxy(srv.Addr().String(), faultinject.Config{
+		Seed:       43,
+		StallP:     0.02,
+		StallMin:   100 * time.Microsecond,
+		StallMax:   2 * time.Millisecond,
+		CorruptP:   0.003,
+		PartialP:   0.005,
+		ShortReadP: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Scheduled connection kills on top of the probabilistic chaos.
+	killerDone := make(chan struct{})
+	var killerWG sync.WaitGroup
+	killerWG.Add(1)
+	go func() {
+		defer killerWG.Done()
+		tick := time.NewTicker(3 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-killerDone:
+				return
+			case <-tick.C:
+				proxy.KillActive()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	var reconnects, replayed atomic.Int64
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rs, err := NewResumingStream(func() (*Client, error) {
+				return DialOptions(proxy.Addr(), 3, compress.IDSparse, ClientOptions{
+					HandshakeTimeout: 2 * time.Second,
+					CallTimeout:      5 * time.Second,
+					Features:         FeatureStream | FeatureStreamResume | FeatureChecksum,
+				})
+			}, ResumingStreamOptions{
+				Retry: RetryPolicy{
+					MaxAttempts: 25,
+					BaseBackoff: 200 * time.Microsecond,
+					MaxBackoff:  10 * time.Millisecond,
+					Seed:        uint64(g + 1),
+				},
+			})
+			if err != nil {
+				errs <- fmt.Errorf("resume soak session %d: open: %w", g, err)
+				return
+			}
+			defer rs.Close()
+			rows := sampleStreamRows(env, uint64(0x2E50+g), shotsPerSession)
+			commits, summary, err := driveResumingSession(rs, proxy, rows, nil, nil)
+			if err != nil {
+				errs <- fmt.Errorf("resume soak session %d: %w", g, err)
+				return
+			}
+			if err := checkCommitPartition(commits, uint64(len(rows))); err != nil {
+				errs <- fmt.Errorf("resume soak session %d: %w", g, err)
+				return
+			}
+			if summary.TotalRows != uint64(len(rows)) {
+				errs <- fmt.Errorf("resume soak session %d: summary covers %d of %d rows",
+					g, summary.TotalRows, len(rows))
+				return
+			}
+			reconnects.Add(int64(rs.Reconnects()))
+			replayed.Add(int64(rs.ReplayedRounds()))
+		}(g)
+	}
+	wg.Wait()
+	close(killerDone)
+	killerWG.Wait()
+	proxy.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := srv.Snapshot()
+	if snap.StreamsOpened != snap.StreamsCompleted+snap.StreamsAborted {
+		t.Fatalf("session accounting leaks: opened %d != completed %d + aborted %d",
+			snap.StreamsOpened, snap.StreamsCompleted, snap.StreamsAborted)
+	}
+	if snap.ResumeCacheSessions != 0 || snap.ResumeCacheBytes != 0 {
+		t.Fatalf("resume cache did not drain: %d sessions, %d bytes",
+			snap.ResumeCacheSessions, snap.ResumeCacheBytes)
+	}
+	if reconnects.Load() == 0 {
+		t.Fatal("the kill schedule never severed a session; the soak soaked nothing")
+	}
+	t.Logf("resume soak: %d reconnects, %d rounds replayed, server %+v",
+		reconnects.Load(), replayed.Load(), snap)
 }

@@ -72,6 +72,12 @@ const (
 	FrameStreamCorrections FrameType = 12 // server → client: one committed window's correction
 	FrameStreamClose       FrameType = 13 // client → server: end of the round stream
 	FrameStreamClosed      FrameType = 14 // server → client: final stream summary
+
+	// Session-resume frames (FeatureStreamResume). After redialing, a
+	// client asks to reattach to a parked session by token; the server
+	// replies with the rows-received watermark the client must replay from.
+	FrameStreamResume  FrameType = 15 // client → server: reattach to a parked session
+	FrameStreamResumed FrameType = 16 // server → client: accept/refuse the reattach
 )
 
 // Wire feature bits, offered by the client in an extended Hello and echoed
@@ -92,9 +98,18 @@ const (
 	// negotiate the bit refuses stream frames cleanly as a protocol
 	// violation instead of misparsing them.
 	FeatureStream uint32 = 1 << 2
+	// FeatureStreamResume makes streaming sessions resumable: the server
+	// issues a session token (extended stream-open-ack), retains a parked
+	// session for a TTL after its connection dies, piggybacks a
+	// rows-received ack watermark on every commit, and accepts
+	// StreamResume/StreamResumed reattach exchanges. On a connection that
+	// negotiated the bit the stream-open, stream-open-ack and
+	// stream-corrections payloads use their extended forms; legacy peers
+	// keep the v2 layouts byte for byte.
+	FeatureStreamResume uint32 = 1 << 3
 
 	// supportedFeatures is what this build negotiates.
-	supportedFeatures = FeatureChecksum | FeatureProbe | FeatureStream
+	supportedFeatures = FeatureChecksum | FeatureProbe | FeatureStream | FeatureStreamResume
 )
 
 // Result flag bits.
@@ -305,6 +320,11 @@ const (
 	// concurrent-connection cap; retry against a less loaded endpoint or
 	// after backing off.
 	StatusOverloaded uint8 = 6
+	// StatusUnknownSession refuses a StreamResume whose token names no
+	// parked session (expired, evicted, a different replica, or never
+	// issued). The client should fall back to a cold re-open from its
+	// commit watermark.
+	StatusUnknownSession uint8 = 7
 )
 
 // AppendTo serialises the legacy hello-ack payload (no features or

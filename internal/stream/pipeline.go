@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -49,6 +50,10 @@ type Pipeline struct {
 	// pendingCarry (a forced predecessor's resolved seam).
 	carryRows    int
 	pendingCarry chan []uint64
+	// placeholders counts raw seam rows a resumed pipeline still expects:
+	// PushRow records their defect counts but zeroes their content, the
+	// same placeholder-rebase an uninterrupted forced cut performs.
+	placeholders int
 	closed       bool
 	scratch      []int
 
@@ -86,11 +91,35 @@ func New(cfg Config) (*Pipeline, error) {
 		cfg:      cfg,
 		width:    width,
 		rowWords: (width + 63) / 64,
+		firstRow: cfg.StartRow,
+		nextSeq:  cfg.StartSeq,
 		jobs:     make(chan *window, cfg.MaxInflight),
 		results:  make(chan decoded, cfg.MaxInflight),
 		commits:  make(chan Commit, cfg.MaxInflight),
 		stop:     make(chan struct{}),
 		tracker:  realtime.NewTracker(cfg.RowBudgetNs),
+	}
+	if cfg.CarrySeam < 0 || cfg.CarrySeam >= cfg.WindowRounds {
+		return nil, fmt.Errorf("stream: resumed carry seam %d outside [0, WindowRounds=%d)", cfg.CarrySeam, cfg.WindowRounds)
+	}
+	if cfg.CarrySeam == 0 && len(cfg.Carry) != 0 {
+		return nil, errors.New("stream: Config.Carry set without Config.CarrySeam")
+	}
+	if cfg.CarrySeam > 0 {
+		if len(cfg.Carry) != cfg.CarrySeam*p.rowWords {
+			return nil, fmt.Errorf("stream: resumed carry holds %d words, want %d (seam %d × %d words/row)",
+				len(cfg.Carry), cfg.CarrySeam*p.rowWords, cfg.CarrySeam, p.rowWords)
+		}
+		// Pre-load the predecessor's resolved seam exactly as an
+		// uninterrupted forced cut would have: the first window absorbing
+		// the seam prefix receives it through the carry channel.
+		carry := make([]uint64, len(cfg.Carry))
+		copy(carry, cfg.Carry)
+		pc := make(chan []uint64, 1)
+		pc <- carry
+		p.carryRows = cfg.CarrySeam
+		p.placeholders = cfg.CarrySeam
+		p.pendingCarry = pc
 	}
 	p.workerWG.Add(cfg.MaxInflight)
 	for i := 0; i < cfg.MaxInflight; i++ {
@@ -149,8 +178,16 @@ func (p *Pipeline) PushRow(row bitvec.Vec) error {
 	base := p.bufRows * p.rowWords
 	p.buf = append(p.buf, make([]uint64, p.rowWords)...)
 	p.scratch = row.Ones(p.scratch[:0])
-	for _, k := range p.scratch {
-		p.buf[base+k>>6] |= 1 << (uint(k) & 63)
+	if p.placeholders > 0 {
+		// A replayed raw seam row on a resumed pipeline: its resolved
+		// content was pre-loaded into the carry channel, so the buffer keeps
+		// the zeroed placeholder; only the raw defect count below feeds the
+		// planner (matching the uninterrupted forced-cut rebase).
+		p.placeholders--
+	} else {
+		for _, k := range p.scratch {
+			p.buf[base+k>>6] |= 1 << (uint(k) & 63)
+		}
 	}
 	defects := len(p.scratch)
 	p.rowDefects = append(p.rowDefects, defects)
@@ -293,6 +330,9 @@ func (p *Pipeline) Close() error {
 	if p.closed {
 		return ErrClosed
 	}
+	if p.placeholders > 0 {
+		return fmt.Errorf("stream: closed with %d carried seam rows still unreplayed", p.placeholders)
+	}
 	p.closed = true
 	var err error
 	if p.bufRows > 0 {
@@ -372,7 +412,7 @@ func (p *Pipeline) fuse() {
 	defer p.auxWG.Done()
 	defer close(p.commits)
 	pending := make(map[uint64]decoded)
-	next := uint64(0)
+	next := p.cfg.StartSeq
 	for d := range p.results {
 		pending[d.win.seq] = d
 		for {
@@ -423,7 +463,7 @@ func (p *Pipeline) commitOf(d decoded) Commit {
 	}
 	p.mu.Unlock()
 
-	return Commit{
+	cm := Commit{
 		WindowSeq:    w.seq,
 		FirstRow:     w.firstRow,
 		RowCount:     w.rows,
@@ -436,6 +476,11 @@ func (p *Pipeline) commitOf(d decoded) Commit {
 		Fallback:     d.fallback,
 		Empty:        d.empty,
 	}
+	if w.forced {
+		cm.CarryRows = w.carrySeam
+		cm.Carry = d.carry
+	}
+	return cm
 }
 
 // DecodeClosed runs a complete (closed) round stream through a pipeline

@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/dem"
+	"astrea/internal/leakcheck"
+	"astrea/internal/montecarlo"
+	"astrea/internal/prng"
+)
+
+// resumeFrom restarts a pipeline from the watermark after prefix (the
+// commits a client had received before losing its connection) and replays
+// the uncommitted tail of rows, returning the resumed run's commits.
+func resumeFrom(t *testing.T, cfg Config, rows []bitvec.Vec, prefix []Commit) []Commit {
+	t.Helper()
+	rcfg := cfg
+	if n := len(prefix); n > 0 {
+		last := prefix[n-1]
+		rcfg.StartRow = last.FirstRow + uint64(last.RowCount)
+		rcfg.StartSeq = last.WindowSeq + 1
+		if last.Forced {
+			rcfg.CarrySeam = last.CarryRows
+			rcfg.Carry = last.Carry
+		}
+	}
+	got, _, err := DecodeClosed(rcfg, rows[int(rcfg.StartRow):])
+	if err != nil {
+		t.Fatalf("resumed decode from row %d: %v", rcfg.StartRow, err)
+	}
+	return got
+}
+
+// commitEqual compares everything about a commit that is data rather than
+// timing (SojournNs and DeadlineMiss are wall-clock artifacts).
+func commitEqual(a, b Commit) bool {
+	if a.WindowSeq != b.WindowSeq || a.FirstRow != b.FirstRow || a.RowCount != b.RowCount ||
+		a.ObsMask != b.ObsMask || a.Defects != b.Defects || a.Forced != b.Forced ||
+		a.Fallback != b.Fallback || a.Empty != b.Empty || a.CarryRows != b.CarryRows {
+		return false
+	}
+	if math.Abs(a.Weight-b.Weight) > 1e-9*(1+math.Abs(b.Weight)) {
+		return false
+	}
+	if len(a.Carry) != len(b.Carry) {
+		return false
+	}
+	for i := range a.Carry {
+		if a.Carry[i] != b.Carry[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPipelineResumeBitIdentical is the resume-math proof at the pipeline
+// level: restarting a pipeline from ANY commit watermark — after a clean
+// cut or a forced cut, using Commit.Carry to seed the successor's seam —
+// and replaying the uncommitted raw tail reproduces the uninterrupted
+// run's remaining commits bit-for-bit.
+func TestPipelineResumeBitIdentical(t *testing.T) {
+	leakcheck.Check(t)
+	cases := []struct {
+		d      int
+		p      float64
+		rounds int
+	}{
+		{d: 3, p: 8e-3, rounds: 60},
+		{d: 5, p: 5e-3, rounds: 40},
+	}
+	streams := 6
+	if testing.Short() {
+		streams = 2
+	}
+	for _, tc := range cases {
+		env, err := montecarlo.SharedEnv(tc.d, tc.d, tc.p)
+		if err != nil {
+			t.Fatalf("d=%d: %v", tc.d, err)
+		}
+		cfg := Config{
+			Env:     env,
+			Decoder: "mwpm",
+			// A tight cap at heavy noise makes forced cuts (the hard resume
+			// boundary: the seam must be reconstructed) common.
+			WindowRounds: SafeGapRounds(env) + 2,
+		}
+
+		width := rowWidth(env)
+		detRows := env.Graph.N / width
+		smp := dem.NewSampler(env.Model)
+		rng := prng.New(uint64(0x5E50E + tc.d))
+		synd := bitvec.New(env.Graph.N)
+		var forcedBoundaries, cleanBoundaries int
+		for s := 0; s < streams; s++ {
+			rows := make([]bitvec.Vec, 0, tc.rounds+detRows)
+			for len(rows) < tc.rounds {
+				smp.Sample(rng, synd)
+				rows = append(rows, rowsOf(env, synd)...)
+			}
+			rows = rows[:tc.rounds]
+
+			all, _, err := DecodeClosed(cfg, rows)
+			if err != nil {
+				t.Fatalf("d=%d stream %d: %v", tc.d, s, err)
+			}
+			checkPartition(t, all, uint64(len(rows)))
+
+			// Resume from every commit boundary, including "no commits
+			// received yet" (j=0) and "everything received" (j=len).
+			for j := 0; j <= len(all); j++ {
+				if j > 0 {
+					if all[j-1].Forced {
+						forcedBoundaries++
+					} else {
+						cleanBoundaries++
+					}
+				}
+				got := resumeFrom(t, cfg, rows, all[:j])
+				want := all[j:]
+				if len(got) != len(want) {
+					t.Fatalf("d=%d stream %d resume@%d: %d commits, want %d", tc.d, s, j, len(got), len(want))
+				}
+				for i := range got {
+					if !commitEqual(got[i], want[i]) {
+						t.Fatalf("d=%d stream %d resume@%d: commit %d diverged:\n got %+v\nwant %+v",
+							tc.d, s, j, i, got[i], want[i])
+					}
+				}
+			}
+		}
+		if forcedBoundaries == 0 {
+			t.Fatalf("d=%d: no forced-cut resume boundary exercised — raise p or tighten WindowRounds", tc.d)
+		}
+		t.Logf("d=%d: %d clean + %d forced resume boundaries, all bit-identical", tc.d, cleanBoundaries, forcedBoundaries)
+	}
+}
+
+// TestResumeConfigValidation pins the resume-config error paths: a carry
+// that does not match the declared seam, a carry without a seam, and a
+// close before the declared seam was replayed.
+func TestResumeConfigValidation(t *testing.T) {
+	leakcheck.Check(t)
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Env: env, CarrySeam: 2, Carry: []uint64{1}}); err == nil {
+		t.Fatal("New accepted a carry shorter than the declared seam")
+	}
+	if _, err := New(Config{Env: env, Carry: []uint64{1}}); err == nil {
+		t.Fatal("New accepted a carry without a seam")
+	}
+	if _, err := New(Config{Env: env, CarrySeam: 1 << 20}); err == nil {
+		t.Fatal("New accepted a seam taller than the window cap")
+	}
+
+	rowWords := (rowWidth(env) + 63) / 64
+	p, err := New(Config{Env: env, StartRow: 10, StartSeq: 2, CarrySeam: 2, Carry: make([]uint64, 2*rowWords)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PushRow(bitvec.New(rowWidth(env))); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("Close accepted a stream whose carried seam was never fully replayed")
+	}
+	p.Abort()
+	for range p.Commits() {
+	}
+}

@@ -113,6 +113,24 @@ type Config struct {
 	// backpressure depth — when fuse falls this many windows behind,
 	// PushRow blocks. Default 4.
 	MaxInflight int
+
+	// The remaining fields restart a pipeline mid-stream (session resume
+	// after a connection or replica loss). A fresh stream leaves them zero.
+	//
+	// StartRow is the absolute round index of the first row that will be
+	// pushed: rounds [0, StartRow) were committed by a predecessor
+	// pipeline. StartSeq is the window sequence the first cut will carry.
+	StartRow uint64
+	StartSeq uint64
+	// CarrySeam declares that the predecessor's last commit was a forced
+	// cut carrying this many seam rows: the first CarrySeam rows pushed
+	// must be the raw seam rows (they re-play as placeholders — their raw
+	// defect counts drive planner decisions but their resolved content is
+	// Carry, exactly as after an uninterrupted forced cut). Carry holds the
+	// predecessor's resolved seam, CarrySeam×rowWords words row-major
+	// (Commit.Carry of the forced commit).
+	CarrySeam int
+	Carry     []uint64
 }
 
 func (c *Config) applyDefaults() error {
@@ -198,6 +216,14 @@ type Commit struct {
 	Fallback bool
 	// Empty marks a defect-free window committed without any decode.
 	Empty bool
+	// CarryRows and Carry expose a Forced commit's resolved seam: the
+	// CarryRows rows following this commit's range, with the defects this
+	// window's matching already consumed cleared, CarryRows×rowWords words
+	// row-major. A successor pipeline restarted from this commit's
+	// watermark needs them (Config.CarrySeam/Carry) to reproduce the
+	// uninterrupted stream bit-for-bit. Nil on clean cuts.
+	CarryRows int
+	Carry     []uint64
 }
 
 // Stats is a point-in-time snapshot of a pipeline's counters.

@@ -115,6 +115,10 @@ type decoded struct {
 	defects  int
 	fallback bool
 	empty    bool
+	// carry is a forced window's resolved seam (what went down carryTo),
+	// surfaced on the commit so a resumed pipeline can be restarted from
+	// this window's watermark.
+	carry []uint64
 }
 
 // windowEnv resolves the embedded environment for a window of h rounds and
@@ -176,8 +180,10 @@ func (p *Pipeline) decodeWindow(w *window) (decoded, error) {
 			// hand its (now defect-free) seam to its successor, or the
 			// successor would wait on the carry channel forever.
 			if w.forced {
-				w.carryTo <- make([]uint64, w.carrySeam*p.rowWords)
+				empty := make([]uint64, w.carrySeam*p.rowWords)
+				w.carryTo <- empty
 				w.rows -= w.carrySeam
+				return decoded{win: w, empty: true, carry: empty}, nil
 			}
 			return decoded{win: w, empty: true}, nil
 		}
@@ -311,7 +317,7 @@ func (p *Pipeline) splitForced(w *window, env *montecarlo.Env, offset int, res d
 
 	w.rows = bodyRows
 	w.carryTo <- carry
-	return decoded{win: w, obs: obs, weight: weight, defects: w.defects, fallback: fellBack}, nil
+	return decoded{win: w, obs: obs, weight: weight, defects: w.defects, fallback: fellBack, carry: carry}, nil
 }
 
 // buildSyndrome embeds a window's detector bits into a syndrome of the
