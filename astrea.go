@@ -366,6 +366,26 @@ type DecodeFleet = cluster.Fleet
 // DecodeFleetConfig parameterises a DecodeFleet (see cluster.Config).
 type DecodeFleetConfig = cluster.Config
 
+// ArtifactRotation describes one zero-downtime hot-swap of a running
+// DecodeServer's decoder pool to a newly compiled artifact generation
+// (DecodeServer.Rotate): in-flight requests and open streams finish on the
+// old generation while new work lands on the new one.
+type ArtifactRotation = server.Rotation
+
+// FleetRolloutConfig parameterises DecodeFleet.StageRollout — a
+// replica-by-replica artifact upgrade under live traffic, gated on each
+// replica's own pre-rotation service quality and rolled back automatically
+// on regression (ErrFleetRolloutRegression).
+type FleetRolloutConfig = cluster.RolloutConfig
+
+// FleetRolloutReport records each replica's gate windows and the rollout
+// outcome.
+type FleetRolloutReport = cluster.RolloutReport
+
+// ErrFleetRolloutRegression marks a staged rollout that was rolled back
+// because a rotated replica's quality regressed past the tolerance.
+var ErrFleetRolloutRegression = cluster.ErrRolloutRegression
+
 // Fingerprint is a stable digest of a server's decoding configuration
 // (detector error model + quantised weight table). Two replicas with the
 // same fingerprint produce interchangeable corrections.

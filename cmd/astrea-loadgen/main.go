@@ -63,6 +63,22 @@
 //	                      .astc bundle (astrea compile) — fleet pinning from
 //	                      the deployment's source of truth, no dialing needed
 //
+// Rotation chaos mode (fleet mode only):
+//
+//	-rotate f.astc        mid-run, stage a replica-by-replica rollout to this
+//	                      compiled bundle under the live load: the bundle is
+//	                      dropped into each replica's artifact watch directory
+//	                      and the fleet's transition window plus regression
+//	                      gate drive the swap; answers are verified against
+//	                      the tables of whichever generation signed them, so
+//	                      -verify spans the rotation. A regression rolls the
+//	                      fleet back automatically and the run exits non-zero.
+//	-rotate-dirs a,b,c    each replica's -artifact-dir, parallel to -servers
+//	-rotate-after frac    fraction of shots offered before the rollout starts
+//	                      (default 0.5)
+//	-rotate-confirm dur   per-step rollout wait bound; must exceed the
+//	                      daemons' -artifact-watch interval (default 30s)
+//
 // Exit status is non-zero if any verified response disagrees with the
 // local decoder (degraded responses are checked against Union-Find, the
 // server's degradation fallback).
@@ -120,6 +136,10 @@ func run(args []string) error {
 	workers := fs.Int("workers", 4, "fleet mode: concurrent decode workers")
 	expectFP := fs.String("expect-fingerprint", "", "fleet mode: pin the decoding-configuration digest (16 hex chars)")
 	expectFPArtifact := fs.String("expect-fingerprint-artifact", "", "fleet mode: pin the digest carried by a compiled .astc bundle")
+	rotate := fs.String("rotate", "", "fleet mode: stage a mid-run rollout to this compiled .astc bundle")
+	rotateDirs := fs.String("rotate-dirs", "", "rotation mode: each replica's artifact watch directory, parallel to -servers")
+	rotateAfter := fs.Float64("rotate-after", 0.5, "rotation mode: fraction of shots offered before the rollout starts")
+	rotateConfirm := fs.Duration("rotate-confirm", 30*time.Second, "rotation mode: per-step rollout wait bound")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,23 +173,40 @@ func run(args []string) error {
 		for i := range addrs {
 			addrs[i] = strings.TrimSpace(addrs[i])
 		}
+		var dirs []string
+		if *rotate != "" {
+			if *rotateDirs == "" {
+				return fmt.Errorf("-rotate needs -rotate-dirs (one watch directory per replica)")
+			}
+			dirs = strings.Split(*rotateDirs, ",")
+			for i := range dirs {
+				dirs[i] = strings.TrimSpace(dirs[i])
+			}
+			if len(dirs) != len(addrs) {
+				return fmt.Errorf("-rotate-dirs lists %d directories for %d replicas", len(dirs), len(addrs))
+			}
+		}
 		cfg := cluster.LoadConfig{
-			Addrs:               addrs,
-			Distance:            *d,
-			P:                   *p,
-			Codec:               codecID,
-			Shots:               *n,
-			Concurrency:         *workers,
-			RatePerSec:          *rate,
-			DeadlineNs:          uint64(deadline.Nanoseconds()),
-			Seed:                *seed,
-			Verify:              *verify,
-			VerifyDecoder:       *verifyDecoder,
-			Failover:            *failover,
-			Hedge:               *hedge,
-			HedgeAfter:          *hedgeAfter,
-			CallTimeout:         *callTimeout,
-			ExpectedFingerprint: fp,
+			Addrs:                addrs,
+			Distance:             *d,
+			P:                    *p,
+			Codec:                codecID,
+			Shots:                *n,
+			Concurrency:          *workers,
+			RatePerSec:           *rate,
+			DeadlineNs:           uint64(deadline.Nanoseconds()),
+			Seed:                 *seed,
+			Verify:               *verify,
+			VerifyDecoder:        *verifyDecoder,
+			Failover:             *failover,
+			Hedge:                *hedge,
+			HedgeAfter:           *hedgeAfter,
+			CallTimeout:          *callTimeout,
+			ExpectedFingerprint:  fp,
+			RotateArtifact:       *rotate,
+			RotateDirs:           dirs,
+			RotateAfterFrac:      *rotateAfter,
+			RotateConfirmTimeout: *rotateConfirm,
 		}
 		fmt.Fprintf(os.Stderr, "astrea-loadgen: offering %d d=%d syndromes across %d replicas (codec=%s, rate=%s, failover=%v, hedge=%v)\n",
 			*n, *d, len(addrs), *codecName, rateLabel(*rate), *failover, *hedge)
@@ -346,10 +383,17 @@ func render(rep *server.LoadReport, cfg server.LoadConfig) error {
 	if cfg.Verify {
 		t.AddRow("verified mismatches", rep.Mismatches)
 	}
+	if rep.OtherGeneration > 0 {
+		t.AddRow("other-generation answers (unverified)", rep.OtherGeneration)
+	}
 	if err := t.Write(out); err != nil {
 		return err
 	}
 	fmt.Fprintln(out)
+	if rep.OtherGeneration > 0 {
+		fmt.Fprintf(out, "note: the daemon rotated artifacts mid-run; %d answers came from a\n"+
+			"generation this generator holds no tables for and were not verified.\n\n", rep.OtherGeneration)
+	}
 
 	if err := report.CDF(out, "client round-trip latency", rep.RTTNs, budget); err != nil {
 		return err
@@ -448,6 +492,26 @@ func renderFleet(rep *cluster.LoadReport, cfg cluster.LoadConfig) error {
 	}
 	fmt.Fprintln(out)
 
+	if rep.Rotation != nil {
+		st := report.Table{
+			Title:   "staged rollout",
+			Headers: []string{"replica", "outcome", "baseline ok/deg/miss", "post ok/deg/miss"},
+		}
+		for _, step := range rep.Rotation.Steps {
+			outcome := "passed"
+			if step.RolledBack {
+				outcome = "ROLLED BACK: " + step.Reason
+			}
+			st.AddRow(step.Addr, outcome,
+				fmt.Sprintf("%d/%d/%d", step.Baseline.Successes, step.Baseline.Degraded, step.Baseline.DeadlineMisses),
+				fmt.Sprintf("%d/%d/%d", step.Post.Successes, step.Post.Degraded, step.Post.DeadlineMisses))
+		}
+		if err := st.Write(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
 	if err := report.CDF(out, "fleet round-trip latency (incl. failover/hedge)", rep.RTTNs, budget); err != nil {
 		return err
 	}
@@ -456,6 +520,12 @@ func renderFleet(rep *cluster.LoadReport, cfg cluster.LoadConfig) error {
 	}
 	if rep.Failed > 0 {
 		return fmt.Errorf("%d requests exhausted every replica", rep.Failed)
+	}
+	if rep.RotationErr != "" {
+		return fmt.Errorf("staged rollout failed: %s", rep.RotationErr)
+	}
+	if cfg.RotateArtifact != "" && (rep.Rotation == nil || !rep.Rotation.Completed) {
+		return fmt.Errorf("staged rollout never completed")
 	}
 	return nil
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	astrea [flags] <output-file> <experiment> [args...]
-//	astrea compile [-out dir] [-distances 3,5,7] [-rounds N] [-p rate] [-basis Z|X]
+//	astrea compile [-out dir] [-distances 3,5,7] [-rounds N] [-p rate] [-basis Z|X] [-gen N]
 //
 // The compile subcommand runs the expensive build pipeline (surface code →
 // noisy circuit → detector error model → decoding graph → Global Weight
@@ -13,7 +13,10 @@
 // checksummed .astc bundle that astread (-artifact / -artifact-dir) and
 // astrea.LoadSystem hydrate at startup without rebuilding anything.
 // Compilation is deterministic: the same operating point always produces a
-// byte-identical bundle.
+// byte-identical bundle. -gen stamps the bundles with a generation ordinal
+// for zero-downtime rotation: a running astread picks up a strictly newer
+// generation from its watch directory (-artifact-watch or SIGHUP) and
+// hot-swaps onto it.
 //
 // Experiments (numbers follow the artifact where one exists):
 //
@@ -133,6 +136,7 @@ func runCompile(args []string) error {
 	rounds := fs.Int("rounds", 0, "syndrome-extraction rounds (0 = one per distance, as the paper runs)")
 	p := fs.Float64("p", 1e-3, "physical error rate the weight tables are programmed for")
 	basisName := fs.String("basis", "Z", "memory-experiment basis: Z or X")
+	gen := fs.Uint64("gen", 0, "generation ordinal stamped into the bundles (rotation ordering)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,6 +170,7 @@ func runCompile(args []string) error {
 		if err != nil {
 			return fmt.Errorf("compile: d=%d: %w", d, err)
 		}
+		a.Meta.Generation = *gen
 		built := time.Since(start)
 		path := filepath.Join(*out, artifact.FileName(a.Meta))
 		start = time.Now()

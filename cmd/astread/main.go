@@ -41,7 +41,12 @@
 //	-artifact files   comma-separated compiled .astc bundles (astrea compile)
 //	                  to hydrate decoder pools from, skipping the inline
 //	                  build pipeline (DEM extraction + BuildGWT) entirely
-//	-artifact-dir dir load every *.astc bundle in a directory
+//	-artifact-dir dir load every *.astc bundle in a directory; when several
+//	                  bundles cover one distance the highest generation wins
+//	-artifact-watch dur  re-scan -artifact-dir at this interval and hot-swap
+//	                  any served distance for which a strictly newer
+//	                  generation has appeared (0 disables; requires
+//	                  -artifact-dir)
 //
 // When artifacts are supplied and -distances is not, the daemon serves
 // exactly the artifact operating points; an explicit -distances list is
@@ -49,6 +54,16 @@
 // inline otherwise. Startup logs the per-distance load-vs-build time split,
 // and each pool advertises the artifact's fingerprint, which is also what
 // fleet clients pin straight from the file (-expect-fingerprint-artifact).
+//
+// SIGHUP triggers an immediate re-scan of -artifact-dir — drop a freshly
+// compiled, higher-generation bundle into the directory and signal the
+// daemon to rotate onto it with zero downtime: in-flight requests and open
+// streams finish on the generation they started on, new work lands on the
+// new tables. A rotation that would change the operating point's shape
+// (rounds, basis, detector count) is refused and logged; a recalibrated
+// physical error rate is exactly what rotation is for. Note that startup
+// still enforces -p against the chosen bundle, so after rotating to a
+// recalibrated rate, restart with the matching -p.
 //
 // The daemon runs until SIGINT/SIGTERM, then drains (bounded by
 // -drain-timeout) and prints a final stats snapshot.
@@ -89,6 +104,10 @@ type options struct {
 	// artifactPaths lists .astc bundles to hydrate pools from (the -artifact
 	// files plus every *.astc found under -artifact-dir).
 	artifactPaths []string
+	// artifactDir is the rotation watch directory; watch is the re-scan
+	// cadence (0: only SIGHUP triggers a re-scan).
+	artifactDir string
+	watch       time.Duration
 	// distancesSet records whether -distances was given explicitly; when it
 	// was not and artifacts are supplied, the artifact operating points
 	// define the served set.
@@ -122,6 +141,7 @@ func buildConfig(args []string) (opts options, err error) {
 	fs.DurationVar(&opts.drain, "drain-timeout", 10*time.Second, "SIGTERM drain bound (0 = unbounded)")
 	artifacts := fs.String("artifact", "", "comma-separated compiled .astc bundles to serve from")
 	artifactDir := fs.String("artifact-dir", "", "load every *.astc bundle in this directory")
+	fs.DurationVar(&opts.watch, "artifact-watch", 0, "re-scan -artifact-dir for newer generations at this interval (0 disables)")
 	if err = fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -170,19 +190,26 @@ func buildConfig(args []string) (opts options, err error) {
 		}
 		sort.Strings(found)
 		opts.artifactPaths = append(opts.artifactPaths, found...)
+		opts.artifactDir = *artifactDir
+	}
+	if opts.watch > 0 && opts.artifactDir == "" {
+		return options{}, fmt.Errorf("-artifact-watch needs an -artifact-dir to watch")
 	}
 	return opts, nil
 }
 
 // loadArtifacts reads and validates every configured bundle, returning them
-// keyed by distance. Two bundles for the same distance — or one whose p
-// disagrees with the configuration — is an operator error worth refusing
-// over, not guessing about.
+// keyed by distance. When two bundles cover one distance the strictly
+// higher generation wins (a watch directory accumulates recalibrations);
+// two at the same generation — or a winner whose p disagrees with the
+// configuration — is an operator error worth refusing over, not guessing
+// about.
 func loadArtifacts(opts *options) (map[int]*artifact.Artifact, error) {
 	if len(opts.artifactPaths) == 0 {
 		return nil, nil
 	}
 	arts := make(map[int]*artifact.Artifact, len(opts.artifactPaths))
+	loadNs := make(map[int]time.Duration, len(opts.artifactPaths))
 	for _, path := range opts.artifactPaths {
 		start := time.Now()
 		a, err := artifact.ReadFile(path)
@@ -190,15 +217,26 @@ func loadArtifacts(opts *options) (map[int]*artifact.Artifact, error) {
 			return nil, err
 		}
 		if prev := arts[a.Meta.Distance]; prev != nil {
-			return nil, fmt.Errorf("two artifacts for d=%d (%s and %s)", a.Meta.Distance, prev.Meta, a.Meta)
-		}
-		if a.Meta.P != opts.cfg.P {
-			return nil, fmt.Errorf("%s: compiled for p=%g, daemon configured for p=%g (pass a matching -p)",
-				path, a.Meta.P, opts.cfg.P)
+			if prev.Meta.Generation == a.Meta.Generation {
+				return nil, fmt.Errorf("two artifacts for d=%d at generation %d (%s and %s)",
+					a.Meta.Distance, a.Meta.Generation, prev.Meta, a.Meta)
+			}
+			if prev.Meta.Generation > a.Meta.Generation {
+				continue
+			}
 		}
 		arts[a.Meta.Distance] = a
-		fmt.Fprintf(os.Stderr, "astread: loaded artifact %s (%s, fingerprint %s) in %v — BuildGWT skipped\n",
-			path, a.Meta, a.Fingerprint, time.Since(start).Round(time.Millisecond))
+		loadNs[a.Meta.Distance] = time.Since(start)
+	}
+	// Validate and report only the winners: a superseded generation left in
+	// the watch directory may carry a stale p without blocking startup.
+	for d, a := range arts {
+		if a.Meta.P != opts.cfg.P {
+			return nil, fmt.Errorf("%s: compiled for p=%g, daemon configured for p=%g (pass a matching -p)",
+				a.Meta, a.Meta.P, opts.cfg.P)
+		}
+		fmt.Fprintf(os.Stderr, "astread: loaded artifact d=%d (%s, fingerprint %s) in %v — BuildGWT skipped\n",
+			d, a.Meta, a.Fingerprint, loadNs[d].Round(time.Millisecond))
 	}
 	if !opts.distancesSet {
 		// No explicit -distances: the artifacts define the served set.
@@ -209,6 +247,56 @@ func loadArtifacts(opts *options) (map[int]*artifact.Artifact, error) {
 		sort.Ints(opts.cfg.Distances)
 	}
 	return arts, nil
+}
+
+// rescanArtifacts re-reads the watch directory and hot-swaps every served
+// distance for which a strictly newer generation has appeared, leaving the
+// rest untouched. Unreadable bundles and refused rotations are logged and
+// skipped — a bad drop must never take down the generations already
+// serving.
+func rescanArtifacts(srv *server.Server, dir string) {
+	found, err := filepath.Glob(filepath.Join(dir, "*.astc"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "astread: re-scan of %s: %v\n", dir, err)
+		return
+	}
+	sort.Strings(found)
+	best := make(map[int]*artifact.Artifact)
+	for _, path := range found {
+		a, err := artifact.ReadFile(path)
+		if err != nil {
+			// Possibly a bundle still being copied in; the next re-scan
+			// picks it up once it decodes cleanly.
+			fmt.Fprintf(os.Stderr, "astread: re-scan: skipping %s: %v\n", path, err)
+			continue
+		}
+		if cur := best[a.Meta.Distance]; cur == nil || a.Meta.Generation > cur.Meta.Generation {
+			best[a.Meta.Distance] = a
+		}
+	}
+	gens := srv.Snapshot().Generations
+	for d, a := range best {
+		gs, ok := gens[strconv.Itoa(d)]
+		if !ok {
+			continue // distance not served; nothing to swap
+		}
+		if a.Meta.Generation <= gs.Generation {
+			continue // nothing newer than what is already serving
+		}
+		if a.Fingerprint.String() == gs.Fingerprint {
+			// Re-stamped but identical tables: adopt silently would churn
+			// pools for nothing, and Rotate refuses it anyway.
+			continue
+		}
+		fp, err := srv.Rotate(server.Rotation{Artifact: a})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "astread: rotation d=%d to generation %d refused: %v\n",
+				d, a.Meta.Generation, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "astread: rotated d=%d to generation %d (fingerprint %s, p=%g); old generation draining\n",
+			d, a.Meta.Generation, fp, a.Meta.P)
+	}
 }
 
 func orDisabled(d time.Duration) time.Duration {
@@ -293,11 +381,34 @@ func run(args []string) error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		return err
-	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "astread: %v, draining\n", s)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	var watchC <-chan time.Time
+	if opts.watch > 0 {
+		ticker := time.NewTicker(opts.watch)
+		defer ticker.Stop()
+		watchC = ticker.C
+		fmt.Fprintf(os.Stderr, "astread: watching %s for newer artifact generations every %v\n",
+			opts.artifactDir, opts.watch)
+	}
+serve:
+	for {
+		select {
+		case err := <-errCh:
+			return err
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "astread: %v, draining\n", s)
+			break serve
+		case <-hup:
+			if opts.artifactDir == "" {
+				fmt.Fprintln(os.Stderr, "astread: SIGHUP, but no -artifact-dir to re-scan")
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "astread: SIGHUP, re-scanning %s\n", opts.artifactDir)
+			rescanArtifacts(srv, opts.artifactDir)
+		case <-watchC:
+			rescanArtifacts(srv, opts.artifactDir)
+		}
 	}
 	// Bounded drain: Close waits for in-flight work, but a wedged peer or a
 	// pathological queue must not stall shutdown forever. On timeout the

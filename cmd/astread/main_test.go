@@ -205,3 +205,111 @@ func TestServerFromArtifacts(t *testing.T) {
 	}
 	srv.Close()
 }
+
+// compileGeneration writes a d=3 r=3 bundle at the given rate and
+// generation into dir and returns the artifact.
+func compileGeneration(t *testing.T, dir string, p float64, gen uint64) *artifact.Artifact {
+	t.Helper()
+	a, err := artifact.Compile(3, 3, p, surface.BasisZ)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	a.Meta.Generation = gen
+	if err := a.WriteFile(filepath.Join(dir, artifact.FileName(a.Meta))); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return a
+}
+
+func TestBuildConfigWatchNeedsDir(t *testing.T) {
+	if _, err := buildConfig([]string{"-artifact-watch", "5s"}); err == nil {
+		t.Fatal("-artifact-watch without -artifact-dir accepted")
+	}
+}
+
+// TestLoadArtifactsPicksNewestGeneration: a watch directory accumulates
+// recalibrations; startup must serve the highest generation per distance
+// and ignore a superseded bundle entirely — including its stale p.
+func TestLoadArtifactsPicksNewestGeneration(t *testing.T) {
+	dir := t.TempDir()
+	compileGeneration(t, dir, 1e-3, 0)
+	a1 := compileGeneration(t, dir, 2e-3, 1)
+
+	opts, err := buildConfig([]string{"-artifact-dir", dir, "-p", "2e-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := loadArtifacts(&opts)
+	if err != nil {
+		t.Fatalf("loadArtifacts over mixed generations: %v", err)
+	}
+	if arts[3] == nil || arts[3].Meta.Generation != 1 || arts[3].Fingerprint != a1.Fingerprint {
+		t.Fatalf("loaded %v, want the generation-1 bundle", arts[3])
+	}
+
+	// Two bundles at the SAME generation stay an operator error.
+	src, err := os.ReadFile(filepath.Join(dir, artifact.FileName(a1.Meta)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "copy.astc"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts, err = buildConfig([]string{"-artifact-dir", dir, "-p", "2e-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadArtifacts(&opts); err == nil {
+		t.Fatal("two bundles at one generation accepted")
+	}
+}
+
+// TestRescanRotates drives the watch-directory path end to end in
+// process: a newer generation appearing in the directory hot-swaps the
+// served pool, while re-scans with nothing newer — or with unreadable
+// drops — change nothing.
+func TestRescanRotates(t *testing.T) {
+	dir := t.TempDir()
+	a0 := compileGeneration(t, dir, 1e-3, 0)
+	srv, err := server.New(server.Config{
+		Distances: []int{3},
+		Artifacts: map[int]*artifact.Artifact{3: a0},
+		Workers:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Nothing newer: a re-scan is a no-op.
+	rescanArtifacts(srv, dir)
+	if n := srv.Snapshot().Rotations; n != 0 {
+		t.Fatalf("re-scan with nothing newer rotated %d times", n)
+	}
+
+	// A corrupt drop (a bundle mid-copy) is skipped without harm.
+	if err := os.WriteFile(filepath.Join(dir, "torn.astc"), []byte("astc?"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rescanArtifacts(srv, dir)
+	if n := srv.Snapshot().Rotations; n != 0 {
+		t.Fatalf("re-scan over a corrupt bundle rotated %d times", n)
+	}
+
+	// A strictly newer generation rotates the pool.
+	a1 := compileGeneration(t, dir, 2e-3, 1)
+	rescanArtifacts(srv, dir)
+	snap := srv.Snapshot()
+	if snap.Rotations != 1 {
+		t.Fatalf("re-scan with a newer generation rotated %d times, want 1", snap.Rotations)
+	}
+	if fp := srv.Fingerprints()[3]; fp != a1.Fingerprint {
+		t.Fatalf("serving fingerprint %s after rotation, want %s", fp, a1.Fingerprint)
+	}
+
+	// Re-running the same scan is idempotent.
+	rescanArtifacts(srv, dir)
+	if n := srv.Snapshot().Rotations; n != 1 {
+		t.Fatalf("idempotent re-scan rotated again (%d total)", n)
+	}
+}

@@ -25,13 +25,18 @@
 // itself could only introduce an inconsistency the generating form cannot
 // express.
 //
-// # File format (.astc, version 1)
+// # File format (.astc, versions 1 and 2)
 //
 // All integers are little-endian; floats are IEEE-754 bit patterns.
 //
 //	header:   magic "ASTC" | u16 version | u16 section count
 //	section:  u32 tag | u64 payload length | payload | u32 CRC32C(payload)
 //	trailer:  u32 CRC32C(everything before the trailer)
+//
+// Version 2 differs from version 1 only in the META payload, which gains a
+// trailing u64 generation ordinal (zero-downtime rotation's "which bundle
+// is newer" order); a generation-0 artifact always encodes as version 1,
+// so the two layouts never alias.
 //
 // Sections appear in a fixed order (META, DETM, DEMM, GWTB), every section
 // payload has a fixed field layout, and all inputs are canonically ordered
@@ -52,8 +57,17 @@ import (
 	"astrea/internal/surface"
 )
 
-// Version is the current .astc format version.
+// Version is the baseline .astc format version. Artifacts carrying a
+// non-zero Generation encode as VersionGeneration instead (the META section
+// gains a trailing generation ordinal); Decode accepts both.
 const Version = 1
+
+// VersionGeneration is the .astc format version whose META section carries
+// a generation ordinal, used by zero-downtime artifact rotation to order
+// recalibrated bundles for one operating point. A generation-0 artifact
+// still encodes as version 1 byte for byte, so rotation metadata changes
+// nothing for existing bundles.
+const VersionGeneration = 2
 
 // Meta identifies the operating point an artifact was compiled for.
 type Meta struct {
@@ -65,11 +79,21 @@ type Meta struct {
 	P float64
 	// Basis is the memory-experiment basis (Z or X).
 	Basis surface.Basis
+	// Generation orders recalibrated bundles of one operating point for
+	// zero-downtime rotation: a watch directory or SIGHUP reload picks the
+	// highest generation per distance, and a rotated server reports the
+	// ordinal in /stats. Zero (the default) means "unversioned" and keeps
+	// the encoded file byte-identical to the version-1 format.
+	Generation uint64
 }
 
 // String renders the operating point the way file names and logs show it.
 func (m Meta) String() string {
-	return fmt.Sprintf("d=%d r=%d p=%g basis=%s", m.Distance, m.Rounds, m.P, m.Basis)
+	s := fmt.Sprintf("d=%d r=%d p=%g basis=%s", m.Distance, m.Rounds, m.P, m.Basis)
+	if m.Generation > 0 {
+		s += fmt.Sprintf(" gen=%d", m.Generation)
+	}
+	return s
 }
 
 // Artifact is one compiled operating point: the decoded (or about-to-be
@@ -165,7 +189,11 @@ func ReadFile(path string) (*Artifact, error) {
 
 // FileName returns the canonical bundle name for an operating point, used
 // by the `astrea compile` subcommand and recognised by `astread
-// -artifact-dir`.
+// -artifact-dir`. Generations beyond zero get a -genN suffix so successive
+// recalibrations of one operating point can coexist in a watch directory.
 func FileName(m Meta) string {
+	if m.Generation > 0 {
+		return fmt.Sprintf("astrea-d%d-r%d-p%g-%s-gen%d.astc", m.Distance, m.Rounds, m.P, m.Basis, m.Generation)
+	}
 	return fmt.Sprintf("astrea-d%d-r%d-p%g-%s.astc", m.Distance, m.Rounds, m.P, m.Basis)
 }

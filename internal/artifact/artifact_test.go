@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -70,6 +71,37 @@ func TestEncodeDecodeReEncode(t *testing.T) {
 	re := got.Encode()
 	if !bytes.Equal(re, enc) {
 		t.Fatalf("re-encode is not byte-identical: %d vs %d bytes", len(re), len(enc))
+	}
+}
+
+func TestGenerationRoundTrip(t *testing.T) {
+	base := compiled(t)
+	a := *base
+	a.Meta.Generation = 7
+	enc := a.Encode()
+	if v := enc[4]; v != VersionGeneration {
+		t.Fatalf("generation-carrying artifact encoded as version %d, want %d", v, VersionGeneration)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode of version-%d image: %v", VersionGeneration, err)
+	}
+	if got.Meta != a.Meta {
+		t.Fatalf("meta round-trip: got %+v, want %+v", got.Meta, a.Meta)
+	}
+	if !bytes.Equal(got.Encode(), enc) {
+		t.Fatal("version-2 re-encode is not byte-identical")
+	}
+	// Generation 0 keeps the version-1 bytes exactly — rotation metadata
+	// changes nothing for existing bundles.
+	if !bytes.Equal(base.Encode(), compiled(t).Encode()) || base.Encode()[4] != Version {
+		t.Fatal("generation-0 artifact no longer encodes as the version-1 layout")
+	}
+	if s := a.Meta.String(); !strings.Contains(s, "gen=7") {
+		t.Fatalf("Meta.String() = %q, want the generation shown", s)
+	}
+	if n := FileName(a.Meta); n != "astrea-d3-r3-p0.001-Z-gen7.astc" {
+		t.Fatalf("FileName with generation = %q", n)
 	}
 }
 
@@ -172,7 +204,7 @@ func TestDecodeCorruption(t *testing.T) {
 		}, ErrBadMagic},
 		{"unsupported version", func() []byte {
 			img := clone(good)
-			put16(img, 4, Version+1)
+			put16(img, 4, VersionGeneration+1)
 			return img
 		}, ErrVersion},
 		{"payload bit flip without refit", func() []byte {

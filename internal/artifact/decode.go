@@ -91,9 +91,10 @@ func (r *reader) done() error {
 	return nil
 }
 
-// Decode parses and validates a version-1 .astc image. It never panics on
-// arbitrary input; the first violation aborts with an error wrapping one of
-// the typed sentinels above.
+// Decode parses and validates an .astc image (format version 1, or version
+// 2 with the META generation ordinal). It never panics on arbitrary input;
+// the first violation aborts with an error wrapping one of the typed
+// sentinels above.
 func Decode(b []byte) (*Artifact, error) {
 	const headerLen = 4 + 2 + 2
 	if len(b) < headerLen+4 {
@@ -103,8 +104,10 @@ func Decode(b []byte) (*Artifact, error) {
 	if b[0] != magic[0] || b[1] != magic[1] || b[2] != magic[2] || b[3] != magic[3] {
 		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, b[:4])
 	}
-	if v := binary.LittleEndian.Uint16(b[4:]); v != Version {
-		return nil, fmt.Errorf("%w: file is version %d, this build reads version %d", ErrVersion, v, Version)
+	version := binary.LittleEndian.Uint16(b[4:])
+	if version != Version && version != VersionGeneration {
+		return nil, fmt.Errorf("%w: file is version %d, this build reads versions %d and %d",
+			ErrVersion, version, Version, VersionGeneration)
 	}
 	// Whole-file integrity first: the trailer CRC covers everything before
 	// it, so a flipped bit anywhere is caught even if it lands in framing
@@ -116,7 +119,7 @@ func Decode(b []byte) (*Artifact, error) {
 	nSections := int(binary.LittleEndian.Uint16(b[6:]))
 	if nSections != len(sectionOrder) {
 		return nil, fmt.Errorf("%w: header declares %d sections, version %d has %d",
-			ErrMalformed, nSections, Version, len(sectionOrder))
+			ErrMalformed, nSections, version, len(sectionOrder))
 	}
 
 	// Walk the fixed section sequence.
@@ -153,7 +156,7 @@ func Decode(b []byte) (*Artifact, error) {
 		return nil, fmt.Errorf("%w: %d bytes between last section and trailer", ErrMalformed, len(body)-off)
 	}
 
-	meta, numDet, numObs, storedFP, err := decodeMeta(payloads[secMeta])
+	meta, numDet, numObs, storedFP, err := decodeMeta(payloads[secMeta], version)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +195,7 @@ func tagName(tag uint32) string {
 	return string([]byte{byte(tag), byte(tag >> 8), byte(tag >> 16), byte(tag >> 24)})
 }
 
-func decodeMeta(payload []byte) (meta Meta, numDet, numObs int, fp decodegraph.Fingerprint, err error) {
+func decodeMeta(payload []byte, version uint16) (meta Meta, numDet, numObs int, fp decodegraph.Fingerprint, err error) {
 	r := &reader{b: payload, section: "META"}
 	fail := func(e error) (Meta, int, int, decodegraph.Fingerprint, error) {
 		return Meta{}, 0, 0, 0, e
@@ -234,6 +237,19 @@ func decodeMeta(payload []byte) (meta Meta, numDet, numObs int, fp decodegraph.F
 	if err != nil {
 		return fail(err)
 	}
+	var generation uint64
+	if version >= VersionGeneration {
+		generation, err = r.u64("generation")
+		if err != nil {
+			return fail(err)
+		}
+		if generation == 0 {
+			// A zero generation encodes as version 1; accepting it here
+			// would make two byte layouts decode to the same artifact and
+			// break the canonical re-encode invariant.
+			return fail(fmt.Errorf("%w: META: version %d file carries generation 0", ErrMalformed, version))
+		}
+	}
 	if err := r.done(); err != nil {
 		return fail(err)
 	}
@@ -251,7 +267,7 @@ func decodeMeta(payload []byte) (meta Meta, numDet, numObs int, fp decodegraph.F
 	case no > 64:
 		return fail(fmt.Errorf("%w: META: %d observables exceed the 64-bit mask", ErrMalformed, no))
 	}
-	meta = Meta{Distance: int(d), Rounds: int(rounds), P: p, Basis: surface.Basis(basis)}
+	meta = Meta{Distance: int(d), Rounds: int(rounds), P: p, Basis: surface.Basis(basis), Generation: generation}
 	return meta, int(nd), int(no), decodegraph.Fingerprint(fpv), nil
 }
 

@@ -39,20 +39,26 @@ func appendSection(b []byte, tag uint32, payload []byte) []byte {
 	return le32(b, crc32.Checksum(payload, castagnoli))
 }
 
-// Encode serializes the artifact into the version-1 .astc layout. The
-// output is deterministic: the same artifact content always yields
-// byte-identical files.
+// Encode serializes the artifact into the .astc layout: version 1 for
+// generation-0 artifacts (byte-identical to the original format), version
+// 2 when Meta.Generation is set (the META section grows a trailing
+// generation ordinal). Either way the output is deterministic: the same
+// artifact content always yields byte-identical files.
 func (a *Artifact) Encode() []byte {
 	meta := a.encodeMeta(nil)
 	detm := a.encodeDetMetas(nil)
 	demm := a.encodeModel(nil)
 	gwtb := a.encodeGWT(nil)
 
+	version := uint16(Version)
+	if a.Meta.Generation > 0 {
+		version = VersionGeneration
+	}
 	size := len(magic) + 2 + 2 +
 		4*(4+8+4) + len(meta) + len(detm) + len(demm) + len(gwtb) + 4
 	out := make([]byte, 0, size)
 	out = append(out, magic[:]...)
-	out = le16(out, Version)
+	out = le16(out, version)
 	out = le16(out, uint16(len(sectionOrder)))
 	out = appendSection(out, secMeta, meta)
 	out = appendSection(out, secDetm, detm)
@@ -63,7 +69,7 @@ func (a *Artifact) Encode() []byte {
 
 // encodeMeta lays out the META payload: distance u32, rounds u32, p f64,
 // basis u8, 3 zero pad bytes, numDetectors u32, numObservables u32,
-// fingerprint u64.
+// fingerprint u64, and — version 2 only — generation u64.
 func (a *Artifact) encodeMeta(b []byte) []byte {
 	b = le32(b, uint32(a.Meta.Distance))
 	b = le32(b, uint32(a.Meta.Rounds))
@@ -71,7 +77,11 @@ func (a *Artifact) encodeMeta(b []byte) []byte {
 	b = append(b, uint8(a.Meta.Basis), 0, 0, 0)
 	b = le32(b, uint32(a.Model.NumDetectors))
 	b = le32(b, uint32(a.Model.NumObservables))
-	return le64(b, uint64(a.Fingerprint))
+	b = le64(b, uint64(a.Fingerprint))
+	if a.Meta.Generation > 0 {
+		b = le64(b, a.Meta.Generation)
+	}
+	return b
 }
 
 // encodeDetMetas lays out the DETM payload: count u32, then per detector

@@ -15,6 +15,16 @@
 // quarantined. A fingerprint mismatch means the two servers can return
 // *different corrections for the same syndrome*, which no amount of
 // retrying repairs; loud refusal is the only safe behaviour.
+//
+// The one sanctioned exception is an artifact rotation: during a staged
+// rollout (BeginTransition … CompleteTransition/AbortTransition) the
+// fleet's accepted window temporarily widens to {new, previous}, so
+// replicas on either side of the upgrade keep serving. A digest outside
+// even that window sheds the replica transiently ("transition" state,
+// re-checked by the prober) rather than permanently, because mid-rotation
+// skew is expected to converge. StageRollout drives the whole sequence —
+// replica-by-replica apply, a regression gate over degraded/deadline-miss/
+// retry rates, and automatic rollback — on top of these primitives.
 package cluster
 
 import (
@@ -35,6 +45,12 @@ var (
 	// ErrFingerprintMismatch marks a replica whose advertised decoding
 	// configuration disagrees with the fleet's; the replica is quarantined.
 	ErrFingerprintMismatch = errors.New("cluster: replica decoding-configuration fingerprint mismatch")
+	// ErrTransitionMismatch marks a replica whose advertised generation
+	// fell outside the fleet's accepted fingerprint window during an
+	// artifact rotation. Unlike ErrFingerprintMismatch the shed is
+	// transient: the prober re-checks the replica and readmits it once its
+	// digest is back inside the window.
+	ErrTransitionMismatch = errors.New("cluster: replica generation outside the rotation transition window")
 	// ErrNoReplicas means every replica is ejected (breaker open) or
 	// quarantined and no attempt could be made.
 	ErrNoReplicas = errors.New("cluster: no healthy replica available")
@@ -133,12 +149,19 @@ type Fleet struct {
 	reps       []*replica
 	rr         atomic.Uint64 // round-robin cursor
 
-	mu     sync.Mutex
-	fp     decodegraph.Fingerprint
-	haveFP bool
-	rtts   [rttWindow]time.Duration
-	rttN   int
-	closed bool
+	mu sync.Mutex
+	// accepted is the fingerprint window replicas must advertise into:
+	// one digest wide in steady state (accepted[0] is the fleet's primary),
+	// two wide — {next, previous} — during a rotation transition. Empty
+	// until the first handshake (or a configured pin) adopts a digest.
+	accepted []decodegraph.Fingerprint
+	// prev remembers the pre-transition primary so AbortTransition can
+	// restore it; transition marks the window as widened.
+	prev       decodegraph.Fingerprint
+	transition bool
+	rtts       [rttWindow]time.Duration
+	rttN       int
+	closed     bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -161,11 +184,14 @@ func New(cfg Config) (*Fleet, error) {
 	cfg.applyDefaults()
 	opts := cfg.Client
 	opts.Extended = true
-	opts.Features |= server.FeatureProbe
+	// FeatureRotation makes every result carry the digest of the exact
+	// generation that produced it, which is what lets the fleet keep a
+	// replica honest across a mid-connection artifact hot-swap (a legacy
+	// daemon simply declines the bit and stays pinned per-connection).
+	opts.Features |= server.FeatureProbe | server.FeatureRotation
 	f := &Fleet{cfg: cfg, clientOpts: opts, stop: make(chan struct{})}
 	if cfg.ExpectedFingerprint != 0 {
-		f.fp = cfg.ExpectedFingerprint
-		f.haveFP = true
+		f.accepted = []decodegraph.Fingerprint{cfg.ExpectedFingerprint}
 	}
 	for _, a := range cfg.Addrs {
 		f.reps = append(f.reps, newReplica(a, &f.cfg))
@@ -177,13 +203,107 @@ func New(cfg Config) (*Fleet, error) {
 	return f, nil
 }
 
-// Fingerprint reports the fleet's decoding-configuration digest; ok is
-// false until a replica has completed a handshake (or a pin was
-// configured).
+// Fingerprint reports the fleet's primary decoding-configuration digest;
+// ok is false until a replica has completed a handshake (or a pin was
+// configured). During a transition the primary is the rollout's target.
 func (f *Fleet) Fingerprint() (decodegraph.Fingerprint, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.fp, f.haveFP
+	if len(f.accepted) == 0 {
+		return 0, false
+	}
+	return f.accepted[0], true
+}
+
+// AcceptedFingerprints snapshots the accepted window, primary first: one
+// digest in steady state, {next, previous} mid-transition.
+func (f *Fleet) AcceptedFingerprints() []decodegraph.Fingerprint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]decodegraph.Fingerprint, len(f.accepted))
+	copy(out, f.accepted)
+	return out
+}
+
+// InTransition reports whether the accepted window is widened for a
+// staged rollout.
+func (f *Fleet) InTransition() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.transition
+}
+
+// BeginTransition opens a rotation transition window: the accepted set
+// widens to {next, current} so replicas on either side of a staged
+// artifact rollout keep serving, and next becomes the fleet's primary
+// digest immediately. Mixing the two generations' answers is sound
+// because a rotation preserves the operating point's shape — the new
+// tables are a recalibration of the same code, not a different one; the
+// server enforces exactly that invariant before it will hot-swap.
+func (f *Fleet) BeginTransition(next decodegraph.Fingerprint) error {
+	if next == 0 {
+		return errors.New("cluster: transition to the zero fingerprint")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.transition {
+		return fmt.Errorf("cluster: a transition to %s is already open", f.accepted[0])
+	}
+	if len(f.accepted) == 0 {
+		return errors.New("cluster: no fingerprint adopted yet, nothing to transition from")
+	}
+	if next == f.accepted[0] {
+		return fmt.Errorf("cluster: fleet already runs %s", next)
+	}
+	f.prev = f.accepted[0]
+	f.accepted = []decodegraph.Fingerprint{next, f.prev}
+	f.transition = true
+	return nil
+}
+
+// CompleteTransition narrows the accepted window to the rollout's target
+// alone and gives every transition-shed replica a fresh re-check under
+// the settled window. Call it once every replica advertises the new
+// generation. No-op outside a transition.
+func (f *Fleet) CompleteTransition() {
+	f.mu.Lock()
+	if !f.transition {
+		f.mu.Unlock()
+		return
+	}
+	f.accepted = f.accepted[:1]
+	f.prev = 0
+	f.transition = false
+	f.mu.Unlock()
+	f.healTransitioned()
+}
+
+// AbortTransition restores the pre-transition digest as the sole accepted
+// one and re-checks transition-shed replicas, undoing BeginTransition.
+// Call it only after every already-rotated replica has been reverted:
+// once the window narrows, a replica still advertising the abandoned
+// generation is permanently quarantined on next contact. No-op outside a
+// transition.
+func (f *Fleet) AbortTransition() {
+	f.mu.Lock()
+	if !f.transition {
+		f.mu.Unlock()
+		return
+	}
+	f.accepted = []decodegraph.Fingerprint{f.prev}
+	f.prev = 0
+	f.transition = false
+	f.mu.Unlock()
+	f.healTransitioned()
+}
+
+// healTransitioned clears every transition shed after the accepted window
+// changed; the replicas' next contact re-runs the guard under the new
+// window (and re-sheds or quarantines if still divergent).
+func (f *Fleet) healTransitioned() {
+	for _, rep := range f.reps {
+		rep.clearTransition()
+	}
 }
 
 func (f *Fleet) isClosed() bool {
@@ -193,24 +313,74 @@ func (f *Fleet) isClosed() bool {
 }
 
 // adoptFingerprint verifies a freshly handshaken connection's digest
-// against the fleet's, adopting it when the fleet has none yet.
+// against the fleet's accepted window, adopting it when the fleet has
+// none yet. A digest outside the window is a permanent mismatch
+// (ErrFingerprintMismatch) in steady state, a transient one
+// (ErrTransitionMismatch) while a rotation transition is open.
 func (f *Fleet) adoptFingerprint(r *replica, c *server.Client) error {
 	fp, ok := c.Fingerprint()
 	if !ok {
 		return fmt.Errorf("%w: replica %s completed a legacy handshake carrying no fingerprint", ErrFingerprintMismatch, r.addr)
 	}
+	got := decodegraph.Fingerprint(fp)
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if !f.haveFP {
-		f.fp = decodegraph.Fingerprint(fp)
-		f.haveFP = true
+	if len(f.accepted) == 0 {
+		f.accepted = []decodegraph.Fingerprint{got}
 		return nil
 	}
-	if decodegraph.Fingerprint(fp) != f.fp {
-		return fmt.Errorf("%w: replica %s advertises %s, fleet expects %s",
-			ErrFingerprintMismatch, r.addr, decodegraph.Fingerprint(fp), f.fp)
+	for _, want := range f.accepted {
+		if got == want {
+			return nil
+		}
 	}
-	return nil
+	if f.transition {
+		return fmt.Errorf("%w: replica %s advertises %s, outside the window {%s, %s}",
+			ErrTransitionMismatch, r.addr, got, f.accepted[0], f.accepted[1])
+	}
+	return fmt.Errorf("%w: replica %s advertises %s, fleet expects %s",
+		ErrFingerprintMismatch, r.addr, got, f.accepted[0])
+}
+
+// fingerprintAccepted reports whether a result-carried digest is inside
+// the accepted window.
+func (f *Fleet) fingerprintAccepted(fp decodegraph.Fingerprint) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, want := range f.accepted {
+		if fp == want {
+			return true
+		}
+	}
+	return false
+}
+
+// vetConn runs the fingerprint guard on a freshly handshaken connection
+// and settles the replica on refusal: permanent mismatches quarantine,
+// transition-window mismatches shed transiently; a pass heals a
+// transition-shed replica. The refused connection is closed.
+func (f *Fleet) vetConn(r *replica, c *server.Client) error {
+	err := f.adoptFingerprint(r, c)
+	if err == nil {
+		r.clearTransition()
+		return nil
+	}
+	//lint:allow errwrap teardown of a conn whose fingerprint was refused; the mismatch error is the one returned
+	c.Close()
+	if errors.Is(err, ErrTransitionMismatch) {
+		r.markTransition(err.Error())
+	} else {
+		r.quarantine(err.Error())
+	}
+	return err
+}
+
+// configFault reports a fingerprint-classification failure: the replica's
+// shed state was already settled by vetConn (or the per-result guard), so
+// the circuit breaker must not also count the attempt as a transport
+// fault.
+func configFault(err error) bool {
+	return errors.Is(err, ErrFingerprintMismatch) || errors.Is(err, ErrTransitionMismatch)
 }
 
 // pick round-robins to the next admitted replica, skipping exclude (the
@@ -268,7 +438,7 @@ func (f *Fleet) attempt(rep *replica, trial bool, seq, deadlineNs uint64, s bitv
 	c, err := rep.get(f)
 	if err != nil {
 		rep.failures.Add(1)
-		if !errors.Is(err, ErrFingerprintMismatch) && !errors.Is(err, errFleetClosed) {
+		if !configFault(err) && !errors.Is(err, errFleetClosed) {
 			rep.onFail(trial)
 		}
 		return server.Response{}, err
@@ -292,11 +462,32 @@ func (f *Fleet) attempt(rep *replica, trial bool, seq, deadlineNs uint64, s bitv
 		rep.onFail(trial)
 		return server.Response{}, fmt.Errorf("cluster: replica %s answered seq %d for request %d", rep.addr, resp.Seq, seq)
 	}
+	if resp.HaveFingerprint && !resp.Rejected && resp.Err == "" &&
+		!f.fingerprintAccepted(decodegraph.Fingerprint(resp.Fingerprint)) {
+		// The replica hot-swapped generations mid-connection and this
+		// answer came from tables outside the accepted window; it must not
+		// reach the caller. The cause is a rotation — inherently transient —
+		// so the replica is transition-shed rather than quarantined: the
+		// prober's next fresh handshake either heals it (the new digest is
+		// accepted by then) or escalates to permanent quarantine.
+		err := fmt.Errorf("%w: replica %s answered from generation %s",
+			ErrTransitionMismatch, rep.addr, decodegraph.Fingerprint(resp.Fingerprint))
+		rep.discard(c)
+		rep.failures.Add(1)
+		rep.markTransition(err.Error())
+		return server.Response{}, err
+	}
 	rep.onSuccess(trial)
 	if resp.Rejected {
 		rep.rejections.Add(1)
 	} else {
 		rep.successes.Add(1)
+		if resp.Degraded {
+			rep.degraded.Add(1)
+		}
+		if resp.DeadlineMiss {
+			rep.deadlineMisses.Add(1)
+		}
 		f.recordRTT(time.Since(start))
 	}
 	rep.put(f, c)
@@ -438,6 +629,20 @@ func (f *Fleet) probeLoop() {
 // half-open trial here even with no caller traffic, so recovery does not
 // depend on a request happening to arrive.
 func (f *Fleet) probe(rep *replica) {
+	if rep.transitioning() {
+		// A transition shed heals only by re-checking the replica's
+		// advertised generation: dial fresh (the shed severed every pooled
+		// connection) and let get's guard re-classify — clearing the shed
+		// on a pass, refreshing it or escalating to quarantine otherwise.
+		rep.probes.Add(1)
+		c, err := rep.get(f)
+		if err != nil {
+			rep.probeFails.Add(1)
+			return
+		}
+		rep.put(f, c)
+		return
+	}
 	ok, trial := rep.admit()
 	if !ok {
 		return
@@ -454,7 +659,7 @@ func (f *Fleet) probe(rep *replica) {
 		c, err = rep.get(f)
 		if err != nil {
 			rep.probeFails.Add(1)
-			if !errors.Is(err, ErrFingerprintMismatch) && !errors.Is(err, errFleetClosed) {
+			if !configFault(err) && !errors.Is(err, errFleetClosed) {
 				rep.onFail(trial)
 			}
 			return

@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"astrea/internal/artifact"
 	"astrea/internal/bitvec"
 	"astrea/internal/decodegraph"
 	"astrea/internal/decoder"
@@ -59,6 +62,24 @@ type LoadConfig struct {
 	// HealthInterval overrides the fleet's probe period (0 = default).
 	HealthInterval time.Duration
 
+	// Rotation chaos mode: once RotateAfterFrac of the shots have been
+	// offered, stage a fleet-wide rollout to the bundle at RotateArtifact by
+	// dropping it into each replica's artifact watch directory (RotateDirs,
+	// parallel to Addrs — the daemons pick it up via -artifact-watch or
+	// SIGHUP) while the load keeps flowing. Verification switches tables per
+	// answer based on the generation digest it carries, so the zero-mismatch
+	// gate spans the swap. A regression rolls the fleet back by dropping a
+	// re-stamped copy of the previous tables at a higher generation.
+	RotateArtifact string
+	RotateDirs     []string
+	// RotateAfterFrac is the fraction of shots offered before the rollout
+	// starts (default 0.5).
+	RotateAfterFrac float64
+	// RotateConfirmTimeout bounds each rollout wait (fingerprint pickup and
+	// gate sampling windows); it must comfortably exceed the daemons'
+	// -artifact-watch interval. Default 30s.
+	RotateConfirmTimeout time.Duration
+
 	// env shares a pre-built environment in tests.
 	env *montecarlo.Env
 }
@@ -85,6 +106,11 @@ type LoadReport struct {
 	// per-replica request/success counts expose how failover and hedging
 	// distributed the load.
 	Replicas []ReplicaStats
+
+	// Rotation is the staged-rollout report when rotation chaos mode ran;
+	// RotationErr carries its failure (including a fired regression gate).
+	Rotation    *RolloutReport
+	RotationErr string
 
 	ElapsedSec     float64
 	AchievedPerSec float64
@@ -140,7 +166,31 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	defer fleet.Close()
 
-	var local, localUF decoder.Decoder
+	// Rotation chaos mode: resolve the target generation up front, so its
+	// verification tables exist before the first rotated answer arrives.
+	baseFP := uint64(decodegraph.FingerprintOf(env.Model, env.GWT))
+	verifyEnvs := map[uint64]*montecarlo.Env{baseFP: env}
+	var rotArt *artifact.Artifact
+	if cfg.RotateArtifact != "" {
+		if len(cfg.RotateDirs) != len(cfg.Addrs) {
+			return nil, fmt.Errorf("cluster: %d rotate dirs for %d replicas — pass one watch directory per address",
+				len(cfg.RotateDirs), len(cfg.Addrs))
+		}
+		if rotArt, err = artifact.ReadFile(cfg.RotateArtifact); err != nil {
+			return nil, err
+		}
+		envNew, err := montecarlo.NewEnvFromArtifact(rotArt)
+		if err != nil {
+			return nil, err
+		}
+		verifyEnvs[uint64(rotArt.Fingerprint)] = envNew
+	}
+
+	// Per-generation verification tables: an answer is checked against the
+	// tables of the generation whose digest it carries, so the zero-mismatch
+	// gate stays meaningful across a mid-run rotation.
+	type genTables struct{ expected, expectedUF []uint64 }
+	var verify map[uint64]*genTables
 	if cfg.Verify {
 		name := cfg.VerifyDecoder
 		if name == "" {
@@ -150,26 +200,48 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		if local, err = factory(env); err != nil {
-			return nil, err
+		verify = make(map[uint64]*genTables, len(verifyEnvs))
+		for fp, venv := range verifyEnvs {
+			if _, err := factory(venv); err != nil {
+				return nil, err
+			}
+			verify[fp] = &genTables{
+				expected:   make([]uint64, cfg.Shots),
+				expectedUF: make([]uint64, cfg.Shots),
+			}
 		}
-		localUF = unionfind.New(env.Graph, true)
 	}
 
 	// Pre-sample every syndrome so the run measures the fleet, not the
-	// sampler; keep local predictions for verification.
+	// sampler; keep local predictions (per generation, decoded serially —
+	// decoder instances carry scratch state) for verification.
 	rng := prng.New(cfg.Seed)
 	smp := dem.NewSampler(env.Model)
 	syndromes := make([]bitvec.Vec, cfg.Shots)
-	expected := make([]uint64, cfg.Shots)
-	expectedUF := make([]uint64, cfg.Shots)
 	buf := bitvec.New(env.Model.NumDetectors)
 	for i := 0; i < cfg.Shots; i++ {
 		smp.Sample(rng, buf)
 		syndromes[i] = buf.Clone()
-		if local != nil {
-			expected[i] = local.Decode(buf).ObsPrediction
-			expectedUF[i] = localUF.Decode(buf).ObsPrediction
+	}
+	if verify != nil {
+		name := cfg.VerifyDecoder
+		if name == "" {
+			name = "astrea"
+		}
+		factory, err := server.FactoryFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for fp, venv := range verifyEnvs {
+			local, err := factory(venv)
+			if err != nil {
+				return nil, err
+			}
+			localUF := decoder.Decoder(unionfind.New(venv.Graph, true))
+			for i, s := range syndromes {
+				verify[fp].expected[i] = local.Decode(s).ObsPrediction
+				verify[fp].expectedUF[i] = localUF.Decode(s).ObsPrediction
+			}
 		}
 	}
 
@@ -181,6 +253,52 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if cfg.RatePerSec > 0 {
 		gap = time.Duration(float64(time.Second) / cfg.RatePerSec)
 	}
+
+	// The staged rollout runs concurrently with the load once the trigger
+	// fraction of shots has been offered; the load itself is the gate's
+	// sample source.
+	var rotWG sync.WaitGroup
+	if rotArt != nil {
+		revertArt, err := env.Artifact()
+		if err != nil {
+			return nil, err
+		}
+		// The rollback drop must out-generation the rotation it undoes, or
+		// the daemons' highest-generation-wins scan would never pick it up.
+		revertArt.Meta.Generation = rotArt.Meta.Generation + 1
+		addrDir := make(map[string]string, len(cfg.Addrs))
+		for i, addr := range cfg.Addrs {
+			addrDir[addr] = cfg.RotateDirs[i]
+		}
+		threshold := int64(cfg.RotateAfterFrac * float64(cfg.Shots))
+		if threshold <= 0 {
+			threshold = int64(cfg.Shots / 2)
+		}
+		rcfg := RolloutConfig{
+			Next:           rotArt.Fingerprint,
+			Apply:          func(addr string) error { return dropArtifact(addrDir[addr], rotArt) },
+			Revert:         func(addr string) error { return dropArtifact(addrDir[addr], revertArt) },
+			ConfirmTimeout: cfg.RotateConfirmTimeout,
+		}
+		if rcfg.ConfirmTimeout <= 0 {
+			rcfg.ConfirmTimeout = 30 * time.Second
+		}
+		rotWG.Add(1)
+		go func() {
+			defer rotWG.Done()
+			for next.Load() < threshold {
+				time.Sleep(5 * time.Millisecond)
+			}
+			rr, err := fleet.StageRollout(rcfg)
+			mu.Lock()
+			rep.Rotation = &rr
+			if err != nil {
+				rep.RotationErr = err.Error()
+			}
+			mu.Unlock()
+		}()
+	}
+
 	start := time.Now()
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
@@ -210,13 +328,24 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				default:
 					rep.Answered++
 					rep.RTTNs = append(rep.RTTNs, float64(rtt.Nanoseconds()))
-					want := expected
 					if resp.Degraded {
 						rep.Degraded++
-						want = expectedUF
 					}
-					if local != nil && resp.ObsMask != want[i] {
-						rep.Mismatches++
+					if verify != nil {
+						// Legacy daemons carry no digest; their answers can
+						// only come from the base generation.
+						fp := baseFP
+						if resp.HaveFingerprint {
+							fp = resp.Fingerprint
+						}
+						tables := verify[fp]
+						switch {
+						case tables == nil:
+							rep.Mismatches++ // a generation nobody compiled
+						case resp.Degraded && resp.ObsMask != tables.expectedUF[i],
+							!resp.Degraded && resp.ObsMask != tables.expected[i]:
+							rep.Mismatches++
+						}
 					}
 				}
 				mu.Unlock()
@@ -224,6 +353,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}()
 	}
 	wg.Wait()
+	rotWG.Wait()
 
 	rep.ElapsedSec = time.Since(start).Seconds()
 	if rep.ElapsedSec > 0 {
@@ -231,6 +361,18 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	rep.Replicas = fleet.Stats()
 	return rep, nil
+}
+
+// dropArtifact installs a bundle into a daemon's watch directory
+// atomically: written under a temporary non-.astc name first, then renamed
+// into place, so a concurrent re-scan never reads a half-copied bundle.
+func dropArtifact(dir string, a *artifact.Artifact) error {
+	name := artifact.FileName(a.Meta)
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := a.WriteFile(tmp); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, name))
 }
 
 // Summary renders the report's headline numbers for CLI output.

@@ -25,6 +25,14 @@ const (
 	// Mixing answers from such a replica would silently corrupt
 	// corrections, so there is no recovery path short of a new Fleet.
 	stateQuarantined
+	// stateTransition transiently sheds traffic: the replica's advertised
+	// generation fell outside the fleet's accepted fingerprint window
+	// during an artifact rotation (it is ahead of or behind the staged
+	// rollout). Unlike quarantine this heals — the prober re-dials and
+	// re-runs the guard, and the replica rejoins the moment its digest
+	// lands back inside the window (or escalates to quarantine if the
+	// divergence turns out to be permanent).
+	stateTransition
 )
 
 func (s breakerState) String() string {
@@ -35,6 +43,8 @@ func (s breakerState) String() string {
 		return "open"
 	case stateQuarantined:
 		return "quarantined"
+	case stateTransition:
+		return "transition"
 	}
 	return fmt.Sprintf("breakerState(%d)", int(s))
 }
@@ -50,7 +60,7 @@ type replica struct {
 	fails    int       // consecutive failures while closed
 	openedAt time.Time // when the breaker (re-)opened
 	trialing bool      // a half-open trial is in flight
-	reason   string    // quarantine reason
+	reason   string    // quarantine or transition-shed reason
 	idle     []*server.Client
 	// open tracks every connection created and not yet closed (idle and
 	// borrowed alike) so teardown and quarantine can sever all of them.
@@ -64,6 +74,11 @@ type replica struct {
 	probes     atomic.Int64 // health probes sent
 	probeFails atomic.Int64 // health probes failed
 	streams    atomic.Int64 // streaming sessions dialed here (opens + failovers)
+	// Result-quality counters feeding the staged-rollout regression gate:
+	// a generation that decodes slower shows up here (as fallback answers
+	// and missed deadlines) before it shows up as an accuracy regression.
+	degraded       atomic.Int64 // results answered by the fallback decoder
+	deadlineMisses atomic.Int64 // results whose sojourn overran the deadline
 }
 
 func newReplica(addr string, cfg *Config) *replica {
@@ -88,6 +103,9 @@ func (r *replica) admit() (ok, trial bool) {
 	case stateQuarantined:
 		// Permanently shed: a fingerprint mismatch never heals, so no
 		// half-open probes either.
+	case stateTransition:
+		// Shed until the prober's fresh handshake re-classifies the
+		// replica; caller traffic must not race the fingerprint re-check.
 	}
 	return false, false
 }
@@ -97,7 +115,10 @@ func (r *replica) admit() (ok, trial bool) {
 func (r *replica) onSuccess(trial bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.state == stateQuarantined {
+	if r.state == stateQuarantined || r.state == stateTransition {
+		// Quarantine never heals; a transition shed heals only through the
+		// prober's explicit fingerprint re-check, not through a straggling
+		// in-flight success.
 		return
 	}
 	r.state = stateClosed
@@ -132,6 +153,8 @@ func (r *replica) onFail(trial bool) {
 		}
 	case stateQuarantined:
 		// Already permanently shed; one more failure changes nothing.
+	case stateTransition:
+		// Already shed; the prober owns recovery.
 	}
 	r.mu.Unlock()
 	for _, c := range drop {
@@ -165,6 +188,55 @@ func (r *replica) quarantine(reason string) {
 	}
 }
 
+// markTransition sheds the replica for the rest of the rotation window:
+// its advertised generation fell outside the fleet's accepted fingerprint
+// set mid-rotation. Every connection is severed — pooled connections were
+// handshaken against a digest the fleet no longer (or does not yet)
+// accept — but unlike quarantine the shed is transient: the prober
+// re-checks and heals it. An already-quarantined replica is never
+// downgraded to the softer state.
+func (r *replica) markTransition(reason string) {
+	r.mu.Lock()
+	if r.state == stateQuarantined || r.state == stateTransition {
+		r.mu.Unlock()
+		return
+	}
+	r.state = stateTransition
+	r.reason = reason
+	r.trialing = false
+	drop := make([]*server.Client, 0, len(r.open))
+	for c := range r.open {
+		drop = append(drop, c)
+	}
+	r.open = make(map[*server.Client]struct{})
+	r.idle = nil
+	r.mu.Unlock()
+	for _, c := range drop {
+		//lint:allow errwrap severing conns pinned to an unaccepted generation; the transition mismatch is already recorded
+		c.Close()
+	}
+}
+
+// clearTransition returns a transition-shed replica to service (after a
+// fresh handshake passed the guard, or after the fleet's accepted window
+// changed and the replica deserves a re-check). No-op in any other state.
+func (r *replica) clearTransition() {
+	r.mu.Lock()
+	if r.state == stateTransition {
+		r.state = stateClosed
+		r.fails = 0
+		r.reason = ""
+	}
+	r.mu.Unlock()
+}
+
+// transitioning reports whether the replica is transition-shed.
+func (r *replica) transitioning() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state == stateTransition
+}
+
 // tryIdle pops a parked connection, or nil.
 func (r *replica) tryIdle() *server.Client {
 	r.mu.Lock()
@@ -185,8 +257,11 @@ func (r *replica) borrowed() int {
 }
 
 // get returns a ready connection: a parked idle one, or a fresh dial whose
-// advertised fingerprint is verified against the fleet's before use. A
-// mismatch quarantines the replica and returns ErrFingerprintMismatch.
+// advertised fingerprint is verified against the fleet's accepted window
+// before use. A mismatch sheds the replica — permanently
+// (ErrFingerprintMismatch) or for the rest of a rotation window
+// (ErrTransitionMismatch) — and a passing handshake heals a
+// transition-shed replica.
 func (r *replica) get(f *Fleet) (*server.Client, error) {
 	if c := r.tryIdle(); c != nil {
 		return c, nil
@@ -198,10 +273,7 @@ func (r *replica) get(f *Fleet) (*server.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := f.adoptFingerprint(r, c); err != nil {
-		//lint:allow errwrap teardown of a conn whose fingerprint was refused; the mismatch error is the one returned
-		c.Close()
-		r.quarantine(err.Error())
+	if err := f.vetConn(r, c); err != nil {
 		return nil, err
 	}
 	r.mu.Lock()
@@ -267,9 +339,13 @@ func (r *replica) closeConns() {
 
 // ReplicaStats is one endpoint's point-in-time health and traffic summary.
 type ReplicaStats struct {
-	Addr             string `json:"addr"`
-	State            string `json:"state"` // closed | open | quarantined
+	Addr  string `json:"addr"`
+	State string `json:"state"` // closed | open | quarantined | transition
+	// QuarantineReason names a permanent fingerprint divergence;
+	// TransitionReason names a transient rotation-window mismatch the
+	// prober is re-checking. At most one is set, matching State.
 	QuarantineReason string `json:"quarantine_reason,omitempty"`
+	TransitionReason string `json:"transition_reason,omitempty"`
 
 	Requests      int64 `json:"requests"`
 	Successes     int64 `json:"successes"`
@@ -279,16 +355,28 @@ type ReplicaStats struct {
 	Probes        int64 `json:"probes"`
 	ProbeFailures int64 `json:"probe_failures"`
 	Streams       int64 `json:"streams"`
-	IdleConns     int   `json:"idle_conns"`
+	// Degraded and DeadlineMisses grade the answers this replica did give:
+	// fallback-decoded results and deadline overruns, the rollout gate's
+	// regression signals.
+	Degraded       int64 `json:"degraded"`
+	DeadlineMisses int64 `json:"deadline_misses"`
+	IdleConns      int   `json:"idle_conns"`
 }
 
 func (r *replica) snapshot() ReplicaStats {
 	r.mu.Lock()
 	st := ReplicaStats{
-		Addr:             r.addr,
-		State:            r.state.String(),
-		QuarantineReason: r.reason,
-		IdleConns:        len(r.idle),
+		Addr:      r.addr,
+		State:     r.state.String(),
+		IdleConns: len(r.idle),
+	}
+	switch r.state {
+	case stateQuarantined:
+		st.QuarantineReason = r.reason
+	case stateTransition:
+		st.TransitionReason = r.reason
+	case stateClosed, stateOpen:
+		// Healthy or breaker-ejected: no shed reason to report.
 	}
 	r.mu.Unlock()
 	st.Requests = r.requests.Load()
@@ -299,5 +387,7 @@ func (r *replica) snapshot() ReplicaStats {
 	st.Probes = r.probes.Load()
 	st.ProbeFailures = r.probeFails.Load()
 	st.Streams = r.streams.Load()
+	st.Degraded = r.degraded.Load()
+	st.DeadlineMisses = r.deadlineMisses.Load()
 	return st
 }

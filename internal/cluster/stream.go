@@ -57,10 +57,7 @@ func (f *Fleet) dialStream() (*server.Client, error) {
 			lastErr = err
 			continue
 		}
-		if err := f.adoptFingerprint(rep, c); err != nil {
-			//lint:allow errwrap teardown of a conn whose fingerprint was refused; the mismatch error is the one surfaced
-			c.Close()
-			rep.quarantine(err.Error())
+		if err := f.vetConn(rep, c); err != nil {
 			lastErr = err
 			continue
 		}

@@ -1,0 +1,105 @@
+// Package drift scores a served operating point's calibration drift: how
+// far the detector-flip frequencies observed by a live decode service have
+// wandered from the rates its compiled-in detector error model predicts.
+//
+// The paper evaluates Astrea at fixed per-mechanism error rates, but real
+// devices drift, so the Global Weight Table an artifact was compiled from
+// goes stale while the service keeps answering. The server accumulates a
+// cheap per-detector flip counter in its decode path; this package supplies
+// the two pure functions around that counter — the model-derived expected
+// rates and a normalised drift score over the observed counts — so the
+// comparison itself is deterministic and testable in isolation.
+//
+// Expected rates follow from the model exactly: detector d flips when an
+// odd number of the mechanisms touching it fire, and independent odd-firing
+// probabilities combine by the XOR rule r ← r(1−p) + p(1−r) — the same
+// combination dem uses when merging mechanisms. The score is a per-detector
+// binomial z statistic: over S shots a detector with expected rate e has
+// standard deviation √(e(1−e)/S), so |observed − e| in units of that σ is
+// dimensionless, comparable across detectors and distances, and grows as √S
+// for a genuinely shifted rate while staying O(1) under pure sampling
+// noise. A MaxZ persistently above ~5 with healthy shot counts is drift,
+// not luck.
+package drift
+
+import (
+	"fmt"
+	"math"
+
+	"astrea/internal/dem"
+)
+
+// ExpectedRates returns each detector's model-predicted flip probability
+// per shot: the XOR-combination of every mechanism touching it. The result
+// has length m.NumDetectors and every value lies in [0, 1).
+func ExpectedRates(m *dem.Model) []float64 {
+	rates := make([]float64, m.NumDetectors)
+	for _, e := range m.Errors {
+		for _, d := range e.Detectors {
+			r := rates[d]
+			rates[d] = r*(1-e.P) + e.P*(1-r)
+		}
+	}
+	return rates
+}
+
+// Report summarises one drift evaluation.
+type Report struct {
+	// Shots is the sample count the observation covers.
+	Shots int64 `json:"shots"`
+	// MaxZ is the largest per-detector |z| statistic; WorstDetector is the
+	// detector attaining it (-1 when Shots is 0 or no detector is scorable).
+	MaxZ          float64 `json:"max_z"`
+	WorstDetector int     `json:"worst_detector"`
+	// MeanAbsZ averages |z| over the scorable detectors; under a calibrated
+	// model it concentrates near √(2/π) ≈ 0.80 regardless of shot count.
+	MeanAbsZ float64 `json:"mean_abs_z"`
+	// ObservedMeanRate and ExpectedMeanRate are the detector-averaged flip
+	// rates, a coarse magnitude alongside the normalised score.
+	ObservedMeanRate float64 `json:"observed_mean_rate"`
+	ExpectedMeanRate float64 `json:"expected_mean_rate"`
+}
+
+// Evaluate scores observed per-detector flip counts over shots against the
+// expected rates. Detectors whose expected rate is exactly 0 or 1 carry no
+// binomial variance and are skipped by the z statistics (they still feed
+// the mean rates). counts and expected must have equal length.
+func Evaluate(expected []float64, counts []int64, shots int64) (Report, error) {
+	if len(counts) != len(expected) {
+		return Report{}, fmt.Errorf("drift: %d observed counts for %d detectors", len(counts), len(expected))
+	}
+	rep := Report{Shots: shots, WorstDetector: -1}
+	if len(expected) == 0 {
+		return rep, nil
+	}
+	var expSum, obsSum, absZSum float64
+	scorable := 0
+	for d, e := range expected {
+		expSum += e
+		if shots <= 0 {
+			continue
+		}
+		obs := float64(counts[d]) / float64(shots)
+		obsSum += obs
+		variance := e * (1 - e) / float64(shots)
+		if variance <= 0 {
+			continue
+		}
+		z := math.Abs(obs-e) / math.Sqrt(variance)
+		absZSum += z
+		scorable++
+		if z > rep.MaxZ {
+			rep.MaxZ = z
+			rep.WorstDetector = d
+		}
+	}
+	n := float64(len(expected))
+	rep.ExpectedMeanRate = expSum / n
+	if shots > 0 {
+		rep.ObservedMeanRate = obsSum / n
+	}
+	if scorable > 0 {
+		rep.MeanAbsZ = absZSum / float64(scorable)
+	}
+	return rep, nil
+}

@@ -1,0 +1,115 @@
+package drift
+
+import (
+	"math"
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/dem"
+	"astrea/internal/montecarlo"
+	"astrea/internal/prng"
+)
+
+func TestExpectedRatesXORCombination(t *testing.T) {
+	m := &dem.Model{
+		NumDetectors: 3,
+		Errors: []dem.Error{
+			{Detectors: []int{0}, P: 0.1},
+			{Detectors: []int{0, 1}, P: 0.2},
+			{Detectors: []int{2}, P: 0.5},
+			{Detectors: []int{2}, P: 0.5},
+		},
+	}
+	rates := ExpectedRates(m)
+	// Detector 0: 0.1 then XOR 0.2 → 0.1·0.8 + 0.2·0.9 = 0.26.
+	if got, want := rates[0], 0.26; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("detector 0 expected rate = %v, want %v", got, want)
+	}
+	if got, want := rates[1], 0.2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("detector 1 expected rate = %v, want %v", got, want)
+	}
+	// Two independent p=0.5 mechanisms XOR to exactly 0.5.
+	if got, want := rates[2], 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("detector 2 expected rate = %v, want %v", got, want)
+	}
+}
+
+func TestEvaluateCalibratedVsShifted(t *testing.T) {
+	env, err := montecarlo.SharedEnv(3, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := ExpectedRates(env.Model)
+	if len(expected) != env.Model.NumDetectors {
+		t.Fatalf("expected rates has %d entries for %d detectors", len(expected), env.Model.NumDetectors)
+	}
+
+	// Sample shots from the model itself: the score must stay small.
+	const shots = 20000
+	counts := make([]int64, env.Model.NumDetectors)
+	sampler := dem.NewSampler(env.Model)
+	rng := prng.New(7)
+	det := bitvec.New(env.Model.NumDetectors)
+	ones := make([]int, 0, 16)
+	for i := 0; i < shots; i++ {
+		det.Reset()
+		sampler.Sample(rng, det)
+		ones = det.Ones(ones[:0])
+		for _, d := range ones {
+			counts[d]++
+		}
+	}
+	rep, err := Evaluate(expected, counts, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shots != shots || rep.WorstDetector < 0 {
+		t.Fatalf("calibrated report lost its metadata: %+v", rep)
+	}
+	// Max over ~n detectors of |z| under the null is ~√(2 ln n) ≈ 2.6; 5σ
+	// is far outside sampling noise at this shot count.
+	if rep.MaxZ > 5 {
+		t.Fatalf("calibrated samples scored MaxZ = %v (> 5): score flags noise as drift", rep.MaxZ)
+	}
+
+	// Double every count: a uniform doubling of the flip rates must light
+	// the score up unambiguously.
+	shifted := make([]int64, len(counts))
+	for i, c := range counts {
+		shifted[i] = 2 * c
+	}
+	drifted, err := Evaluate(expected, shifted, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted.MaxZ < 3*rep.MaxZ || drifted.MaxZ < 10 {
+		t.Fatalf("doubled flip rates scored MaxZ = %v (calibrated %v): drift not detected", drifted.MaxZ, rep.MaxZ)
+	}
+	if drifted.ObservedMeanRate <= rep.ObservedMeanRate {
+		t.Fatalf("observed mean rate %v not above calibrated %v", drifted.ObservedMeanRate, rep.ObservedMeanRate)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	if _, err := Evaluate([]float64{0.1}, nil, 10); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	rep, err := Evaluate([]float64{0.1, 0.2}, []int64{0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxZ != 0 || rep.WorstDetector != -1 || rep.ObservedMeanRate != 0 {
+		t.Fatalf("zero-shot report should carry no score: %+v", rep)
+	}
+	if math.Abs(rep.ExpectedMeanRate-0.15) > 1e-12 {
+		t.Fatalf("expected mean rate = %v, want 0.15", rep.ExpectedMeanRate)
+	}
+	// Degenerate rates (0 and 1) are skipped by the z statistics.
+	rep, err = Evaluate([]float64{0, 1}, []int64{5, 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxZ != 0 || rep.MeanAbsZ != 0 {
+		t.Fatalf("degenerate-variance detectors scored: %+v", rep)
+	}
+}

@@ -28,6 +28,7 @@ var deterministicPkgs = map[string]bool{
 	"internal/hwmodel":     true,
 	"internal/artifact":    true,
 	"internal/compress":    true,
+	"internal/drift":       true,
 }
 
 // nondetCalls are the ambient-input functions forbidden in deterministic

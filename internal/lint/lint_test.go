@@ -21,6 +21,7 @@ type fixtureLoad struct {
 
 var fixtureLoads = []fixtureLoad{
 	{dir: "determinism", rel: "internal/dem"},
+	{dir: "determinism", rel: "internal/drift"},
 	{dir: "endian", rel: "internal/server"},
 	{dir: "errwrap", rel: "internal/server"},
 	{dir: "exhaustive", rel: "internal/compress"},

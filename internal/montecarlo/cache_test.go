@@ -1,0 +1,70 @@
+package montecarlo
+
+import "testing"
+
+// TestSharedEnvCacheBounds exercises the count cap: with room for two
+// entries, touching three distinct operating points must evict the
+// least-recently-used one, and an evicted point must rebuild correctly on
+// next use.
+func TestSharedEnvCacheBounds(t *testing.T) {
+	// The cache is process-wide; park existing entries under generous
+	// bounds afterwards so other tests keep their warm envs.
+	defer SetSharedEnvBounds(DefaultEnvCacheEntries, DefaultEnvCacheBytes)
+	SetSharedEnvBounds(0, 0) // unbounded while we warm the keys we need
+
+	keys := [][2]int{{3, 1}, {3, 2}, {3, 4}}
+	envs := make([]*Env, len(keys))
+	for i, k := range keys {
+		env, err := SharedEnv(k[0], k[1], 1e-3)
+		if err != nil {
+			t.Fatalf("SharedEnv(%d,%d): %v", k[0], k[1], err)
+		}
+		envs[i] = env
+	}
+	entries0, bytes0, ev0 := SharedEnvCacheStats()
+	if entries0 < len(keys) || bytes0 <= 0 {
+		t.Fatalf("after warmup: entries=%d bytes=%d, want ≥%d entries and positive bytes", entries0, bytes0, len(keys))
+	}
+
+	// Shrink to two entries: evictions must fire immediately and occupancy
+	// must land at the cap.
+	SetSharedEnvBounds(2, 0)
+	entries1, bytes1, ev1 := SharedEnvCacheStats()
+	if entries1 > 2 {
+		t.Fatalf("after shrink: entries=%d, want ≤2", entries1)
+	}
+	if ev1 <= ev0 {
+		t.Fatalf("after shrink: evictions %d -> %d, want increase", ev0, ev1)
+	}
+	if bytes1 >= bytes0 {
+		t.Fatalf("after shrink: bytes %d -> %d, want decrease", bytes0, bytes1)
+	}
+
+	// The two most recently used keys survive; the oldest rebuilds on
+	// demand and matches the Env handed out before eviction.
+	for i, k := range keys {
+		env, err := SharedEnv(k[0], k[1], 1e-3)
+		if err != nil {
+			t.Fatalf("SharedEnv(%d,%d) after evict: %v", k[0], k[1], err)
+		}
+		if env.Model.NumDetectors != envs[i].Model.NumDetectors {
+			t.Fatalf("rebuilt env for (%d,%d): %d detectors, want %d",
+				k[0], k[1], env.Model.NumDetectors, envs[i].Model.NumDetectors)
+		}
+	}
+	if entries, _, _ := SharedEnvCacheStats(); entries > 2 {
+		t.Fatalf("after re-touch under cap: entries=%d, want ≤2", entries)
+	}
+
+	// Byte cap alone also binds: one byte of budget cannot hold any
+	// completed entry, so occupancy drains to zero as entries complete.
+	SetSharedEnvBounds(0, 1)
+	if entries, bytes, _ := SharedEnvCacheStats(); entries != 0 || bytes != 0 {
+		t.Fatalf("after 1-byte cap: entries=%d bytes=%d, want 0/0", entries, bytes)
+	}
+
+	// Previously returned Envs stay usable after their cache slots die.
+	if envs[0].Graph == nil || envs[0].GWT == nil {
+		t.Fatal("evicted env lost its tables")
+	}
+}

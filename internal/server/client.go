@@ -64,9 +64,13 @@ type Client struct {
 	features uint32
 	crc      bool
 	// fp is the server's decoding-configuration fingerprint (extended
-	// handshakes only; haveFP reports presence).
+	// handshakes only; haveFP reports presence). fpSet is the full live
+	// fingerprint set on streams that negotiated FeatureRotation — more
+	// than one entry means the server was draining an old generation at
+	// handshake time.
 	fp     uint64
 	haveFP bool
+	fpSet  []uint64
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
@@ -169,6 +173,7 @@ func NewClientOptions(nc net.Conn, distance int, codecID uint8, o ClientOptions)
 		c.crc = ack.Features&FeatureChecksum != 0
 		c.fp = ack.Fingerprint
 		c.haveFP = true
+		c.fpSet = ack.FingerprintSet
 	}
 	codec, err := compress.ForID(ack.Codec, uint(ack.RiceK))
 	if err != nil {
@@ -195,6 +200,12 @@ func (c *Client) Features() uint32 { return c.features }
 // Fingerprint returns the server's decoding-configuration digest for the
 // negotiated distance. ok is false on legacy handshakes, which carry none.
 func (c *Client) Fingerprint() (fp uint64, ok bool) { return c.fp, c.haveFP }
+
+// FingerprintSet returns every fingerprint the server answered for at
+// handshake time, current generation first — nil unless the stream
+// negotiated FeatureRotation. More than one entry means a superseded
+// generation was still draining (a rotation transition window).
+func (c *Client) FingerprintSet() []uint64 { return c.fpSet }
 
 // writeFrame ships one frame under the negotiated framing; callers hold wmu.
 func (c *Client) writeFrame(t FrameType, payload []byte) error {
@@ -260,6 +271,13 @@ type Response struct {
 	// Degraded reports the server answered with its fast fallback decoder
 	// because the queue sojourn had consumed most of the deadline budget.
 	Degraded bool
+
+	// Fingerprint names the decoding-configuration generation that produced
+	// this result — carried only on streams that negotiated FeatureRotation
+	// (HaveFingerprint reports presence), so each answer stays attributable
+	// to exact tables across a mid-connection artifact hot-swap.
+	Fingerprint     uint64
+	HaveFingerprint bool
 }
 
 // Recv blocks for the next response frame.
@@ -280,19 +298,27 @@ func (c *Client) Recv() (Response, error) {
 	}
 	switch t {
 	case FrameResult:
-		r, err := ParseResultFrame(payload)
+		var r ResultFrame
+		rotation := c.features&FeatureRotation != 0
+		if rotation {
+			r, err = ParseResultFrameExt(payload)
+		} else {
+			r, err = ParseResultFrame(payload)
+		}
 		if err != nil {
 			return Response{}, err
 		}
 		return Response{
-			Seq:          r.Seq,
-			ObsMask:      r.ObsMask,
-			WeightMilli:  r.WeightMilli,
-			SojournNs:    r.SojournNs,
-			DeadlineMiss: r.Flags&FlagDeadlineMiss != 0,
-			RealTime:     r.Flags&FlagRealTime != 0,
-			Skipped:      r.Flags&FlagSkipped != 0,
-			Degraded:     r.Flags&FlagDegraded != 0,
+			Seq:             r.Seq,
+			ObsMask:         r.ObsMask,
+			WeightMilli:     r.WeightMilli,
+			SojournNs:       r.SojournNs,
+			DeadlineMiss:    r.Flags&FlagDeadlineMiss != 0,
+			RealTime:        r.Flags&FlagRealTime != 0,
+			Skipped:         r.Flags&FlagSkipped != 0,
+			Degraded:        r.Flags&FlagDegraded != 0,
+			Fingerprint:     r.Fingerprint,
+			HaveFingerprint: rotation,
 		}, nil
 	case FrameReject:
 		r, err := ParseRejectFrame(payload)

@@ -124,7 +124,7 @@ func FuzzHelloAckExt(f *testing.F) {
 			return
 		}
 		back, err := ParseHelloAckExt(ack.AppendToExt(nil))
-		if err != nil || back != ack {
+		if err != nil || !back.equal(ack) {
 			t.Fatalf("extended ack round trip diverged: %+v vs %+v (%v)", back, ack, err)
 		}
 		// The legacy view of the same bytes must parse and agree on the
@@ -132,6 +132,51 @@ func FuzzHelloAckExt(f *testing.F) {
 		legacy, err := ParseHelloAck(data)
 		if err != nil || legacy.Status != ack.Status || legacy.Codec != ack.Codec {
 			t.Fatalf("legacy view diverged: %+v vs %+v (%v)", legacy, ack, err)
+		}
+	})
+}
+
+// FuzzHelloFingerprintSet targets the rotation extension of the extended
+// ack: the variable-length fingerprint set appended when FeatureRotation
+// is accepted. Hostile counts (claiming more digests than the payload
+// holds), sets whose lead disagrees with the header fingerprint, and
+// truncation anywhere inside the set must surface as errors — and every
+// accepted parse must uphold the set invariants and survive a re-encode.
+func FuzzHelloFingerprintSet(f *testing.F) {
+	base := HelloAck{Version: ProtocolVersion, Status: StatusOK, NumDetectors: 24,
+		Codec: compress.IDRice, RiceK: 4, QueueDepth: 64,
+		Features: FeatureRotation, Fingerprint: 0xA1B2C3D4E5F60718, Message: "m"}
+	empty := base
+	empty.FingerprintSet = nil
+	f.Add(empty.AppendToExt(nil))
+	one := base
+	one.FingerprintSet = []uint64{base.Fingerprint}
+	f.Add(one.AppendToExt(nil))
+	draining := base
+	draining.FingerprintSet = []uint64{base.Fingerprint, 0x1111111111111111, 0x2222222222222222}
+	good := draining.AppendToExt(nil)
+	f.Add(good)
+	f.Add(good[:len(good)-4]) // truncated mid-digest
+	bad := draining
+	bad.FingerprintSet = []uint64{0xDEAD, base.Fingerprint} // lead disagrees with header
+	f.Add(bad.AppendToExt(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ack, err := ParseHelloAckExt(data)
+		if err != nil {
+			return
+		}
+		if ack.Features&FeatureRotation == 0 && ack.FingerprintSet != nil {
+			t.Fatalf("fingerprint set parsed without the rotation feature: %+v", ack)
+		}
+		if len(ack.FingerprintSet) > 255 {
+			t.Fatalf("parsed fingerprint set has %d entries, wire count is one byte", len(ack.FingerprintSet))
+		}
+		if len(ack.FingerprintSet) > 0 && ack.FingerprintSet[0] != ack.Fingerprint {
+			t.Fatalf("accepted a set leading %016x under header %016x", ack.FingerprintSet[0], ack.Fingerprint)
+		}
+		back, err := ParseHelloAckExt(ack.AppendToExt(nil))
+		if err != nil || !back.equal(ack) {
+			t.Fatalf("rotation ack round trip diverged: %+v vs %+v (%v)", back, ack, err)
 		}
 	})
 }

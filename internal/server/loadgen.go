@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"astrea/internal/bitvec"
+	"astrea/internal/decodegraph"
 	"astrea/internal/decoder"
 	"astrea/internal/dem"
 	"astrea/internal/montecarlo"
@@ -59,6 +60,14 @@ type LoadReport struct {
 	// server's degradation fallback — instead of VerifyDecoder.
 	Mismatches int
 
+	// OtherGeneration counts responses produced by tables other than the
+	// local verifier's (the daemon rotated to a new artifact generation
+	// mid-run). They are excluded from Mismatches: the answers come from
+	// weights the generator does not hold, so disagreement is expected and
+	// benign. Fleet-mode rotation runs (cluster.RunLoad) verify these
+	// per generation instead.
+	OtherGeneration int
+
 	// Degraded counts responses the server answered with its fast
 	// fallback decoder (FlagDegraded).
 	Degraded int
@@ -101,7 +110,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}
 	}
 
-	client, err := Dial(cfg.Addr, cfg.Distance, cfg.Codec)
+	// Offer FeatureRotation so every answer carries the fingerprint of the
+	// tables that produced it: a daemon hot-swapped to a new artifact
+	// generation mid-run stays distinguishable from a wrong answer.
+	client, err := DialOptions(cfg.Addr, cfg.Distance, cfg.Codec, ClientOptions{Features: FeatureRotation})
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +123,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			client.NumDetectors(), env.Model.NumDetectors)
 	}
 
+	localFP := uint64(decodegraph.FingerprintOf(env.Model, env.GWT))
 	var local, localUF decoder.Decoder
 	if cfg.Verify {
 		name := cfg.VerifyDecoder
@@ -226,7 +239,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				rep.Degraded++
 				want = expectedUF
 			}
-			if local != nil && resp.ObsMask != want[resp.Seq] {
+			if resp.HaveFingerprint && resp.Fingerprint != localFP {
+				rep.OtherGeneration++
+			} else if local != nil && resp.ObsMask != want[resp.Seq] {
 				rep.Mismatches++
 			}
 		}

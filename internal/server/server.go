@@ -17,6 +17,7 @@ import (
 	"astrea/internal/compress"
 	"astrea/internal/decodegraph"
 	"astrea/internal/decoder"
+	"astrea/internal/drift"
 	"astrea/internal/experiments"
 	"astrea/internal/hwmodel"
 	"astrea/internal/montecarlo"
@@ -183,18 +184,48 @@ func defaultDuration(d, def time.Duration) time.Duration {
 	return d
 }
 
-// distPool is one served distance: the shared immutable tables plus a pool
-// of per-worker decoder instances. Decoders are NOT concurrency-safe (see
-// decoder.Decoder's contract), so each worker checks one out for the
-// duration of a decode; instances declaring decoder.ConcurrencySafe could
-// be shared, but pooling is uniformly correct either way.
+// distPool is one generation of one served distance: the shared immutable
+// tables plus a pool of per-worker decoder instances. Decoders are NOT
+// concurrency-safe (see decoder.Decoder's contract), so each worker checks
+// one out for the duration of a decode; instances declaring
+// decoder.ConcurrencySafe could be shared, but pooling is uniformly correct
+// either way. Artifact rotation replaces a distance's current pool with a
+// new generation while requests, streams and legacy connections pinned to
+// the old one finish on it (see rotate.go).
 type distPool struct {
 	env   *montecarlo.Env
 	riceK uint8
 	// fp is the decoding-configuration digest advertised in extended
 	// handshakes: a replica fleet refuses to mix answers from servers whose
 	// fingerprints disagree.
-	fp       decodegraph.Fingerprint
+	fp decodegraph.Fingerprint
+
+	// dist, gen and p identify the generation for rotation accounting:
+	// the served distance, the artifact's generation ordinal (0 for a pool
+	// built at startup without one) and the physical error rate its tables
+	// are programmed for.
+	dist int
+	gen  uint64
+	p    float64
+
+	// refs counts the holders that keep a superseded generation alive: one
+	// per in-flight request, one per open streaming session pinned to the
+	// pool, one per legacy (non-rotation-aware) connection for its whole
+	// life. A retiring pool with zero refs is retired (rotate.go); the
+	// current generation never retires.
+	refs     atomic.Int64
+	retiring atomic.Bool
+	// retired marks the generation fully drained and removed from the live
+	// set; guarded by Server.rotateMu.
+	retired bool
+
+	// Drift accumulators: per-detector flip counts and total shots observed
+	// by this generation's decode path, compared against expected (the
+	// DEM-predicted per-detector flip rates) to score calibration drift.
+	driftShots atomic.Int64
+	driftFlips []atomic.Int64
+	expected   []float64
+
 	decoders sync.Pool
 	// fallback pools fast weighted Union-Find instances for deadline-aware
 	// degradation (nil when degradation is disabled).
@@ -203,6 +234,31 @@ type distPool struct {
 
 func (p *distPool) get() decoder.Decoder  { return p.decoders.Get().(decoder.Decoder) }
 func (p *distPool) put(d decoder.Decoder) { p.decoders.Put(d) }
+
+// driftScratch pools the set-bit scratch recordDrift iterates with, so the
+// per-request drift hook allocates nothing in steady state.
+var driftScratch = sync.Pool{New: func() interface{} { s := make([]int, 0, 64); return &s }}
+
+// recordDrift folds one observed syndrome into the generation's drift
+// accumulators — a handful of atomic adds per request.
+func (p *distPool) recordDrift(s bitvec.Vec) {
+	buf := driftScratch.Get().(*[]int)
+	*buf = s.Ones((*buf)[:0])
+	for _, d := range *buf {
+		p.driftFlips[d].Add(1)
+	}
+	driftScratch.Put(buf)
+	p.driftShots.Add(1)
+}
+
+// distSlot is one served distance's hot-swap indirection: cur is the
+// generation new work lands on, swapped atomically by Rotate; live lists
+// every not-yet-retired generation newest-first (live[0] == cur), guarded
+// by Server.rotateMu.
+type distSlot struct {
+	cur  atomic.Pointer[distPool]
+	live []*distPool
+}
 
 // decode runs one syndrome on a pooled instance — the fallback pool when
 // degraded — containing any panic: the request fails with an error instead
@@ -234,11 +290,17 @@ type request struct {
 	arrival    time.Time
 }
 
-// conn is one client stream's server-side state.
+// conn is one client stream's server-side state. pool is the generation
+// pinned at handshake time — the one whose Rice parameter the negotiated
+// codec uses, and the one every request on a non-rotation-aware connection
+// decodes against. slot is the distance's hot-swap indirection: connections
+// that negotiated FeatureRotation resolve slot's current generation per
+// request instead.
 type conn struct {
 	net.Conn
 	wmu     sync.Mutex
 	pool    *distPool
+	slot    *distSlot
 	codecID uint8
 	// features is the negotiated feature-bit set (FeatureChecksum switches
 	// both directions to CRC32C-trailed frames; FeatureProbe enables
@@ -292,9 +354,13 @@ func (c *conn) readFrame(maxFrame int) (FrameType, []byte, error) {
 // Server is the decode daemon.
 type Server struct {
 	cfg   Config
-	pools map[int]*distPool
+	pools map[int]*distSlot
 	queue chan *request
 	stats *stats
+
+	// rotateMu serialises Rotate calls and guards every slot's live list
+	// and every pool's retired flag.
+	rotateMu sync.Mutex
 	// features is the advertised feature-bit set: supportedFeatures minus
 	// anything the configuration disables (session resume).
 	features uint32
@@ -343,7 +409,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:        cfg,
-		pools:      make(map[int]*distPool, len(cfg.Distances)),
+		pools:      make(map[int]*distSlot, len(cfg.Distances)),
 		queue:      make(chan *request, cfg.QueueDepth),
 		stats:      newStats(cfg, float64(cfg.DefaultDeadlineNs)),
 		features:   supportedFeatures,
@@ -360,6 +426,7 @@ func New(cfg Config) (*Server, error) {
 		if _, dup := s.pools[d]; dup {
 			return nil, fmt.Errorf("server: distance %d listed twice", d)
 		}
+		var gen uint64
 		env := cfg.Envs[d]
 		if env == nil {
 			if a := cfg.Artifacts[d]; a != nil {
@@ -374,6 +441,7 @@ func New(cfg Config) (*Server, error) {
 				if err != nil {
 					return nil, err
 				}
+				gen = a.Meta.Generation
 			} else {
 				// The process-wide cache deduplicates builds across pools,
 				// servers and tests sharing an operating point.
@@ -384,33 +452,13 @@ func New(cfg Config) (*Server, error) {
 				}
 			}
 		}
-		p := &distPool{
-			env:   env,
-			riceK: uint8(compress.NewRice(env.Model.NumDetectors, env.Model.ExpectedDetectorFlips()).K),
-			fp:    decodegraph.FingerprintOf(env.Model, env.GWT),
-		}
-		factory := factory
-		p.decoders.New = func() interface{} {
-			dec, err := factory(env)
-			if err != nil {
-				// Construction was validated at startup; a later failure
-				// would be a programming error.
-				panic(fmt.Sprintf("server: decoder construction failed after startup validation: %v", err))
-			}
-			return dec
-		}
-		first, err := factory(env)
+		p, err := s.buildPool(d, gen, env, factory, cfg.Decoder)
 		if err != nil {
-			return nil, fmt.Errorf("server: building %q decoder for d=%d: %w", cfg.Decoder, d, err)
+			return nil, err
 		}
-		p.put(first)
-		if cfg.DegradeFraction > 0 {
-			graph := env.Graph
-			p.fallback = &sync.Pool{New: func() interface{} {
-				return unionfind.New(graph, true)
-			}}
-		}
-		s.pools[d] = p
+		slot := &distSlot{live: []*distPool{p}}
+		slot.cur.Store(p)
+		s.pools[d] = slot
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
@@ -425,6 +473,43 @@ func New(cfg Config) (*Server, error) {
 		go s.resumeReaper(cfg.StreamResumeTTL)
 	}
 	return s, nil
+}
+
+// buildPool assembles one generation's decoder pool over an environment,
+// validating the decoder choice by constructing one instance eagerly. Used
+// by New for the startup generations and by Rotate for hot-swapped ones.
+func (s *Server) buildPool(d int, gen uint64, env *montecarlo.Env, factory montecarlo.Factory, decoderName string) (*distPool, error) {
+	p := &distPool{
+		env:        env,
+		riceK:      uint8(compress.NewRice(env.Model.NumDetectors, env.Model.ExpectedDetectorFlips()).K),
+		fp:         decodegraph.FingerprintOf(env.Model, env.GWT),
+		dist:       d,
+		gen:        gen,
+		p:          env.P,
+		driftFlips: make([]atomic.Int64, env.Model.NumDetectors),
+		expected:   drift.ExpectedRates(env.Model),
+	}
+	p.decoders.New = func() interface{} {
+		dec, err := factory(env)
+		if err != nil {
+			// Construction was validated when the pool was built; a later
+			// failure would be a programming error.
+			panic(fmt.Sprintf("server: decoder construction failed after startup validation: %v", err))
+		}
+		return dec
+	}
+	first, err := factory(env)
+	if err != nil {
+		return nil, fmt.Errorf("server: building %q decoder for d=%d: %w", decoderName, d, err)
+	}
+	p.put(first)
+	if s.cfg.DegradeFraction > 0 {
+		graph := env.Graph
+		p.fallback = &sync.Pool{New: func() interface{} {
+			return unionfind.New(graph, true)
+		}}
+	}
+	return p, nil
 }
 
 // reaper periodically closes connections that have completed no frame for
@@ -495,22 +580,23 @@ func (s *Server) Distances() []int {
 	return out
 }
 
-// Fingerprints returns the decoding-configuration digest per served
-// distance — what the extended handshake advertises and what every replica
-// of a fleet must agree on.
+// Fingerprints returns the current decoding-configuration digest per
+// served distance — what the extended handshake advertises and what every
+// replica of a fleet must agree on. After a rotation this is the new
+// generation's digest even while the old one drains.
 func (s *Server) Fingerprints() map[int]decodegraph.Fingerprint {
 	out := make(map[int]decodegraph.Fingerprint, len(s.pools))
-	for d, p := range s.pools {
-		out[d] = p.fp
+	for d, slot := range s.pools {
+		out[d] = slot.cur.Load().fp
 	}
 	return out
 }
 
-// fingerprintStrings shapes the fingerprints for the JSON snapshot.
+// fingerprintStrings shapes the current fingerprints for the JSON snapshot.
 func (s *Server) fingerprintStrings() map[string]string {
 	out := make(map[string]string, len(s.pools))
-	for d, p := range s.pools {
-		out[fmt.Sprintf("%d", d)] = p.fp.String()
+	for d, slot := range s.pools {
+		out[fmt.Sprintf("%d", d)] = slot.cur.Load().fp.String()
 	}
 	return out
 }
@@ -663,6 +749,14 @@ func (s *Server) serveConn(c *conn) {
 	if err := s.handshake(c); err != nil {
 		return
 	}
+	if c.features&FeatureRotation == 0 {
+		// A non-rotation-aware connection is pinned to its handshake
+		// generation for its whole life — its single advertised fingerprint
+		// must stay truthful — so it holds a reference that keeps the
+		// generation from retiring until the connection closes.
+		c.pool.refs.Add(1)
+		defer s.releasePool(c.pool)
+	}
 	codec, err := compress.ForID(c.codecID, uint(c.pool.riceK))
 	if err != nil {
 		return // unreachable: the handshake validated the ID
@@ -763,7 +857,7 @@ func (s *Server) serveConn(c *conn) {
 		r := &request{
 			conn:       c,
 			seq:        req.Seq,
-			pool:       c.pool,
+			pool:       s.acquirePool(c),
 			syndrome:   syndrome,
 			deadlineNs: deadline,
 			arrival:    arrival,
@@ -776,6 +870,7 @@ func (s *Server) serveConn(c *conn) {
 		default:
 			// Backpressure: the bounded queue is full. Nothing is decoded;
 			// the client is told how long to back off.
+			s.releasePool(r.pool)
 			s.stats.rejected.Add(1)
 			//lint:allow errwrap best-effort backpressure hint; a failed write already closed the conn
 			c.writeFrame(FrameReject, RejectFrame{
@@ -823,15 +918,17 @@ func (s *Server) handshake(c *conn) error {
 	if h.Version != ProtocolVersion {
 		return refuse(StatusBadVersion, fmt.Sprintf("protocol version %d unsupported", h.Version))
 	}
-	pool, ok := s.pools[int(h.Distance)]
+	slot, ok := s.pools[int(h.Distance)]
 	if !ok {
 		return refuse(StatusUnknownDistance,
 			fmt.Sprintf("distance %d not served (have %v)", h.Distance, s.Distances()))
 	}
+	pool := slot.cur.Load()
 	if _, err := compress.ForID(h.Codec, uint(pool.riceK)); err != nil {
 		return refuse(StatusUnknownCodec, err.Error())
 	}
 	c.pool = pool
+	c.slot = slot
 	c.codecID = h.Codec
 	ack := HelloAck{
 		Version:      ProtocolVersion,
@@ -847,9 +944,14 @@ func (s *Server) handshake(c *conn) error {
 	// Extended handshake: accept the intersection of the offered and
 	// supported features and advertise this distance's configuration
 	// fingerprint. The negotiated framing (checksums) applies to every
-	// frame AFTER the ack, which itself still travels unchecked.
+	// frame AFTER the ack, which itself still travels unchecked. A
+	// rotation-aware peer additionally gets the full live-generation
+	// fingerprint set, led by the one the ack's fingerprint field names.
 	ack.Features = h.Features & s.features
 	ack.Fingerprint = uint64(pool.fp)
+	if ack.Features&FeatureRotation != 0 {
+		ack.FingerprintSet = s.liveFingerprints(slot, pool)
+	}
 	if err := c.writeFrame(FrameHelloAck, ack.AppendToExt(nil)); err != nil {
 		return err
 	}
@@ -896,6 +998,11 @@ func (s *Server) worker() {
 // already consumed most of the deadline budget, the fast fallback decoder
 // answers instead of the configured one (FlagDegraded).
 func (s *Server) decodeOne(r *request) {
+	defer s.releasePool(r.pool)
+	// Every observed syndrome feeds the generation's drift accumulators —
+	// a handful of atomic adds — so /stats can score live detector-flip
+	// rates against the tables' compiled-in expectations.
+	r.pool.recordDrift(r.syndrome)
 	queuedNs := float64(time.Since(r.arrival).Nanoseconds())
 	degraded := r.pool.fallback != nil &&
 		queuedNs >= s.cfg.DegradeFraction*float64(r.deadlineNs)
@@ -931,12 +1038,21 @@ func (s *Server) decodeOne(r *request) {
 		weight = 0
 	}
 	s.stats.completed.Add(1)
-	//lint:allow errwrap a failed result write closes the conn; the client observes the broken stream and retries elsewhere
-	r.conn.writeFrame(FrameResult, ResultFrame{
+	rf := ResultFrame{
 		Seq:         r.seq,
 		ObsMask:     res.ObsPrediction,
 		WeightMilli: uint64(weight),
 		SojournNs:   uint64(sojournNs),
 		Flags:       flags,
-	}.AppendTo(nil))
+	}
+	payload := rf.AppendTo(nil)
+	if r.conn.features&FeatureRotation != 0 {
+		// Rotation-aware peers get the extended result layout, whose
+		// trailing fingerprint names the generation that produced this
+		// answer — attributable even across a mid-connection hot-swap.
+		rf.Fingerprint = uint64(r.pool.fp)
+		payload = rf.AppendToExt(nil)
+	}
+	//lint:allow errwrap a failed result write closes the conn; the client observes the broken stream and retries elsewhere
+	r.conn.writeFrame(FrameResult, payload)
 }

@@ -125,6 +125,7 @@ func (s *Server) dropParked(sess *streamSession) bool {
 	s.unregisterSession(sess)
 	s.accumulateStreamStats(sess.p.Stats())
 	s.stats.streamsAborted.Add(1)
+	s.releasePool(sess.pool)
 	return true
 }
 
@@ -201,7 +202,11 @@ func (s *Server) serveStreamResume(c *conn, codec compress.Codec, payload []byte
 	if sess == nil {
 		return refuse("unknown or expired stream session")
 	}
-	if sess.pool != c.pool {
+	if sess.pool != c.pool && (c.features&FeatureRotation == 0 || sess.pool.dist != c.pool.dist) {
+		// A rotation-aware client may resume a session opened on a since-
+		// superseded generation — the session keeps decoding on its pinned
+		// pool, and the rotation contract guarantees the row width did not
+		// change. Anything else is a genuinely different operating point.
 		return refuse("session belongs to a different operating point")
 	}
 

@@ -247,9 +247,15 @@ func (s *Server) serveStream(c *conn, codec compress.Codec, payload []byte) erro
 		return err
 	}
 
+	// The session pins the generation current at open time and holds a
+	// reference on it until its terminal accounting: a rotation mid-stream
+	// never moves an open session, so an old-generation stream finishes
+	// bit-identical to an uninterrupted run on that generation.
+	pool := s.acquirePool(c)
 	refuse := func(msg string) error {
 		// Refuse the session but keep the connection: the decode path is
 		// still healthy.
+		s.releasePool(pool)
 		s.stats.streamsRefused.Add(1)
 		ack := StreamOpenAck{Status: StatusInternalError, Message: msg}
 		pl := ack.AppendTo(nil)
@@ -261,8 +267,8 @@ func (s *Server) serveStream(c *conn, codec compress.Codec, payload []byte) erro
 		return nil
 	}
 
-	cfg := resolveStreamConfig(c.pool.env, s.cfg.Decoder, req)
-	width := stream.RowWidth(c.pool.env)
+	cfg := resolveStreamConfig(pool.env, s.cfg.Decoder, req)
+	width := stream.RowWidth(pool.env)
 	rowWords := (width + 63) / 64
 	if resumable && (ext.StartRow > 0 || ext.NextSeq > 0 || ext.CarrySeam > 0) {
 		// Cold re-open: the client restarts a lost session from its commit
@@ -293,7 +299,7 @@ func (s *Server) serveStream(c *conn, codec compress.Codec, payload []byte) erro
 	sess := &streamSession{
 		resumable:  resumable,
 		p:          p,
-		pool:       c.pool,
+		pool:       pool,
 		width:      width,
 		rowWords:   rowWords,
 		pumpDone:   make(chan struct{}),
@@ -557,6 +563,7 @@ func (s *Server) abortStream(sess *streamSession, err error) error {
 		s.unregisterSession(sess)
 		s.accumulateStreamStats(sess.p.Stats())
 		s.stats.streamsAborted.Add(1)
+		s.releasePool(sess.pool)
 	}
 	return err
 }
@@ -574,6 +581,7 @@ func (s *Server) finishStream(sess *streamSession, completed bool) {
 	} else {
 		s.stats.streamsAborted.Add(1)
 	}
+	s.releasePool(sess.pool)
 }
 
 // accumulateStreamStats folds one finished session's pipeline counters

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"astrea/internal/montecarlo"
 	"astrea/internal/realtime"
 )
 
@@ -48,7 +49,10 @@ type stats struct {
 	streamsResumeMisses  atomic.Int64 // resumes refused (unknown token, stale watermark)
 	streamsResumeExpired atomic.Int64 // parked sessions reaped at the TTL
 	streamsResumeEvicted atomic.Int64 // parked sessions evicted at the cache bounds
-	tracker              *realtime.Tracker
+	// Rotation accounting (see rotate.go).
+	rotations          atomic.Int64 // completed hot-swaps across all distances
+	generationsRetired atomic.Int64 // superseded generations fully drained
+	tracker            *realtime.Tracker
 }
 
 func newStats(cfg Config, deadlineNs float64) *stats {
@@ -83,6 +87,25 @@ type Snapshot struct {
 	// digest (DEM + quantised GWT), the value replicas must agree on before
 	// a fleet client will mix their answers. Keys are decimal distances.
 	Fingerprints map[string]string `json:"fingerprints"`
+
+	// Generations maps each served distance to its rotation state: current
+	// generation ordinal and fingerprint, the still-draining fingerprint
+	// set, and a calibration-drift score of observed detector-flip rates
+	// against the tables' expectations. Keys are decimal distances.
+	Generations map[string]GenerationStatus `json:"generations"`
+	// Rotations counts completed hot-swaps; GenerationsRetired counts
+	// superseded generations that have fully drained (after a quiescent
+	// rotation the two differ by the still-draining count).
+	Rotations          int64 `json:"rotations"`
+	GenerationsRetired int64 `json:"generations_retired"`
+
+	// Shared environment cache occupancy (process-wide, montecarlo): a
+	// rotating daemon resolves stream-window environments per generation,
+	// and the cache's LRU bound turns that churn into evictions instead of
+	// unbounded growth.
+	EnvCacheEntries   int   `json:"env_cache_entries"`
+	EnvCacheBytes     int64 `json:"env_cache_bytes"`
+	EnvCacheEvictions int64 `json:"env_cache_evictions"`
 
 	// Fault containment and degradation accounting.
 	Panics       int64 `json:"panics"`         // contained decoder panics
@@ -157,6 +180,9 @@ func (s *Server) Snapshot() Snapshot {
 		ChecksumFailures:     st.checksumFail.Load(),
 		Pings:                st.pings.Load(),
 		Fingerprints:         s.fingerprintStrings(),
+		Generations:          s.generationStatuses(),
+		Rotations:            st.rotations.Load(),
+		GenerationsRetired:   st.generationsRetired.Load(),
 		Panics:               st.panics.Load(),
 		Degraded:             st.degraded.Load(),
 		IdleReaped:           st.idleReaped.Load(),
@@ -184,6 +210,7 @@ func (s *Server) Snapshot() Snapshot {
 		DeadlineMissRate:     st.tracker.MissRate(),
 	}
 	snap.ResumeCacheSessions, snap.ResumeCacheBytes = s.resumeCacheGauges()
+	snap.EnvCacheEntries, snap.EnvCacheBytes, snap.EnvCacheEvictions = montecarlo.SharedEnvCacheStats()
 	if batches > 0 {
 		snap.MeanBatch = float64(st.batched.Load()) / float64(batches)
 	}

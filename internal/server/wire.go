@@ -107,9 +107,20 @@ const (
 	// stream-corrections payloads use their extended forms; legacy peers
 	// keep the v2 layouts byte for byte.
 	FeatureStreamResume uint32 = 1 << 3
+	// FeatureRotation makes the connection artifact-rotation aware: the
+	// extended HelloAck carries the full set of live decoding-configuration
+	// fingerprints (current generation first) instead of just one, new
+	// requests decode against the newest generation even when the pool is
+	// hot-swapped mid-connection, and every Result uses its 41-byte extended
+	// form whose trailing u64 names the fingerprint of the generation that
+	// produced the answer — so a client can verify each correction against
+	// the exact tables that computed it. A connection that did not negotiate
+	// the bit stays pinned to its handshake-time generation for its whole
+	// life, keeping the single advertised fingerprint truthful.
+	FeatureRotation uint32 = 1 << 4
 
 	// supportedFeatures is what this build negotiates.
-	supportedFeatures = FeatureChecksum | FeatureProbe | FeatureStream | FeatureStreamResume
+	supportedFeatures = FeatureChecksum | FeatureProbe | FeatureStream | FeatureStreamResume | FeatureRotation
 )
 
 // Result flag bits.
@@ -296,7 +307,14 @@ type HelloAck struct {
 	// fleet client can refuse a replica serving a different noise model.
 	Features    uint32
 	Fingerprint uint64
-	Message     string
+	// FingerprintSet travels only when the accepted features include
+	// FeatureRotation: every fingerprint the server currently answers with
+	// for the pinned distance, newest generation first (so FingerprintSet[0]
+	// == Fingerprint). During a hot-swap drain both the new and the retiring
+	// generation appear; a fleet client in a staged rollout accepts any
+	// member of the set.
+	FingerprintSet []uint64
+	Message        string
 }
 
 // HelloAck status codes.
@@ -327,6 +345,24 @@ const (
 	StatusUnknownSession uint8 = 7
 )
 
+// equal reports field-for-field equality (the fingerprint set makes the
+// struct non-comparable with ==).
+func (a HelloAck) equal(b HelloAck) bool {
+	if len(a.FingerprintSet) != len(b.FingerprintSet) {
+		return false
+	}
+	for i := range a.FingerprintSet {
+		if a.FingerprintSet[i] != b.FingerprintSet[i] {
+			return false
+		}
+	}
+	return a.Version == b.Version && a.Status == b.Status &&
+		a.NumDetectors == b.NumDetectors && a.Codec == b.Codec &&
+		a.RiceK == b.RiceK && a.QueueDepth == b.QueueDepth &&
+		a.Features == b.Features && a.Fingerprint == b.Fingerprint &&
+		a.Message == b.Message
+}
+
 // AppendTo serialises the legacy hello-ack payload (no features or
 // fingerprint), the only form a legacy client can parse.
 func (a HelloAck) AppendTo(dst []byte) []byte {
@@ -338,8 +374,10 @@ func (a HelloAck) AppendTo(dst []byte) []byte {
 }
 
 // AppendToExt serialises the extended hello-ack payload: the legacy fixed
-// header, then accepted features and the configuration fingerprint, then
-// the message tail. Sent only in reply to an extended Hello.
+// header, then accepted features and the configuration fingerprint, then —
+// only when the accepted features include FeatureRotation — a u8-counted
+// list of all live fingerprints, then the message tail. Sent only in reply
+// to an extended Hello.
 func (a HelloAck) AppendToExt(dst []byte) []byte {
 	dst = append(dst, a.Version, a.Status)
 	dst = binary.LittleEndian.AppendUint32(dst, a.NumDetectors)
@@ -347,6 +385,16 @@ func (a HelloAck) AppendToExt(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, a.QueueDepth)
 	dst = binary.LittleEndian.AppendUint32(dst, a.Features)
 	dst = binary.LittleEndian.AppendUint64(dst, a.Fingerprint)
+	if a.Features&FeatureRotation != 0 {
+		set := a.FingerprintSet
+		if len(set) > 255 {
+			set = set[:255] // u8 count; newest-first order keeps the live generation
+		}
+		dst = append(dst, uint8(len(set)))
+		for _, fp := range set {
+			dst = binary.LittleEndian.AppendUint64(dst, fp)
+		}
+	}
 	return append(dst, a.Message...)
 }
 
@@ -366,7 +414,11 @@ func ParseHelloAck(b []byte) (HelloAck, error) {
 	}, nil
 }
 
-// ParseHelloAckExt deserialises an extended hello-ack payload.
+// ParseHelloAckExt deserialises an extended hello-ack payload. When the
+// accepted features include FeatureRotation the fixed header is followed by
+// a u8-counted fingerprint list; a count pointing past the payload, or a
+// non-empty list whose first entry disagrees with the fingerprint field, is
+// malformed.
 func ParseHelloAckExt(b []byte) (HelloAck, error) {
 	if len(b) < 24 {
 		return HelloAck{}, fmt.Errorf("server: extended hello-ack payload is %d bytes, want ≥ 24", len(b))
@@ -377,7 +429,29 @@ func ParseHelloAckExt(b []byte) (HelloAck, error) {
 	}
 	a.Features = binary.LittleEndian.Uint32(b[12:16])
 	a.Fingerprint = binary.LittleEndian.Uint64(b[16:24])
-	a.Message = string(b[24:])
+	rest := b[24:]
+	if a.Features&FeatureRotation != 0 {
+		if len(rest) < 1 {
+			return HelloAck{}, fmt.Errorf("server: rotation hello-ack is missing its fingerprint count")
+		}
+		n := int(rest[0])
+		rest = rest[1:]
+		if len(rest) < 8*n {
+			return HelloAck{}, fmt.Errorf("server: rotation hello-ack claims %d fingerprints in %d bytes", n, len(rest))
+		}
+		if n > 0 {
+			a.FingerprintSet = make([]uint64, n)
+			for i := range a.FingerprintSet {
+				a.FingerprintSet[i] = binary.LittleEndian.Uint64(rest[8*i:])
+			}
+			if a.FingerprintSet[0] != a.Fingerprint {
+				return HelloAck{}, fmt.Errorf("server: rotation hello-ack fingerprint set leads with %016x, header says %016x",
+					a.FingerprintSet[0], a.Fingerprint)
+			}
+		}
+		rest = rest[8*n:]
+	}
+	a.Message = string(rest)
 	return a, nil
 }
 
@@ -421,6 +495,12 @@ type ResultFrame struct {
 	WeightMilli uint64
 	SojournNs   uint64
 	Flags       uint8
+	// Fingerprint travels only on connections that negotiated
+	// FeatureRotation (the 41-byte extended result layout): the
+	// decoding-configuration digest of the generation that produced this
+	// answer, so a client can attribute every correction to exact tables
+	// even across a mid-connection hot-swap.
+	Fingerprint uint64
 }
 
 // AppendTo serialises the result payload.
@@ -430,6 +510,14 @@ func (r ResultFrame) AppendTo(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, r.WeightMilli)
 	dst = binary.LittleEndian.AppendUint64(dst, r.SojournNs)
 	return append(dst, r.Flags)
+}
+
+// AppendToExt serialises the extended 41-byte result payload used on
+// connections that negotiated FeatureRotation: the legacy layout plus the
+// trailing generation fingerprint.
+func (r ResultFrame) AppendToExt(dst []byte) []byte {
+	dst = r.AppendTo(dst)
+	return binary.LittleEndian.AppendUint64(dst, r.Fingerprint)
 }
 
 // ParseResultFrame deserialises a result payload.
@@ -444,6 +532,19 @@ func ParseResultFrame(b []byte) (ResultFrame, error) {
 		SojournNs:   binary.LittleEndian.Uint64(b[24:32]),
 		Flags:       b[32],
 	}, nil
+}
+
+// ParseResultFrameExt deserialises the extended 41-byte result payload.
+func ParseResultFrameExt(b []byte) (ResultFrame, error) {
+	if len(b) != 41 {
+		return ResultFrame{}, fmt.Errorf("server: extended result payload is %d bytes, want 41", len(b))
+	}
+	r, err := ParseResultFrame(b[:33])
+	if err != nil {
+		return ResultFrame{}, err
+	}
+	r.Fingerprint = binary.LittleEndian.Uint64(b[33:41])
+	return r, nil
 }
 
 // RejectFrame is the server's backpressure answer: the queue was full when

@@ -79,7 +79,7 @@ func TestHelloAckRoundTrip(t *testing.T) {
 		Codec: 2, RiceK: 5, QueueDepth: 1024, Message: "ok",
 	}
 	got, err := ParseHelloAck(a.AppendTo(nil))
-	if err != nil || got != a {
+	if err != nil || !got.equal(a) {
 		t.Fatalf("hello-ack round trip: %+v, %v", got, err)
 	}
 	if _, err := ParseHelloAck(make([]byte, 11)); err == nil {
@@ -118,7 +118,7 @@ func TestHelloAckExtRoundTrip(t *testing.T) {
 	}
 	enc := a.AppendToExt(nil)
 	got, err := ParseHelloAckExt(enc)
-	if err != nil || got != a {
+	if err != nil || !got.equal(a) {
 		t.Fatalf("extended hello-ack round trip: %+v, %v", got, err)
 	}
 	// The fixed header must stay legacy-parseable: an old client reading an
