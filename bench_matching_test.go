@@ -1,0 +1,91 @@
+package astrea
+
+import (
+	"fmt"
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decoder"
+	"astrea/internal/dem"
+	"astrea/internal/montecarlo"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+	"astrea/internal/sparsemwpm"
+)
+
+// matchingCell is one (distance, error rate, Hamming-weight stratum) cell
+// of the dense-vs-sparse exact-matching comparison. The cells cover every
+// distance the repo's evaluation serves, restricted per distance to the
+// strata its own error model actually populates.
+type matchingCell struct {
+	D    int
+	P    float64
+	LoHW int
+	HiHW int
+}
+
+var matchingCells = []matchingCell{
+	{3, 3e-3, 2, 4}, {3, 3e-3, 5, 8},
+	{5, 3e-3, 2, 4}, {5, 3e-3, 5, 8}, {5, 3e-3, 9, 14},
+	{7, 3e-3, 2, 4}, {7, 3e-3, 5, 8}, {7, 3e-3, 9, 14}, {7, 3e-3, 15, 24},
+	{9, 3e-3, 5, 8}, {9, 3e-3, 9, 14}, {9, 3e-3, 15, 24}, {9, 3e-3, 25, 48},
+}
+
+func (c matchingCell) name() string {
+	return fmt.Sprintf("d%d/hw%d-%d", c.D, c.LoHW, c.HiHW)
+}
+
+// matchingPool samples up to max syndromes from the cell's own error model
+// whose Hamming weight falls inside the stratum, along with the shared
+// environment the engines are built over.
+func matchingPool(tb testing.TB, c matchingCell, max int) (*montecarlo.Env, []bitvec.Vec) {
+	tb.Helper()
+	env, err := montecarlo.SharedEnv(c.D, c.D, c.P)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	smp := dem.NewSampler(env.Model)
+	rng := prng.New(uint64(9000 + c.D*100 + c.LoHW))
+	var pool []bitvec.Vec
+	for shot := 0; shot < 400000 && len(pool) < max; shot++ {
+		s := bitvec.New(env.Model.NumDetectors)
+		smp.Sample(rng, s)
+		if k := len(s.Ones(nil)); k >= c.LoHW && k <= c.HiHW {
+			pool = append(pool, s)
+		}
+	}
+	if len(pool) < 20 {
+		tb.Fatalf("%s: only %d syndromes in the stratum; cell miscalibrated", c.name(), len(pool))
+	}
+	return env, pool
+}
+
+func benchMatchingEngine(b *testing.B, mk func(env *montecarlo.Env) decoder.Decoder) {
+	for _, c := range matchingCells {
+		b.Run(c.name(), func(b *testing.B) {
+			env, pool := matchingPool(b, c, 200)
+			dec := mk(env)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec.Decode(pool[i%len(pool)])
+			}
+		})
+	}
+}
+
+// BenchmarkMatchingDense times the classic dense complete-graph blossom
+// engine per (distance, HW stratum) cell; BenchmarkMatchingSparse times the
+// sparse local-region engine on the same pools. BENCH_matching.json commits
+// a head-to-head run of the same cells.
+func BenchmarkMatchingDense(b *testing.B) {
+	benchMatchingEngine(b, func(env *montecarlo.Env) decoder.Decoder {
+		return mwpm.New(env.GWT)
+	})
+}
+
+func BenchmarkMatchingSparse(b *testing.B) {
+	benchMatchingEngine(b, func(env *montecarlo.Env) decoder.Decoder {
+		return mwpm.NewWithEngine(env.GWT, sparsemwpm.New(env.Graph))
+	})
+}

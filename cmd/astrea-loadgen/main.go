@@ -382,6 +382,7 @@ func render(rep *server.LoadReport, cfg server.LoadConfig) error {
 	}
 	if cfg.Verify {
 		t.AddRow("verified mismatches", rep.Mismatches)
+		t.AddRow("verify engine", rep.VerifyEngine)
 	}
 	if rep.OtherGeneration > 0 {
 		t.AddRow("other-generation answers (unverified)", rep.OtherGeneration)

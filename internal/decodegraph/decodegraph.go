@@ -27,6 +27,7 @@ package decodegraph
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"astrea/internal/circuit"
 	"astrea/internal/dem"
@@ -72,6 +73,13 @@ type Graph struct {
 	Metas []circuit.DetMeta
 
 	adj [][]halfEdge // length N+1; adj[N] is the boundary's adjacency
+
+	// Lazily built sparse-engine views (see sparse.go). Graphs are shared
+	// across decoder pools, so the views are built once and reused.
+	sparseOnce sync.Once
+	csr        *CSR
+	bndW       []float64
+	bndObs     []uint64
 }
 
 // Boundary returns the node index used for the virtual boundary.
@@ -200,6 +208,12 @@ func (h *minHeap) pop() pqItem {
 // shortestFrom runs Dijkstra from src over the N+1 node graph, filling dist
 // and the observable parity of the chosen shortest path per node. The
 // caller supplies the frontier heap so one allocation serves every source.
+//
+// The boundary node is an endpoint, never an intermediate hop: unless it is
+// the source it is not expanded, so dist[j] for a detector source is the
+// weight of the best boundary-avoiding ("direct") chain. A route through
+// the boundary is by definition two boundary chains, which the GWT fold and
+// the matching formulations account for separately as bnd(i)+bnd(j).
 func (g *Graph) shortestFrom(src int, dist []float64, obs []uint64, h *minHeap) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
@@ -211,6 +225,9 @@ func (g *Graph) shortestFrom(src int, dist []float64, obs []uint64, h *minHeap) 
 	for len(h.items) > 0 {
 		it := h.pop()
 		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.node == g.N && src != g.N {
 			continue
 		}
 		for _, e := range g.adj[it.node] {

@@ -76,6 +76,23 @@ func IsConcurrentSafe(d Decoder) bool {
 	return ok && cs.ConcurrentSafe()
 }
 
+// EngineNamer is the optional capability a Decoder implements to name the
+// exact-matching engine behind it ("dense", "sparse"), so serving stats and
+// load reports can attribute answers to an engine across fleets and
+// rotations even when two engines share one decoder name.
+type EngineNamer interface {
+	EngineName() string
+}
+
+// EngineOf returns d's engine name, falling back to the decoder name for
+// decoders that are their own engine.
+func EngineOf(d Decoder) string {
+	if en, ok := d.(EngineNamer); ok {
+		return en.EngineName()
+	}
+	return d.Name()
+}
+
 // Validate checks the structural sanity of a matching against the syndrome:
 // every flagged detector appears exactly once, no unflagged detector
 // appears. It returns false with a reason string on violation; decoders'

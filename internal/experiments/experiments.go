@@ -17,6 +17,7 @@ import (
 	"astrea/internal/lilliput"
 	"astrea/internal/montecarlo"
 	"astrea/internal/mwpm"
+	"astrea/internal/sparsemwpm"
 	"astrea/internal/unionfind"
 )
 
@@ -42,8 +43,18 @@ var (
 
 // Decoder factories shared by the experiments.
 
-// MWPMFactory builds the software MWPM baseline.
+// MWPMFactory builds the software MWPM baseline on the dense complete-graph
+// blossom engine (the classic formulation over the all-pairs table).
 func MWPMFactory(env *montecarlo.Env) (decoder.Decoder, error) { return mwpm.New(env.GWT), nil }
+
+// SparseMWPMFactory builds the same MWPM baseline on the sparse
+// exact-matching engine (internal/sparsemwpm): matching runs on the
+// decoding graph's adjacency instead of the dense table, with bit-identical
+// outputs — the two factories are interchangeable anywhere results are
+// compared.
+func SparseMWPMFactory(env *montecarlo.Env) (decoder.Decoder, error) {
+	return mwpm.NewWithEngine(env.GWT, sparsemwpm.New(env.Graph)), nil
+}
 
 // AstreaFactory builds the Astrea exhaustive decoder.
 func AstreaFactory(env *montecarlo.Env) (decoder.Decoder, error) { return astrea.New(env.GWT), nil }

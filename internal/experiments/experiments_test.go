@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"astrea/internal/montecarlo"
 )
 
 // tiny is the test budget: enough statistics for shape assertions while
@@ -288,5 +290,39 @@ func TestEnvCache(t *testing.T) {
 	}
 	if a != b {
 		t.Fatal("environment not cached")
+	}
+}
+
+// TestSparseMWPMStratifiedAgreement drives the dense and sparse MWPM
+// factories through the stratified-LER harness on identical seeded shots:
+// the engines are bit-identical, so every stratum's tally — not just the
+// final LER — must agree exactly.
+func TestSparseMWPMStratifiedAgreement(t *testing.T) {
+	for _, tc := range []struct {
+		d int
+		p float64
+	}{
+		{3, 1e-3}, {5, 3e-3},
+	} {
+		env, err := Env(tc.d, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := montecarlo.RunStratified(env, montecarlo.StratifiedConfig{
+			MaxK: maxKFor(env), ShotsPerK: 300, Seed: 41,
+		}, MWPMFactory, SparseMWPMFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range res.Strata[0] {
+			dense, sparse := res.Strata[0][k], res.Strata[1][k]
+			if dense != sparse {
+				t.Fatalf("d=%d k=%d: dense %+v vs sparse %+v — engines diverged on the stratified harness",
+					tc.d, dense.K, dense, sparse)
+			}
+		}
+		if res.LER(0) != res.LER(1) {
+			t.Fatalf("d=%d: stratified LER diverged: %g vs %g", tc.d, res.LER(0), res.LER(1))
+		}
 	}
 }

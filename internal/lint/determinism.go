@@ -23,6 +23,8 @@ var deterministicPkgs = map[string]bool{
 	"internal/astreag":     true,
 	"internal/unionfind":   true,
 	"internal/mwpm":        true,
+	"internal/exactmatch":  true,
+	"internal/sparsemwpm":  true,
 	"internal/lilliput":    true,
 	"internal/clique":      true,
 	"internal/hwmodel":     true,

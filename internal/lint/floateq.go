@@ -16,6 +16,8 @@ var floatPkgs = map[string]bool{
 	"internal/decodegraph": true,
 	"internal/blossom":     true,
 	"internal/mwpm":        true,
+	"internal/exactmatch":  true,
+	"internal/sparsemwpm":  true,
 	"internal/astrea":      true,
 	"internal/astreag":     true,
 	"internal/unionfind":   true,

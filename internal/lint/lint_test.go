@@ -22,6 +22,9 @@ type fixtureLoad struct {
 var fixtureLoads = []fixtureLoad{
 	{dir: "determinism", rel: "internal/dem"},
 	{dir: "determinism", rel: "internal/drift"},
+	{dir: "determinism", rel: "internal/sparsemwpm"},
+	{dir: "floateq", rel: "internal/sparsemwpm"},
+	{dir: "floateq", rel: "internal/exactmatch"},
 	{dir: "endian", rel: "internal/server"},
 	{dir: "errwrap", rel: "internal/server"},
 	{dir: "exhaustive", rel: "internal/compress"},

@@ -2,56 +2,84 @@
 // the paper's BlossomV baseline (§3.3) and the accuracy gold standard every
 // other decoder is measured against.
 //
-// Given a syndrome, the decoder forms the complete graph over flagged
-// detectors using the Global Weight Table's effective chain weights (which
-// already fold in the through-boundary alternative), adds one explicit
-// boundary vertex when the flagged count is odd, and solves it exactly with
-// the blossom algorithm. With through-boundary pair weights this restricted
-// formulation is exactly equivalent to matching with an unlimited-degree
-// boundary (see internal/decodegraph); the equivalence is property-tested
-// against the boundary-duplication formulation in this package's tests.
+// The package is a thin formulation adapter over an exactmatch.Engine: the
+// engine turns the flagged detector set into the canonical semantic
+// matching (direct pairs plus explicit boundary chains), and the adapter
+// sorts it and scores it through the Global Weight Table. The built-in
+// dense engine forms the complete graph over flagged detectors with lifted
+// through-boundary-folded weights, adds one explicit boundary vertex when
+// the flagged count is odd, and solves it with the O(n³) blossom algorithm;
+// that restricted formulation is exactly equivalent to matching with an
+// unlimited-degree boundary (see internal/decodegraph), which is
+// property-tested against the boundary-duplication formulation in this
+// package's tests. The sparse engine (internal/sparsemwpm) solves the same
+// lifted objective over local regions of the decoding graph instead; both
+// are exact, so NewWithEngine swaps them without changing a single output
+// bit — the differential fuzzer and the cross-engine equality tests in
+// internal/sparsemwpm enforce exactly that.
 package mwpm
 
 import (
+	"math"
+
 	"astrea/internal/bitvec"
 	"astrea/internal/blossom"
 	"astrea/internal/decodegraph"
 	"astrea/internal/decoder"
+	"astrea/internal/exactmatch"
 )
 
 // WeightScale converts float decade weights to the integer fixed point used
-// inside the blossom solver. 2^16 is far finer than the hardware's 8-bit
+// inside the exact solvers. 2^16 is far finer than the hardware's 8-bit
 // quantisation, so the software baseline is effectively exact.
-const WeightScale = 1 << 16
+const WeightScale = exactmatch.WeightScale
 
 // Decoder is the software MWPM decoder. Decode is NOT safe for concurrent
 // use on one instance (per-decode scratch is reused); create one Decoder
-// per goroutine — the GWT they read may be shared freely.
+// per goroutine — the GWT and engine-backing graph they read may be shared
+// freely.
 type Decoder struct {
-	gwt *decodegraph.GWT
-	sv  blossom.Solver
+	gwt    *decodegraph.GWT
+	engine exactmatch.Engine
 
 	ones []int
 }
 
-// New returns an MWPM decoder over the given weight table.
+// New returns an MWPM decoder over the given weight table, backed by the
+// dense complete-graph blossom engine.
 func New(gwt *decodegraph.GWT) *Decoder {
-	return &Decoder{gwt: gwt}
+	return NewWithEngine(gwt, &denseEngine{gwt: gwt})
 }
 
-// Name implements decoder.Decoder.
-func (d *Decoder) Name() string { return "MWPM" }
+// NewWithEngine returns an MWPM decoder whose matchings come from the given
+// exact engine. The engine must solve the lifted objective described in
+// internal/exactmatch; the adapter only sorts and scores its output.
+func NewWithEngine(gwt *decodegraph.GWT, e exactmatch.Engine) *Decoder {
+	return &Decoder{gwt: gwt, engine: e}
+}
+
+// Name implements decoder.Decoder. The dense-engine decoder keeps its
+// historical name "MWPM"; other engines are suffixed so reports and
+// stratified-LER tables attribute results to the engine that produced them.
+func (d *Decoder) Name() string {
+	if d.engine.Name() == "dense" {
+		return "MWPM"
+	}
+	return "MWPM-" + d.engine.Name()
+}
+
+// EngineName implements decoder.EngineNamer.
+func (d *Decoder) EngineName() string { return d.engine.Name() }
 
 // Decode implements decoder.Decoder.
 func (d *Decoder) Decode(syndrome bitvec.Vec) decoder.Result {
 	d.ones = syndrome.Ones(d.ones[:0])
-	nodes := d.ones
-	k := len(nodes)
+	k := len(d.ones)
 	if k == 0 {
 		return decoder.Result{RealTime: true}
 	}
 	if k == 1 {
-		i := nodes[0]
+		i := d.ones[0]
 		return decoder.Result{
 			ObsPrediction: d.gwt.Obs(i, i),
 			Pairs:         [][2]int{{i, decoder.Boundary}},
@@ -60,45 +88,97 @@ func (d *Decoder) Decode(syndrome bitvec.Vec) decoder.Result {
 		}
 	}
 
+	pairs := d.engine.Match(d.ones)
+	exactmatch.SortPairs(pairs)
+	w, obs := exactmatch.Score(d.gwt, pairs)
+	return decoder.Result{
+		ObsPrediction: obs,
+		Pairs:         append([][2]int(nil), pairs...),
+		Weight:        w,
+		RealTime:      true,
+	}
+}
+
+// denseEngine is the classic formulation: the complete graph over flagged
+// detectors with pair weights folded through the boundary alternative, one
+// explicit boundary vertex when the count is odd, solved by the dense
+// blossom algorithm. Weights are lifted (see internal/exactmatch) so its
+// optima coincide with the sparse engine's even on degenerate syndromes,
+// and via-folded pairs are unfolded into explicit boundary chains on
+// output.
+type denseEngine struct {
+	gwt *decodegraph.GWT
+	sv  blossom.Solver
+
+	liftBnd []int64
+	out     [][2]int
+}
+
+// Name implements exactmatch.Engine.
+func (e *denseEngine) Name() string { return "dense" }
+
+// liftedPair returns the lifted weight of matching flagged positions a < b
+// (< k) against each other, and whether the direct chain won over the
+// through-boundary alternative. Ties go to the boundary, matching the
+// sparse engine's edge-retention rule.
+func (e *denseEngine) liftedPair(nodes []int, a, b, k int) (int64, bool) {
+	i, j := nodes[a], nodes[b]
+	via := e.liftBnd[a] + e.liftBnd[b]
+	if dw := e.gwt.DirectWeight(i, j); !math.IsInf(dw, 1) {
+		if direct := exactmatch.Lift(exactmatch.Base(dw), exactmatch.PairTie(i, j, k)); direct < via {
+			return direct, true
+		}
+	}
+	return via, false
+}
+
+// Match implements exactmatch.Engine.
+func (e *denseEngine) Match(nodes []int) [][2]int {
+	k := len(nodes)
 	n := k
 	if n%2 == 1 {
 		n++ // explicit boundary vertex at index k
 	}
-	weight := func(a, b int) int64 {
-		switch {
-		case a < k && b < k:
-			return int64(d.gwt.Weight(nodes[a], nodes[b])*WeightScale + 0.5)
-		case a < k:
-			return int64(d.gwt.BoundaryWeight(nodes[a])*WeightScale + 0.5)
-		default:
-			return int64(d.gwt.BoundaryWeight(nodes[b])*WeightScale + 0.5)
-		}
+	e.liftBnd = e.liftBnd[:0]
+	for _, i := range nodes {
+		e.liftBnd = append(e.liftBnd, exactmatch.LiftBoundary(e.gwt, i, k))
 	}
-	mate, _, err := d.sv.MinWeightPerfect(n, weight)
+	weight := func(a, b int) int64 {
+		if a > b {
+			a, b = b, a
+		}
+		if b < k {
+			w, _ := e.liftedPair(nodes, a, b, k)
+			return w
+		}
+		return e.liftBnd[a]
+	}
+	mate, _, err := e.sv.MinWeightPerfect(n, weight)
 	if err != nil {
 		// The complete graph always admits a perfect matching; an error here
 		// is a programming bug, not a data condition.
 		panic(err)
 	}
 
-	var res decoder.Result
-	res.RealTime = true
+	e.out = e.out[:0]
 	for a := 0; a < k; a++ {
 		b := mate[a]
 		if b < a {
 			continue // already emitted
 		}
 		if b >= k { // matched to the explicit boundary vertex
-			i := nodes[a]
-			res.Pairs = append(res.Pairs, [2]int{i, decoder.Boundary})
-			res.ObsPrediction ^= d.gwt.Obs(i, i)
-			res.Weight += d.gwt.BoundaryWeight(i)
+			e.out = append(e.out, [2]int{nodes[a], decoder.Boundary})
 			continue
 		}
-		i, j := nodes[a], nodes[b]
-		res.Pairs = append(res.Pairs, [2]int{i, j})
-		res.ObsPrediction ^= d.gwt.Obs(i, j)
-		res.Weight += d.gwt.Weight(i, j)
+		if _, direct := e.liftedPair(nodes, a, b, k); direct {
+			e.out = append(e.out, [2]int{nodes[a], nodes[b]})
+		} else {
+			// The optimum routed this pair through the boundary: report the
+			// two boundary chains it actually consists of.
+			e.out = append(e.out,
+				[2]int{nodes[a], decoder.Boundary},
+				[2]int{nodes[b], decoder.Boundary})
+		}
 	}
-	return res
+	return e.out
 }

@@ -90,37 +90,22 @@ type ResumingStream struct {
 // a handshaken Client that negotiated FeatureStream|FeatureStreamResume
 // (offer both in ClientOptions.Features); it is re-invoked on every
 // reconnect, so a fleet dialer may return a connection to a different —
-// fingerprint-consistent — replica.
+// fingerprint-consistent — replica. The initial dial+open runs under the
+// same retry policy as later reconnects: a session whose very first
+// handshake is severed by a transient fault retries instead of failing,
+// but a peer that answers and declines the resume capability fails
+// immediately — redialing cannot change what the server offers.
 func NewResumingStream(dial func() (*Client, error), o ResumingStreamOptions) (*ResumingStream, error) {
 	o.Retry.applyDefaults()
 	if o.MaxReplayRows <= 0 {
 		o.MaxReplayRows = DefaultMaxReplayRows
 	}
-	c, err := dial()
-	if err != nil {
-		return nil, err
-	}
-	st, err := c.OpenStream(o.Stream)
-	if err != nil {
-		//lint:allow errwrap teardown of a conn whose open failed; the open error is the one returned
-		c.Close()
-		return nil, err
-	}
-	if !st.resumable || st.token == 0 {
-		//lint:allow errwrap teardown of a conn that cannot resume; the capability error below is the actionable one
-		c.Close()
-		return nil, fmt.Errorf("server: peer did not negotiate stream resume (offer the feature bit and enable the server's resume TTL)")
-	}
 	r := &ResumingStream{
-		dial:   dial,
-		opts:   o,
-		pol:    o.Retry,
-		rand:   o.Retry.Rand,
-		sleep:  o.Retry.Sleep,
-		c:      c,
-		st:     st,
-		params: st.params,
-		token:  st.token,
+		dial:  dial,
+		opts:  o,
+		pol:   o.Retry,
+		rand:  o.Retry.Rand,
+		sleep: o.Retry.Sleep,
 	}
 	if r.rand == nil {
 		rng := prng.New(o.Retry.Seed)
@@ -129,7 +114,33 @@ func NewResumingStream(dial func() (*Client, error), o ResumingStreamOptions) (*
 	if r.sleep == nil {
 		r.sleep = time.Sleep
 	}
-	return r, nil
+	var last error
+	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.backoff(attempt - 1)
+		}
+		c, err := dial()
+		if err != nil {
+			last = err
+			continue
+		}
+		st, err := c.OpenStream(o.Stream)
+		if err != nil {
+			//lint:allow errwrap teardown of a conn whose open failed; the open error is the one retried on
+			c.Close()
+			last = err
+			continue
+		}
+		if !st.resumable || st.token == 0 {
+			//lint:allow errwrap teardown of a conn that cannot resume; the capability error below is the actionable one
+			c.Close()
+			return nil, fmt.Errorf("server: peer did not negotiate stream resume (offer the feature bit and enable the server's resume TTL)")
+		}
+		r.c, r.st = c, st
+		r.params, r.token = st.params, st.token
+		return r, nil
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, r.pol.MaxAttempts, last)
 }
 
 // Params returns the server-resolved session parameters.

@@ -59,6 +59,12 @@ type LoadReport struct {
 	// are checked against a local weighted Union-Find decoder — the
 	// server's degradation fallback — instead of VerifyDecoder.
 	Mismatches int
+	// VerifyEngine names the exact-matching engine behind the local
+	// verification decoder (decoder.EngineOf; empty without Verify), so a
+	// clean report states which engine the daemon's answers were checked
+	// against — "mwpm" resolves to the sparse engine, "mwpm-dense" to the
+	// classic dense one.
+	VerifyEngine string
 
 	// OtherGeneration counts responses produced by tables other than the
 	// local verifier's (the daemon rotated to a new artifact generation
@@ -160,6 +166,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	rep := &LoadReport{Offered: cfg.Shots}
+	if local != nil {
+		rep.VerifyEngine = decoder.EngineOf(local)
+	}
 	// Send timestamps are start-relative nanoseconds stored atomically: the
 	// sender and receiver goroutines synchronise only through the daemon, so
 	// plain slice elements would (correctly) trip the race detector.

@@ -207,6 +207,11 @@ type distPool struct {
 	dist int
 	gen  uint64
 	p    float64
+	// engine names the exact-matching engine behind the pool's decoders
+	// (decoder.EngineOf of a constructed instance), surfaced on /stats so
+	// fleets can attribute answers to an engine across rotations — two
+	// engines can share one decoder name ("MWPM" dense vs sparse).
+	engine string
 
 	// refs counts the holders that keep a superseded generation alive: one
 	// per in-flight request, one per open streaming session pinned to the
@@ -502,6 +507,7 @@ func (s *Server) buildPool(d int, gen uint64, env *montecarlo.Env, factory monte
 	if err != nil {
 		return nil, fmt.Errorf("server: building %q decoder for d=%d: %w", decoderName, d, err)
 	}
+	p.engine = decoder.EngineOf(first)
 	p.put(first)
 	if s.cfg.DegradeFraction > 0 {
 		graph := env.Graph
@@ -548,17 +554,23 @@ func (s *Server) reaper(idle time.Duration) {
 	}
 }
 
-// FactoryFor maps a decoder name ("astrea", "astrea-g", "mwpm", "uf",
-// "uf-unweighted") to its montecarlo factory; the daemon, the load
-// generator and the cluster client all resolve verification decoders
-// through it.
+// FactoryFor maps a decoder name ("astrea", "astrea-g", "mwpm",
+// "mwpm-sparse", "mwpm-dense", "uf", "uf-unweighted") to its montecarlo
+// factory; the daemon, the load generator and the cluster client all
+// resolve verification decoders through it. "mwpm" is served by the sparse
+// exact-matching engine — bit-identical to the dense blossom baseline
+// (enforced by internal/sparsemwpm's cross-engine suites) while holding
+// only O(E) matching state; "mwpm-dense" pins the classic dense engine
+// explicitly, and both engines are attributed per pool on /stats.
 func FactoryFor(name string) (montecarlo.Factory, error) {
 	switch name {
 	case "astrea":
 		return experiments.AstreaFactory, nil
 	case "astrea-g":
 		return experiments.AstreaGFactory, nil
-	case "mwpm":
+	case "mwpm", "mwpm-sparse":
+		return experiments.SparseMWPMFactory, nil
+	case "mwpm-dense":
 		return experiments.MWPMFactory, nil
 	case "uf":
 		return func(env *montecarlo.Env) (decoder.Decoder, error) {
@@ -567,7 +579,7 @@ func FactoryFor(name string) (montecarlo.Factory, error) {
 	case "uf-unweighted":
 		return experiments.UFFactory, nil
 	}
-	return nil, fmt.Errorf("server: unknown decoder %q (want astrea, astrea-g, mwpm, uf or uf-unweighted)", name)
+	return nil, fmt.Errorf("server: unknown decoder %q (want astrea, astrea-g, mwpm, mwpm-sparse, mwpm-dense, uf or uf-unweighted)", name)
 }
 
 // Distances returns the served distances in ascending order.
@@ -588,6 +600,16 @@ func (s *Server) Fingerprints() map[int]decodegraph.Fingerprint {
 	out := make(map[int]decodegraph.Fingerprint, len(s.pools))
 	for d, slot := range s.pools {
 		out[d] = slot.cur.Load().fp
+	}
+	return out
+}
+
+// engineStrings shapes the current generations' exact-engine names for the
+// JSON snapshot. Keys are decimal distances, like fingerprintStrings.
+func (s *Server) engineStrings() map[string]string {
+	out := make(map[string]string, len(s.pools))
+	for d, slot := range s.pools {
+		out[fmt.Sprintf("%d", d)] = slot.cur.Load().engine
 	}
 	return out
 }

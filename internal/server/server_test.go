@@ -451,10 +451,35 @@ func TestDecoderNamesValidated(t *testing.T) {
 	if _, err := New(Config{Distances: []int{3}, Decoder: "nope", Envs: map[int]*montecarlo.Env{3: env}}); err == nil {
 		t.Fatal("unknown decoder name accepted")
 	}
-	for _, name := range []string{"astrea", "astrea-g", "mwpm", "uf", "uf-unweighted"} {
+	for _, name := range []string{"astrea", "astrea-g", "mwpm", "mwpm-sparse", "mwpm-dense", "uf", "uf-unweighted"} {
 		srv, err := New(Config{Distances: []int{3}, Decoder: name, Envs: map[int]*montecarlo.Env{3: env}})
 		if err != nil {
 			t.Fatalf("decoder %q: %v", name, err)
+		}
+		srv.Close()
+	}
+}
+
+// TestStatsEngineAttribution pins the exact-engine names the /stats snapshot
+// reports per served distance: "mwpm" pools are served by the sparse engine
+// (the dense baseline stays reachable as "mwpm-dense"), and the attribution
+// follows the pool, not the decoder name.
+func TestStatsEngineAttribution(t *testing.T) {
+	env := testEnv(t, 3)
+	for _, tc := range []struct {
+		decoder, engine string
+	}{
+		{"mwpm", "sparse"},
+		{"mwpm-sparse", "sparse"},
+		{"mwpm-dense", "dense"},
+		{"astrea", "Astrea"},
+	} {
+		srv, err := New(Config{Distances: []int{3}, Decoder: tc.decoder, Envs: map[int]*montecarlo.Env{3: env}})
+		if err != nil {
+			t.Fatalf("decoder %q: %v", tc.decoder, err)
+		}
+		if got := srv.Snapshot().Engines["3"]; got != tc.engine {
+			t.Fatalf("decoder %q: engine attributed as %q, want %q", tc.decoder, got, tc.engine)
 		}
 		srv.Close()
 	}

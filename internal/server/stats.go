@@ -88,6 +88,13 @@ type Snapshot struct {
 	// a fleet client will mix their answers. Keys are decimal distances.
 	Fingerprints map[string]string `json:"fingerprints"`
 
+	// Engines maps each served distance to the exact-matching engine behind
+	// its current generation's decoders ("dense", "sparse", or the decoder
+	// name for decoders that are their own engine). Two generations can
+	// share a decoder name while differing here, so load reports and fleet
+	// audits attribute answers to the engine that produced them.
+	Engines map[string]string `json:"engines"`
+
 	// Generations maps each served distance to its rotation state: current
 	// generation ordinal and fingerprint, the still-draining fingerprint
 	// set, and a calibration-drift score of observed detector-flip rates
@@ -180,6 +187,7 @@ func (s *Server) Snapshot() Snapshot {
 		ChecksumFailures:     st.checksumFail.Load(),
 		Pings:                st.pings.Load(),
 		Fingerprints:         s.fingerprintStrings(),
+		Engines:              s.engineStrings(),
 		Generations:          s.generationStatuses(),
 		Rotations:            st.rotations.Load(),
 		GenerationsRetired:   st.generationsRetired.Load(),

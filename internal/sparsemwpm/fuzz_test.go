@@ -1,0 +1,85 @@
+package sparsemwpm
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decodegraph"
+	"astrea/internal/mwpm"
+)
+
+// fuzzEnv is one cached (distance, p) environment with both engines built;
+// the corpus byte picks among a small grid so one fuzz run crosses lattice
+// sizes and weight profiles without rebuilding tables per input.
+type fuzzEnv struct {
+	gwt    *decodegraph.GWT
+	dense  *mwpm.Decoder
+	sparse *mwpm.Decoder
+}
+
+var (
+	fuzzEnvOnce sync.Once
+	fuzzEnvs    []*fuzzEnv
+)
+
+func fuzzEnvFor(tb testing.TB, sel byte) *fuzzEnv {
+	fuzzEnvOnce.Do(func() {
+		for _, tc := range []struct {
+			d int
+			p float64
+		}{
+			{3, 1e-3}, {5, 3e-3}, {7, 1e-2},
+		} {
+			_, g, gwt := build(tb, tc.d, tc.p)
+			fuzzEnvs = append(fuzzEnvs, &fuzzEnv{
+				gwt:    gwt,
+				dense:  mwpm.New(gwt),
+				sparse: newSparse(g, gwt),
+			})
+		}
+	})
+	return fuzzEnvs[int(sel)%len(fuzzEnvs)]
+}
+
+// FuzzSparseVsDense is the differential fuzzer behind the engines'
+// interchangeability guarantee: arbitrary bytes become an arbitrary flagged
+// detector set (not just sampler-consistent syndromes — the matcher's
+// contract is any subset), and the sparse engine must reproduce the dense
+// blossom engine bit-for-bit: identical observable prediction, bit-equal
+// float weight, identical pair list.
+func FuzzSparseVsDense(f *testing.F) {
+	f.Add(byte(0), []byte{})
+	f.Add(byte(0), []byte{0x01})
+	f.Add(byte(1), []byte{0xff, 0x00, 0xff})
+	f.Add(byte(2), []byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55})
+	f.Add(byte(2), []byte{0x80, 0x00, 0x00, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, sel byte, bits []byte) {
+		env := fuzzEnvFor(t, sel)
+		s := bitvec.New(env.gwt.N)
+		k := 0
+		for i := 0; i < env.gwt.N && i/8 < len(bits); i++ {
+			if bits[i/8]&(1<<uint(i%8)) != 0 {
+				s.Set(i)
+				k++
+			}
+		}
+		a, b := env.dense.Decode(s), env.sparse.Decode(s)
+		if a.ObsPrediction != b.ObsPrediction {
+			t.Fatalf("k=%d: obs %x (dense) vs %x (sparse)", k, a.ObsPrediction, b.ObsPrediction)
+		}
+		if math.Float64bits(a.Weight) != math.Float64bits(b.Weight) {
+			t.Fatalf("k=%d: weight %v (dense) vs %v (sparse)", k, a.Weight, b.Weight)
+		}
+		if len(a.Pairs) != len(b.Pairs) {
+			t.Fatalf("k=%d: %d pairs (dense) vs %d (sparse)", k, len(a.Pairs), len(b.Pairs))
+		}
+		for i := range a.Pairs {
+			if a.Pairs[i] != b.Pairs[i] {
+				t.Fatalf("k=%d pair %d: %v (dense) vs %v (sparse)", k, i, a.Pairs[i], b.Pairs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,1078 @@
+// Package sparsemwpm is the sparse exact minimum-weight perfect-matching
+// engine: it matches flagged detectors directly on the sparse decoding
+// graph (internal/decodegraph.Graph) instead of the dense all-pairs Global
+// Weight Table, in the spirit of Sparse Blossom (Higgott & Gidney 2023) and
+// Fusion Blossom (Wu et al.) — regions grown locally outward from each
+// detection event, matched where they collide, with growth bounded by the
+// matching structure rather than the lattice size.
+//
+// The engine is exact, and bit-for-bit interchangeable with the dense
+// complete-graph blossom formulation in internal/mwpm: both minimise the
+// lifted integer objective defined in internal/exactmatch and emit the
+// canonical semantic matching. Each decode runs rounds of three phases
+// under an iterative-deepening radius cap:
+//
+//  1. Region growth. For every flagged detector i, a truncated Dijkstra
+//     grows a region over the sparse adjacency out to radius
+//     min(bnd(i), R)+slack, where bnd(i) is i's boundary-chain weight and R
+//     is the round's uniform cap (doubling per round). The boundary vertex
+//     is never expanded, so region distances are exactly the GWT's
+//     boundary-avoiding direct-chain weights. Each settled node records a
+//     (region, dist) label; when a later region settles a node that
+//     carries earlier labels — or reaches across a single edge to one —
+//     the two regions have collided and the pair becomes a candidate with
+//     an upper bound on its direct-chain weight. Any pair whose direct
+//     chain fits within the sum of the two region radii admits a split
+//     point where both halves fit inside their regions, so it collides and
+//     its minimum collision bound equals its direct weight (up to float
+//     association fuzz).
+//
+//  2. Exactification. Candidates within the discovered horizon get the
+//     exact direct-chain weight as the dense table holds it: the
+//     left-associated Dijkstra distance from the lower-indexed detector —
+//     read off region i's label on j when present, otherwise from one
+//     extended Dijkstra per lower region with radius just past the
+//     candidate bound. Pairs whose lifted direct weight does not strictly
+//     beat the lifted sum of their boundary chains are dropped — ties go
+//     to the boundary, exactly as the dense engine's fold breaks them.
+//
+//  3. Local matching. With an unlimited-degree boundary, connected
+//     components of the surviving structural-edge graph match
+//     independently. Each component of size m is solved exactly on the
+//     dense blossom solver over m vertices (plus one explicit boundary
+//     vertex when m is odd) with through-boundary-folded weights — the
+//     dense engine's own formulation restricted to the component (a
+//     branch-and-bound enumeration replaces the blossom call for m ≤ 10).
+//
+// After each round the engine checks a pricing certificate read off the
+// round's matching: per-detector dual values y price a boundary chain at
+// its base weight and split a matched direct chain's base weight across its
+// endpoints along the boundary potential, so every dual stays under its
+// detector's boundary cap. The matching is provably the global lifted
+// optimum when every surviving structural edge costs at least its dual sum
+// and every undiscovered pair's dual sum stays below the sum of its region
+// radii — which bound undiscovered direct chains from below by the
+// collision-completeness argument above. Every chain of a rival matching
+// then costs at least its dual sum, the duals sum to exactly the round's
+// base total (they are tight on the matched chains), and a rival using an
+// undiscovered chain lands strictly above the round's total in the lifted
+// integer order; the checks run on fixed-point base weights with explicit
+// margins so no rounding crosses the gap. Matched neighbours therefore
+// certify at radii near half their chain weight and boundary-matched
+// detectors once their region caps at the boundary radius — the same
+// dual-bounded growth that keeps Sparse Blossom local. Plain per-vertex
+// duals cannot price every structure (odd clusters of mutually close
+// defects need blossom corrections); the checks run component-by-component,
+// so a stubborn cluster only sends its own members to full growth — a
+// fully-capped component needs no per-vertex prices at all, because its own
+// solve already covered every rival routing inside it, and the radius caps
+// price every chain that leaves it.
+//
+// Cost model, honestly stated: exactness forces a boundary-matched defect's
+// region to cover its full boundary radius (its dual equals its
+// boundary-chain weight, and any exact certificate must clear that dual
+// against every undiscovered pair), so each odd cluster in the bulk pays a
+// Dijkstra ball the size of its boundary distance — the very distances the
+// dense engine reads precomputed out of the Global Weight Table. Against a
+// warm all-pairs table at the distances this repo serves (d ≤ 13), the
+// dense engine therefore wins most strata and the sparse engine's value is
+// what it does NOT need: the O(N²) table itself. Matching runs on O(E)
+// state, which is what unlocks memory-bounded scaling, streaming windows
+// and artifact-less rotation at distances where the table is infeasible;
+// BENCH_matching.json records the measured crossover both ways.
+//
+// An Engine is NOT safe for concurrent use (per-decode scratch is reused);
+// create one per goroutine. The Graph it reads — including the CSR and
+// boundary-chain views — is immutable and shared freely.
+package sparsemwpm
+
+import (
+	"math"
+	"sort"
+
+	"astrea/internal/blossom"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/exactmatch"
+)
+
+// slack is the weight margin (in decades) added to every region radius. A
+// direct chain can only matter to the lifted objective if its weight is
+// below bnd(i)+bnd(j)+1.5/WeightScale (1.5 fixed-point rounding quanta ≈
+// 2.3e-5 decades); slack is an order of magnitude wider, which also
+// swallows the ~1e-12 float-association fuzz between a chain's split-sum
+// collision bound and its left-associated true weight.
+const slack = 1.0 / (1 << 12)
+
+// Candidate resolution states.
+const (
+	candUnknown  = 0 // lifted direct weight not yet pinned down
+	candResolved = 1 // exact quantises to the exact lifted direct weight
+)
+
+// label records that a region settled a node at a given distance.
+type label struct {
+	region int32
+	dist   float64
+}
+
+// cand is a collision candidate: flagged positions a < b with an upper
+// bound on their direct-chain weight, and the exact weight once resolved.
+type cand struct {
+	a, b  int32
+	state int32
+	bound float64
+	exact float64
+}
+
+// sedge is a surviving structural edge between flagged positions a < b with
+// its lifted direct-chain weight.
+type sedge struct {
+	a, b   int32
+	lifted int64
+}
+
+// pqItem is a truncated-Dijkstra frontier entry.
+type pqItem struct {
+	node int32
+	dist float64
+}
+
+// minHeap is a typed binary min-heap keyed on dist; the backing array is
+// reused across runs so region growth performs no per-push allocations
+// after warm-up (same idiom as decodegraph's BuildGWT heap).
+type minHeap struct {
+	items []pqItem
+}
+
+func (h *minHeap) reset() { h.items = h.items[:0] }
+
+func (h *minHeap) push(it pqItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() pqItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && h.items[r].dist < h.items[l].dist {
+			m = r
+		}
+		if h.items[i].dist <= h.items[m].dist {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return top
+}
+
+// Engine is the sparse exact matcher. It implements exactmatch.Engine; wrap
+// it in a decoder with mwpm.NewWithEngine.
+type Engine struct {
+	g   *decodegraph.Graph
+	csr *decodegraph.CSR
+	// bndW and bndBase are the per-detector boundary-chain weights (float
+	// and fixed-point), shared with / identical to the GWT diagonal.
+	bndW    []float64
+	bndBase []int64
+	// r0 is the first round's radius cap: about one typical edge, so that
+	// adjacent detection events — the overwhelmingly common case under
+	// heavy noise — collide in the very first round.
+	r0 float64
+
+	// Per-node Dijkstra scratch, stamped by a monotone run counter so no
+	// O(N) reset runs between regions or decodes.
+	run     int64
+	dist    []float64
+	owner   []int64 // dist[u] is valid for the stamped run
+	settled []int64 // u was settled (popped within radius) by the stamped run
+	labels  [][]label
+	touched []int32 // nodes holding labels, for post-decode truncation
+	heap    minHeap
+
+	// Per-decode scratch over flagged positions.
+	liftBnd    []int64
+	rho        []float64 // radius each region has grown to
+	capped     []bool    // region reached its boundary radius; final
+	regTouched [][]int32 // nodes labelled by each region, for regrowth
+	y          []int64   // certificate: per-defect duals from the round's matching
+	mate       []int32   // certificate: chain partner per defect, -1 for boundary
+	chainX     []int64   // certificate: matched chain's base weight per defect
+	need       []bool    // regions an uncertified round demands more growth from
+	needFull   []bool    // regions whose component needs full growth, not doubling
+	capQ       []int64   // certificate: per-defect price cap min(boundary, radius)
+	ncomp      int       // components in the round's structural-edge graph
+	cands      []cand
+	candMat    []int32 // k×k candidate index matrix, -1 when absent
+	pend       []int32 // candidate indices awaiting an extended run
+	edges      []sedge
+	parent     []int32
+	compIdx    []int32
+	pos        []int32
+	members    [][]int32
+	compEdge   [][]int32
+	matw       []int64
+	sv         blossom.Solver
+	enumW      [100]int64 // tiny-component weight matrix, n ≤ 10
+	enumCur    [10]int8   // tiny enumeration: current pairing
+	enumBest   [10]int8   // tiny enumeration: best pairing found
+	enumTotal  int64
+	tinyMate   [10]int
+	out        [][2]int
+}
+
+// New returns a sparse matching engine over the graph's adjacency. The
+// graph's CSR and boundary-chain views are built on first use and shared
+// between engines; per-engine scratch is private.
+func New(g *decodegraph.Graph) *Engine {
+	csr := g.CSR()
+	bndW, _ := g.BoundaryChains()
+	e := &Engine{
+		g:       g,
+		csr:     csr,
+		bndW:    bndW,
+		bndBase: make([]int64, g.N),
+		dist:    make([]float64, g.N),
+		owner:   make([]int64, g.N),
+		settled: make([]int64, g.N),
+		labels:  make([][]label, g.N),
+	}
+	for i := 0; i < g.N; i++ {
+		e.bndBase[i] = exactmatch.Base(bndW[i])
+	}
+	sum := 0.0
+	for _, w := range csr.W {
+		sum += w
+	}
+	if n := len(csr.W); n > 0 {
+		e.r0 = 1.5 * sum / float64(n)
+	}
+	if e.r0 <= 0 {
+		e.r0 = 1
+	}
+	return e
+}
+
+// Name implements exactmatch.Engine.
+func (e *Engine) Name() string { return "sparse" }
+
+// addCand records (or tightens) a collision candidate between two regions.
+// Regrown regions can collide with labels of higher-ordinal regions left by
+// earlier rounds, so the pair is normalised here rather than at the call
+// sites.
+func (e *Engine) addCand(k int, a, b int32, bound float64) {
+	if a > b {
+		a, b = b, a
+	}
+	at := int(a)*k + int(b)
+	if idx := e.candMat[at]; idx >= 0 {
+		if bound < e.cands[idx].bound {
+			e.cands[idx].bound = bound
+		}
+		return
+	}
+	e.candMat[at] = int32(len(e.cands))
+	e.cands = append(e.cands, cand{a: a, b: b, state: candUnknown, bound: bound})
+}
+
+// growRegion runs a truncated Dijkstra from src out to radius, stamped with
+// a fresh run ID. Growth calls pass the region ordinal and collide=true:
+// settled nodes record labels, and labels of other regions found on the
+// settled node or across one of its edges become collision candidates.
+// Exactification calls pass collide=false and read settled distances back
+// through the stamps immediately after the call.
+func (e *Engine) growRegion(k int, region int32, src int32, radius float64, collide bool) int64 {
+	e.run++
+	runID := e.run
+	bnd := int32(e.csr.N)
+	e.heap.reset()
+	e.dist[src] = 0
+	e.owner[src] = runID
+	e.heap.push(pqItem{node: src})
+	for len(e.heap.items) > 0 {
+		it := e.heap.pop()
+		u := it.node
+		if it.dist > e.dist[u] {
+			continue // stale entry
+		}
+		if it.dist > radius {
+			break // monotone pop order: everything left is out of range
+		}
+		e.settled[u] = runID
+		if collide {
+			if len(e.labels[u]) == 0 {
+				e.touched = append(e.touched, u)
+			}
+			for _, l := range e.labels[u] {
+				e.addCand(k, l.region, region, l.dist+it.dist)
+			}
+			e.labels[u] = append(e.labels[u], label{region: region, dist: it.dist})
+			e.regTouched[region] = append(e.regTouched[region], u)
+		}
+		for idx := e.csr.RowStart[u]; idx < e.csr.RowStart[u+1]; idx++ {
+			v := e.csr.To[idx]
+			if v == bnd {
+				continue // direct chains never hop through the boundary
+			}
+			w := e.csr.W[idx]
+			nd := it.dist + w
+			if nd > radius {
+				// The far end stays unsettled, so the node-settle scan there
+				// will never see this region: record collisions across the
+				// pruned edge now. (For ends this run settles, the settle
+				// scan subsumes the edge bound: dist(v) ≤ dist(u)+w.)
+				if collide {
+					for _, l := range e.labels[v] {
+						if l.region != region {
+							e.addCand(k, l.region, region, nd+l.dist)
+						}
+					}
+				}
+				continue // never settled; don't let it bloat the heap
+			}
+			if e.owner[v] != runID {
+				e.owner[v] = runID
+				e.dist[v] = nd
+				e.heap.push(pqItem{node: v, dist: nd})
+			} else if nd < e.dist[v] {
+				e.dist[v] = nd
+				e.heap.push(pqItem{node: v, dist: nd})
+			}
+		}
+	}
+	return runID
+}
+
+// resumeRegion continues a region's truncated Dijkstra from oldRadius out
+// to newRadius without re-popping the settled interior. The old run pruned
+// exactly the relaxations beyond its radius, so re-scanning the settled
+// ball's edges for targets in (oldRadius, newRadius] reseeds the frontier
+// with the identical values a from-scratch run would reach them with, and
+// the pop loop then explores only the annulus. Interior collisions need no
+// replay: any label another region left inside this ball was recorded as a
+// candidate when that region settled here.
+func (e *Engine) resumeRegion(k int, region int32, oldRadius, newRadius float64) {
+	e.run++
+	runID := e.run
+	bnd := int32(e.csr.N)
+	e.heap.reset()
+	for _, u := range e.regTouched[region] {
+		d, _ := e.settledDist(region, u)
+		for idx := e.csr.RowStart[u]; idx < e.csr.RowStart[u+1]; idx++ {
+			v := e.csr.To[idx]
+			if v == bnd {
+				continue
+			}
+			nd := d + e.csr.W[idx]
+			if nd <= oldRadius || nd > newRadius {
+				continue
+			}
+			if e.owner[v] != runID {
+				e.owner[v] = runID
+				e.dist[v] = nd
+				e.heap.push(pqItem{node: v, dist: nd})
+			} else if nd < e.dist[v] {
+				e.dist[v] = nd
+				e.heap.push(pqItem{node: v, dist: nd})
+			}
+		}
+	}
+	for len(e.heap.items) > 0 {
+		it := e.heap.pop()
+		u := it.node
+		if it.dist > e.dist[u] || e.owner[u] != runID {
+			continue // stale entry
+		}
+		if _, settled := e.settledDist(region, u); settled {
+			continue // interior: settled by an earlier round of this region
+		}
+		e.settled[u] = runID
+		if len(e.labels[u]) == 0 {
+			e.touched = append(e.touched, u)
+		}
+		for _, l := range e.labels[u] {
+			e.addCand(k, l.region, region, l.dist+it.dist)
+		}
+		e.labels[u] = append(e.labels[u], label{region: region, dist: it.dist})
+		e.regTouched[region] = append(e.regTouched[region], u)
+		for idx := e.csr.RowStart[u]; idx < e.csr.RowStart[u+1]; idx++ {
+			v := e.csr.To[idx]
+			if v == bnd {
+				continue
+			}
+			w := e.csr.W[idx]
+			nd := it.dist + w
+			if nd > newRadius {
+				for _, l := range e.labels[v] {
+					if l.region != region {
+						e.addCand(k, l.region, region, nd+l.dist)
+					}
+				}
+				continue // never settled; don't let it bloat the heap
+			}
+			if e.owner[v] != runID {
+				e.owner[v] = runID
+				e.dist[v] = nd
+				e.heap.push(pqItem{node: v, dist: nd})
+			} else if nd < e.dist[v] {
+				e.dist[v] = nd
+				e.heap.push(pqItem{node: v, dist: nd})
+			}
+		}
+	}
+}
+
+// settledDist looks up the growth-phase distance from region a to node u,
+// if region a settled u.
+func (e *Engine) settledDist(a int32, u int32) (float64, bool) {
+	for _, l := range e.labels[u] {
+		if l.region == a {
+			return l.dist, true
+		}
+	}
+	return 0, false
+}
+
+// keepEdge lifts an exact direct-chain weight and retains the edge iff it
+// strictly beats matching both endpoints to the boundary — the same
+// tie-goes-to-the-boundary rule the dense engine's fold applies.
+func (e *Engine) keepEdge(flagged []int, a, b int32, d float64, k int) {
+	i, j := flagged[a], flagged[b]
+	direct := exactmatch.Lift(exactmatch.Base(d), exactmatch.PairTie(i, j, k))
+	if direct < e.liftBnd[a]+e.liftBnd[b] {
+		e.edges = append(e.edges, sedge{a: a, b: b, lifted: direct})
+	}
+}
+
+// dualSplit splits a matched direct chain's base weight x into endpoint
+// duals ya+yb = x with ya ≤ ba and yb ≤ bb (the endpoints' boundary-chain
+// base weights), choosing the boundary-potential split (x+ba−bb)/2 that
+// keeps both duals as far under their boundary caps as the chain allows.
+// The window is never empty: a chain only survives folding when x ≤ ba+bb.
+func dualSplit(x, ba, bb int64) (ya, yb int64) {
+	ya = (x + ba - bb) / 2
+	if lo := x - bb; ya < lo {
+		ya = lo
+	}
+	if ya < 0 {
+		ya = 0
+	}
+	if ya > ba {
+		ya = ba
+	}
+	if ya > x {
+		ya = x
+	}
+	return ya, x - ya
+}
+
+// bbase is the base (un-lifted) boundary-chain weight of flagged position a.
+func (e *Engine) bbase(a int32) int64 { return e.liftBnd[a] >> exactmatch.TieBits }
+
+// find is iterative union-find over flagged positions with path halving.
+func (e *Engine) find(x int32) int32 {
+	for e.parent[x] != x {
+		e.parent[x] = e.parent[e.parent[x]]
+		x = e.parent[x]
+	}
+	return x
+}
+
+// horizon reports whether a candidate bound proves the pair was discovered:
+// any pair whose direct chain fits within the sum of the two region radii
+// has a split-point collision whose bound equals the direct weight, so a
+// minimum bound beyond the radius sum (plus float fuzz) proves the direct
+// chain exceeds it.
+func withinHorizon(bound, rhoSum float64) bool {
+	return bound <= rhoSum+rhoSum*1e-9+1e-12
+}
+
+// resolve exactifies every candidate inside the discovery horizon: the
+// left-associated Dijkstra distance from the lower-indexed detector, read
+// off its region's label when the partner was settled, otherwise via one
+// extended run per lower region with radius just past the candidate bound.
+func (e *Engine) resolve(flagged []int) {
+	e.pend = e.pend[:0]
+	for ci := range e.cands {
+		c := &e.cands[ci]
+		if c.state != candUnknown || !withinHorizon(c.bound, e.rho[c.a]+e.rho[c.b]) {
+			continue
+		}
+		// An in-horizon bound is the direct weight up to float association
+		// error (the same edge weights summed in a different order, well
+		// under 1e-12 relative): when the bound's whole error interval
+		// quantises to one fixed-point base, the lifted weight — the only
+		// thing the matching consumes; the adapter rescores pairs through
+		// the GWT — is already exact and no extended run is needed. Only a
+		// bound straddling a quantisation boundary (odds ~1e-6) falls
+		// through to the exact left-associated Dijkstra.
+		eps := c.bound*1e-12 + 1e-15
+		if exactmatch.Base(c.bound-eps) == exactmatch.Base(c.bound+eps) {
+			c.exact = c.bound
+			c.state = candResolved
+			continue
+		}
+		if d, ok := e.settledDist(c.a, int32(flagged[c.b])); ok {
+			c.exact = d
+			c.state = candResolved
+			continue
+		}
+		e.pend = append(e.pend, int32(ci))
+	}
+	sort.Slice(e.pend, func(x, y int) bool {
+		cx, cy := &e.cands[e.pend[x]], &e.cands[e.pend[y]]
+		if cx.a != cy.a {
+			return cx.a < cy.a
+		}
+		return cx.b < cy.b
+	})
+	for lo := 0; lo < len(e.pend); {
+		a := e.cands[e.pend[lo]].a
+		hi := lo
+		radius := 0.0
+		for hi < len(e.pend) && e.cands[e.pend[hi]].a == a {
+			if b := e.cands[e.pend[hi]].bound; b > radius {
+				radius = b
+			}
+			hi++
+		}
+		src := int32(flagged[a])
+		runID := e.growRegion(len(flagged), -1, src, radius+radius*1e-9+1e-12, false)
+		for ; lo < hi; lo++ {
+			c := &e.cands[e.pend[lo]]
+			j := int32(flagged[c.b])
+			if e.settled[j] != runID {
+				// The direct chain is no longer than the collision bound, so
+				// a run out to just past the bound always settles the
+				// partner; failing to is a programming bug.
+				panic("sparsemwpm: extended run failed to settle a candidate partner")
+			}
+			c.exact = e.dist[j]
+			c.state = candResolved
+		}
+	}
+}
+
+// enumRec enumerates the perfect matchings of the complete graph on n ≤ 10
+// vertices (weights in e.enumW), branch-and-bound style: the lowest
+// unmatched vertex pairs with each remaining vertex in turn. At most 945
+// matchings for n = 10 and branch-and-bound prunes most, so small
+// components skip the blossom solver's quadratic reset entirely.
+func (e *Engine) enumRec(n int, mask uint32, total int64) {
+	if total >= e.enumTotal {
+		return
+	}
+	x := 0
+	for x < n && mask&(1<<uint(x)) != 0 {
+		x++
+	}
+	if x == n {
+		e.enumTotal = total
+		copy(e.enumBest[:n], e.enumCur[:n])
+		return
+	}
+	mask |= 1 << uint(x)
+	for y := x + 1; y < n; y++ {
+		if mask&(1<<uint(y)) != 0 {
+			continue
+		}
+		e.enumCur[x], e.enumCur[y] = int8(y), int8(x)
+		e.enumRec(n, mask|1<<uint(y), total+e.enumW[x*n+y])
+	}
+}
+
+// solveTiny is the n ≤ 10 replacement for the blossom call in solve: same
+// folded component formulation, same mate-array contract.
+func (e *Engine) solveTiny(n, m int, ms []int32) []int {
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			var w int64
+			switch {
+			case y < m:
+				if w = e.matw[x*m+y]; w < 0 {
+					w = e.liftBnd[ms[x]] + e.liftBnd[ms[y]]
+				}
+			default:
+				w = e.liftBnd[ms[x]] // the explicit boundary vertex
+			}
+			e.enumW[x*n+y] = w
+		}
+	}
+	e.enumTotal = math.MaxInt64
+	e.enumRec(n, 0, 0)
+	for x := 0; x < n; x++ {
+		e.tinyMate[x] = int(e.enumBest[x])
+	}
+	return e.tinyMate[:n]
+}
+
+// solve matches each connected component of the structural-edge graph
+// independently (the unlimited-degree boundary decouples them), writing the
+// semantic matching into e.out and the matching's tight duals into e.y: a
+// boundary chain prices its detector at the chain's base weight, a direct
+// chain splits its base weight across its endpoints, so Σy equals the
+// matching's base total exactly.
+func (e *Engine) solve(flagged []int) {
+	k := len(flagged)
+	e.y = e.y[:0]
+	e.mate = e.mate[:0]
+	e.chainX = e.chainX[:0]
+	for a := 0; a < k; a++ {
+		e.y = append(e.y, 0)
+		e.mate = append(e.mate, -1)
+		e.chainX = append(e.chainX, 0)
+	}
+	e.parent = e.parent[:0]
+	for a := 0; a < k; a++ {
+		e.parent = append(e.parent, int32(a))
+	}
+	for _, ed := range e.edges {
+		ra, rb := e.find(ed.a), e.find(ed.b)
+		if ra != rb {
+			e.parent[rb] = ra
+		}
+	}
+	e.compIdx = e.compIdx[:0]
+	for a := 0; a < k; a++ {
+		e.compIdx = append(e.compIdx, -1)
+	}
+	ncomp := 0
+	for a := int32(0); a < int32(k); a++ {
+		r := e.find(a)
+		ci := e.compIdx[r]
+		if ci < 0 {
+			ci = int32(ncomp)
+			ncomp++ // e.ncomp is set once the sweep finishes
+			e.compIdx[r] = ci
+			// Reuse the nested backing arrays across decodes.
+			if int(ci) == len(e.members) {
+				e.members = append(e.members, nil)
+				e.compEdge = append(e.compEdge, nil)
+			} else {
+				e.members[ci] = e.members[ci][:0]
+				e.compEdge[ci] = e.compEdge[ci][:0]
+			}
+		}
+		e.members[ci] = append(e.members[ci], a)
+	}
+	for ei, ed := range e.edges {
+		ci := e.compIdx[e.find(ed.a)]
+		e.compEdge[ci] = append(e.compEdge[ci], int32(ei))
+	}
+	e.ncomp = ncomp
+
+	e.out = e.out[:0]
+	if e.pos == nil || len(e.pos) < k {
+		e.pos = make([]int32, k)
+	}
+	for ci, ms := range e.members[:ncomp] {
+		m := len(ms)
+		switch m {
+		case 1:
+			e.y[ms[0]] = e.bbase(ms[0])
+			e.out = append(e.out, [2]int{flagged[ms[0]], decoder.Boundary})
+			continue
+		case 2:
+			// A two-detector component exists only because its edge
+			// survived, and a surviving edge strictly beats the two
+			// boundary chains.
+			ed := e.edges[e.compEdge[ci][0]]
+			x := ed.lifted >> exactmatch.TieBits
+			e.y[ed.a], e.y[ed.b] = dualSplit(x, e.bbase(ed.a), e.bbase(ed.b))
+			e.mate[ed.a], e.mate[ed.b] = ed.b, ed.a
+			e.chainX[ed.a], e.chainX[ed.b] = x, x
+			e.out = append(e.out, [2]int{flagged[ms[0]], flagged[ms[1]]})
+			continue
+		}
+		// The dense engine's own folded formulation, restricted to the
+		// component: real vertices 0..m-1 with pair weight = the structural
+		// edge when one survived (strictly below the boundary sum by
+		// construction) and the through-boundary fold otherwise, plus one
+		// explicit boundary vertex when m is odd.
+		for p, a := range ms {
+			e.pos[a] = int32(p)
+		}
+		need := m * m
+		if cap(e.matw) < need {
+			e.matw = make([]int64, need)
+		}
+		e.matw = e.matw[:need]
+		for x := range e.matw {
+			e.matw[x] = -1
+		}
+		for _, ei := range e.compEdge[ci] {
+			ed := e.edges[ei]
+			pa, pb := e.pos[ed.a], e.pos[ed.b]
+			e.matw[int(pa)*m+int(pb)] = ed.lifted
+			e.matw[int(pb)*m+int(pa)] = ed.lifted
+		}
+		n := m
+		if m%2 == 1 {
+			n++
+		}
+		weight := func(x, y int) int64 {
+			if x > y {
+				x, y = y, x
+			}
+			if y < m {
+				if w := e.matw[x*m+y]; w >= 0 {
+					return w
+				}
+				return e.liftBnd[ms[x]] + e.liftBnd[ms[y]]
+			}
+			return e.liftBnd[ms[x]] // the explicit boundary vertex
+		}
+		var mate []int
+		if n <= 10 {
+			mate = e.solveTiny(n, m, ms)
+		} else {
+			var err error
+			mate, _, err = e.sv.MinWeightPerfect(n, weight)
+			if err != nil {
+				// The folded component graph is complete, so a perfect matching
+				// always exists; an error here is a programming bug, not a data
+				// condition.
+				panic(err)
+			}
+		}
+		for p := 0; p < m; p++ {
+			q := mate[p]
+			if q >= m {
+				e.y[ms[p]] = e.bbase(ms[p])
+				e.out = append(e.out, [2]int{flagged[ms[p]], decoder.Boundary})
+				continue
+			}
+			if q < p {
+				continue // already emitted
+			}
+			if w := e.matw[p*m+q]; w >= 0 {
+				x := w >> exactmatch.TieBits
+				e.y[ms[p]], e.y[ms[q]] = dualSplit(x, e.bbase(ms[p]), e.bbase(ms[q]))
+				e.mate[ms[p]], e.mate[ms[q]] = ms[q], ms[p]
+				e.chainX[ms[p]], e.chainX[ms[q]] = x, x
+				e.out = append(e.out, [2]int{flagged[ms[p]], flagged[ms[q]]})
+			} else {
+				// The optimum folded this pair through the boundary: report
+				// the two boundary chains it actually consists of.
+				e.y[ms[p]], e.y[ms[q]] = e.bbase(ms[p]), e.bbase(ms[q])
+				e.out = append(e.out,
+					[2]int{flagged[ms[p]], decoder.Boundary},
+					[2]int{flagged[ms[q]], decoder.Boundary})
+			}
+		}
+	}
+}
+
+// yLo is the lowest dual value defect a's chain allows: a boundary (or
+// folded) chain fixes the dual at the chain's base weight outright, while a
+// direct chain lets the split shift as long as the partner's share stays
+// under the partner's price cap.
+func (e *Engine) yLo(a int32) int64 {
+	p := e.mate[a]
+	if p < 0 {
+		return e.y[a]
+	}
+	if lo := e.chainX[a] - e.capQ[p]; lo > 0 {
+		return lo
+	}
+	return 0
+}
+
+// repairComp makes one component's chain splits feasible against its own
+// surviving structural edges, where possible. The initial boundary-potential
+// splits are chosen chain-by-chain, so an unmatched edge between two matched
+// chains can price below its endpoints' dual sum even though feasible splits
+// exist (an alternating path needs its splits coordinated). Each pass shifts
+// violated edges' endpoint duals down within their chains' cap windows — the
+// chain sums stay tight, so Σy still equals the matching's base total —
+// until no edge is violated or no shift is available. Structures that need
+// blossom corrections (odd clusters of mutually close defects) have no
+// feasible per-vertex prices at all; the loop stops moving and reports
+// false. Feasibility only ever involves a component's own members: surviving
+// edges define the components and chain shifts move along mates, so no
+// repair can disturb another component's prices.
+func (e *Engine) repairComp(ci int) bool {
+	for pass := 0; pass < 6; pass++ {
+		violated, moved := false, false
+		for _, ei := range e.compEdge[ci] {
+			ed := e.edges[ei]
+			over := e.y[ed.a] + e.y[ed.b] - ed.lifted>>exactmatch.TieBits
+			if over <= 0 {
+				continue
+			}
+			violated = true
+			for _, t := range [2]int32{ed.a, ed.b} {
+				p := e.mate[t]
+				if p < 0 {
+					continue // boundary-pinned dual cannot move
+				}
+				du := e.y[t] - e.yLo(t)
+				if room := e.capQ[p] - e.y[p]; du > room {
+					du = room
+				}
+				if du > over {
+					du = over
+				}
+				if du <= 0 {
+					continue
+				}
+				e.y[t] -= du
+				e.y[p] += du // chain sum stays tight
+				over -= du
+				moved = true
+				if over <= 0 {
+					break
+				}
+			}
+		}
+		if !violated {
+			return true
+		}
+		if !moved {
+			return false
+		}
+	}
+	return false
+}
+
+// certify reports whether the round's matching is provably the global
+// lifted optimum given the regions grown so far. It prices every flagged
+// detector with a dual value and checks, component by component, that the
+// prices are feasible: a rival matching's every chain then costs at least
+// its endpoints' price sum, and the prices are tight — Σy is exactly the
+// round's base total — so a rival using an undiscovered chain exceeds the
+// total by whole fixed-point quanta, which outranks any tie-break sum in
+// the lifted order. Rivals built only from discovered chains were already
+// inside the component solves' search space.
+//
+// Every price is capped at min(B_a, R_a−8): B_a the boundary-chain base (a
+// boundary chain then costs at least the price it covers) and R_a the
+// region radius in base units (collision completeness puts an undiscovered
+// pair's direct chain strictly beyond ρ_a+ρ_b, so the cap makes every
+// undiscovered chain clear its price sum without any pairwise check; the −8
+// absorbs the float rounding of the radii). Surviving structural edges are
+// the one chain family the caps don't bound, and they live strictly inside
+// components — certifyComp prices them per component.
+//
+// Components that fail mark the regions whose growth can fix them in
+// e.need (and e.needFull when only full growth can); certified components
+// are left alone, so one stubborn cluster no longer forces the whole
+// syndrome to full growth.
+func (e *Engine) certify(k int) bool {
+	for a := 0; a < k; a++ {
+		e.need[a] = false
+		cq := e.bbase(int32(a))
+		if !e.capped[a] {
+			if r := int64(e.rho[a]*exactmatch.WeightScale) - 8; r < cq {
+				cq = r
+			}
+			if cq < 0 {
+				cq = 0
+			}
+		}
+		e.capQ[a] = cq
+	}
+	ok := true
+	for ci := 0; ci < e.ncomp; ci++ {
+		if !e.certifyComp(ci) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// certifyComp prices one component of the round's matching:
+//
+//   - A boundary (or folded) chain prices its detector at the chain's base
+//     weight outright — tightness leaves no slack to give away — so its
+//     region must have grown to its boundary radius for the price to fit
+//     under the radius cap. If not, the region is marked for growth.
+//
+//   - A direct chain splits its base weight across its endpoints inside
+//     their cap windows; repairComp then coordinates the splits against the
+//     component's surviving edges. An empty window means some endpoint's
+//     radius is still below its share of the chain — growth fixes it.
+//
+//   - When repair fails on a fully-capped component, the component is
+//     accepted as certified anyway ("dirty"): odd clusters of mutually
+//     close defects need blossom corrections that per-vertex prices cannot
+//     express, but with every member capped the component's own solve
+//     already covered every way a rival could route chains inside it — a
+//     rival's kept edges plus boundary chains for the remaining members is
+//     a matching the component blossom considered, so it costs at least the
+//     component total, and every chain leaving the component is priced by
+//     the caps. When repair fails with uncapped members, no radius makes
+//     per-vertex prices feasible either, so those members are sent straight
+//     to full growth (e.needFull) rather than through pointless doublings.
+func (e *Engine) certifyComp(ci int) bool {
+	ms := e.members[ci]
+	feasible, cappedAll := true, true
+	for _, a := range ms {
+		if !e.capped[a] {
+			cappedAll = false
+		}
+		p := e.mate[a]
+		if p < 0 {
+			e.y[a] = e.bbase(a)
+			if !e.capped[a] {
+				feasible = false
+			}
+			continue
+		}
+		if p < a {
+			continue // the chain was split when its lower endpoint was visited
+		}
+		x := e.chainX[a]
+		if x > e.capQ[a]+e.capQ[p] {
+			feasible = false
+			continue
+		}
+		e.y[a], e.y[p] = dualSplit(x, e.capQ[a], e.capQ[p])
+	}
+	if feasible {
+		if e.repairComp(ci) {
+			return true
+		}
+		if cappedAll {
+			return true // dirty: certified through the component solve itself
+		}
+		for _, a := range ms {
+			if !e.capped[a] {
+				e.need[a] = true
+				e.needFull[a] = true
+			}
+		}
+		return false
+	}
+	for _, a := range ms {
+		if !e.capped[a] {
+			e.need[a] = true
+		}
+	}
+	return false
+}
+
+// Match implements exactmatch.Engine.
+func (e *Engine) Match(flagged []int) [][2]int {
+	k := len(flagged)
+
+	// Per-flagged state: lifted boundary chains, region radii, candidates.
+	e.liftBnd = e.liftBnd[:0]
+	e.rho = e.rho[:0]
+	e.capped = e.capped[:0]
+	e.need = e.need[:0]
+	e.needFull = e.needFull[:0]
+	e.capQ = e.capQ[:0]
+	for _, i := range flagged {
+		e.liftBnd = append(e.liftBnd, exactmatch.Lift(e.bndBase[i], exactmatch.BoundaryTie(i, k)))
+		e.rho = append(e.rho, 0)
+		e.capped = append(e.capped, false)
+		e.need = append(e.need, false)
+		e.needFull = append(e.needFull, false)
+		e.capQ = append(e.capQ, 0)
+	}
+	for len(e.regTouched) < k {
+		e.regTouched = append(e.regTouched, nil)
+	}
+	if cap(e.candMat) < k*k {
+		e.candMat = make([]int32, k*k)
+	}
+	e.candMat = e.candMat[:k*k]
+	for x := range e.candMat {
+		e.candMat[x] = -1
+	}
+	e.cands = e.cands[:0]
+
+	// Defect-dense syndromes saturate the graph with overlapping regions;
+	// iterative deepening would only add a wasted partial round on top of
+	// the full growth they end up needing, so they go there directly.
+	full := 12*k >= e.csr.N
+
+	for round := 0; ; round++ {
+		allCapped := true
+		for a := 0; a < k; a++ {
+			if e.capped[a] {
+				continue
+			}
+			if round > 0 && !full && !e.need[a] {
+				allCapped = false
+				continue // this region's duals are already feasible
+			}
+			src := int32(flagged[a])
+			target := math.Inf(1)
+			if !full && !e.needFull[a] {
+				if round == 0 {
+					target = e.r0
+				} else {
+					target = 2 * e.rho[a]
+				}
+			}
+			atBnd := false
+			if b := e.bndW[src]; b <= target {
+				target = b
+				atBnd = true
+			}
+			target += slack
+			if !atBnd {
+				allCapped = false
+			}
+			e.capped[a] = atBnd
+			if e.rho[a] > 0 {
+				if target <= e.rho[a] {
+					continue // a previous round already grew this far
+				}
+				e.resumeRegion(k, int32(a), e.rho[a], target)
+			} else {
+				e.growRegion(k, int32(a), src, target, true)
+			}
+			e.rho[a] = target
+		}
+
+		e.resolve(flagged)
+		e.edges = e.edges[:0]
+		for ci := range e.cands {
+			if c := &e.cands[ci]; c.state == candResolved {
+				e.keepEdge(flagged, c.a, c.b, c.exact, k)
+			}
+		}
+		e.solve(flagged)
+		if allCapped {
+			// Full growth: every pair is resolved or boundary-dominated, so
+			// the solve's search space covered the optimum outright.
+			break
+		}
+		if e.certify(k) {
+			break
+		}
+	}
+
+	// Release per-decode label and candidate state (stamps make the
+	// Dijkstra arrays self-resetting).
+	for _, u := range e.touched {
+		e.labels[u] = e.labels[u][:0]
+	}
+	e.touched = e.touched[:0]
+	for a := 0; a < k; a++ {
+		e.regTouched[a] = e.regTouched[a][:0]
+	}
+
+	return e.out
+}

@@ -1,0 +1,337 @@
+package sparsemwpm
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"astrea/internal/bitvec"
+	"astrea/internal/decodegraph"
+	"astrea/internal/decoder"
+	"astrea/internal/dem"
+	"astrea/internal/mwpm"
+	"astrea/internal/prng"
+	"astrea/internal/surface"
+)
+
+func build(t testing.TB, d int, p float64) (*dem.Model, *decodegraph.Graph, *decodegraph.GWT) {
+	t.Helper()
+	code, err := surface.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := code.MemoryZ(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dem.FromCircuit(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := decodegraph.FromModel(m, cc.DetMetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwt, err := g.BuildGWT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, g, gwt
+}
+
+func newSparse(g *decodegraph.Graph, gwt *decodegraph.GWT) *mwpm.Decoder {
+	return mwpm.NewWithEngine(gwt, New(g))
+}
+
+// sameResult compares two decode results for bit-identity: equal observable
+// prediction, bit-equal float weight and equal pair lists.
+func sameResult(a, b decoder.Result) bool {
+	if a.ObsPrediction != b.ObsPrediction ||
+		math.Float64bits(a.Weight) != math.Float64bits(b.Weight) ||
+		len(a.Pairs) != len(b.Pairs) {
+		return false
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptySyndrome(t *testing.T) {
+	_, g, gwt := build(t, 3, 1e-3)
+	d := newSparse(g, gwt)
+	r := d.Decode(bitvec.New(gwt.N))
+	if r.ObsPrediction != 0 || len(r.Pairs) != 0 || r.Weight != 0 {
+		t.Fatalf("empty syndrome decoded to %+v", r)
+	}
+}
+
+func TestSingleFlagged(t *testing.T) {
+	_, g, gwt := build(t, 3, 1e-3)
+	d := newSparse(g, gwt)
+	s := bitvec.New(gwt.N)
+	s.Set(3)
+	r := d.Decode(s)
+	if len(r.Pairs) != 1 || r.Pairs[0] != [2]int{3, decoder.Boundary} {
+		t.Fatalf("pairs = %v", r.Pairs)
+	}
+	if r.ObsPrediction != gwt.Obs(3, 3) {
+		t.Fatal("prediction must follow the boundary chain parity")
+	}
+}
+
+// Odd flagged counts exercise the implicit-boundary path: with the
+// unlimited-degree boundary at least one detector must take its boundary
+// chain, and the matching must still cover every flagged detector exactly
+// once.
+func TestOddFlaggedCounts(t *testing.T) {
+	m, g, gwt := build(t, 5, 3e-3)
+	d := newSparse(g, gwt)
+	rng := prng.New(515)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	odd := 0
+	for shot := 0; shot < 4000 && odd < 200; shot++ {
+		smp.Sample(rng, s)
+		ones := s.Ones(nil)
+		if len(ones)%2 == 0 || len(ones) < 3 {
+			continue
+		}
+		odd++
+		r := d.Decode(s)
+		if ok, why := decoder.Validate(s, r); !ok {
+			t.Fatalf("shot %d (k=%d): invalid matching: %s", shot, len(ones), why)
+		}
+		boundaryMatches := 0
+		for _, p := range r.Pairs {
+			if p[1] == decoder.Boundary {
+				boundaryMatches++
+			}
+		}
+		if boundaryMatches%2 == 0 {
+			t.Fatalf("shot %d: odd flagged count needs an odd number of boundary matches, got %d", shot, boundaryMatches)
+		}
+	}
+	if odd < 50 {
+		t.Fatalf("only %d odd syndromes exercised", odd)
+	}
+}
+
+func TestMatchingsAreValid(t *testing.T) {
+	m, g, gwt := build(t, 5, 3e-3)
+	d := newSparse(g, gwt)
+	rng := prng.New(808)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	nonzero := 0
+	for shot := 0; shot < 3000; shot++ {
+		smp.Sample(rng, s)
+		if !s.Any() {
+			continue
+		}
+		nonzero++
+		r := d.Decode(s)
+		if ok, why := decoder.Validate(s, r); !ok {
+			t.Fatalf("shot %d: invalid matching: %s", shot, why)
+		}
+	}
+	if nonzero < 100 {
+		t.Fatalf("only %d nonzero syndromes; test too weak", nonzero)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	m, g, gwt := build(t, 3, 5e-3)
+	d1, d2 := newSparse(g, gwt), newSparse(g, gwt)
+	rng := prng.New(11)
+	smp := dem.NewSampler(m)
+	s := bitvec.New(gwt.N)
+	for shot := 0; shot < 500; shot++ {
+		smp.Sample(rng, s)
+		if a, b := d1.Decode(s), d2.Decode(s); !sameResult(a, b) {
+			t.Fatalf("nondeterministic decode at shot %d", shot)
+		}
+	}
+}
+
+// TestMatchesDenseExactly is the tentpole's validation gate: over ≥10k
+// seeded shots per distance d ∈ {3, 5, 7, 9}, the sparse engine must agree
+// with the dense blossom engine bit-for-bit — equal total matching weight,
+// identical observable prediction, identical pair list.
+func TestMatchesDenseExactly(t *testing.T) {
+	for _, tc := range []struct {
+		d     int
+		p     float64
+		shots int
+	}{
+		{d: 3, p: 1e-3, shots: 10000},
+		{d: 5, p: 1e-3, shots: 10000},
+		{d: 7, p: 1e-3, shots: 10000},
+		{d: 9, p: 1e-3, shots: 10000},
+	} {
+		t.Run(shotName(tc.d), func(t *testing.T) {
+			m, g, gwt := build(t, tc.d, tc.p)
+			dense := mwpm.New(gwt)
+			sparse := newSparse(g, gwt)
+			rng := prng.New(uint64(1000 + tc.d))
+			smp := dem.NewSampler(m)
+			s := bitvec.New(gwt.N)
+			nonzero := 0
+			for shot := 0; shot < tc.shots; shot++ {
+				smp.Sample(rng, s)
+				if s.Any() {
+					nonzero++
+				}
+				a, b := dense.Decode(s), sparse.Decode(s)
+				if !sameResult(a, b) {
+					t.Fatalf("shot %d: dense %+v vs sparse %+v (syndrome %v)",
+						shot, a, b, s.Ones(nil))
+				}
+				if ok, why := decoder.Validate(s, b); !ok {
+					t.Fatalf("shot %d: invalid sparse matching: %s", shot, why)
+				}
+			}
+			if nonzero < tc.shots/20 {
+				t.Fatalf("only %d nonzero syndromes; test too weak", nonzero)
+			}
+		})
+	}
+}
+
+func shotName(d int) string { return "d" + string(rune('0'+d)) }
+
+// TestMatchesDenseHighWeight stresses the regime the sparse engine exists
+// for: heavy syndromes with many flagged detectors, where regions overlap,
+// blossoms form inside components and the component decomposition carries
+// the load.
+func TestMatchesDenseHighWeight(t *testing.T) {
+	for _, tc := range []struct {
+		d     int
+		p     float64
+		shots int
+	}{
+		{d: 5, p: 1e-2, shots: 1500},
+		{d: 7, p: 1e-2, shots: 1000},
+		{d: 9, p: 1e-2, shots: 600},
+		{d: 7, p: 3e-2, shots: 400},
+	} {
+		m, g, gwt := build(t, tc.d, tc.p)
+		dense := mwpm.New(gwt)
+		sparse := newSparse(g, gwt)
+		rng := prng.New(uint64(77 + tc.d))
+		smp := dem.NewSampler(m)
+		s := bitvec.New(gwt.N)
+		maxK := 0
+		for shot := 0; shot < tc.shots; shot++ {
+			smp.Sample(rng, s)
+			if k := len(s.Ones(nil)); k > maxK {
+				maxK = k
+			}
+			a, b := dense.Decode(s), sparse.Decode(s)
+			if !sameResult(a, b) {
+				t.Fatalf("d=%d p=%g shot %d: dense %+v vs sparse %+v",
+					tc.d, tc.p, shot, a, b)
+			}
+		}
+		if maxK < tc.d {
+			t.Fatalf("d=%d p=%g: heaviest syndrome only reached k=%d; stress too weak", tc.d, tc.p, maxK)
+		}
+	}
+}
+
+// TestArbitrarySyndromes feeds adversarial (non-sampler) flagged sets: the
+// matcher's contract is any detector subset, not just DEM-consistent ones.
+func TestArbitrarySyndromes(t *testing.T) {
+	_, g, gwt := build(t, 7, 1e-3)
+	dense := mwpm.New(gwt)
+	sparse := newSparse(g, gwt)
+	rng := prng.New(424242)
+	s := bitvec.New(gwt.N)
+	for trial := 0; trial < 2000; trial++ {
+		s.Reset()
+		// Flip a uniformly random subset at densities the sampler never
+		// produces, including widely separated detector pairs.
+		density := 1 + rng.Uint64()%16
+		for i := 0; i < gwt.N; i++ {
+			if rng.Uint64()%(17*8) < density {
+				s.Set(i)
+			}
+		}
+		a, b := dense.Decode(s), sparse.Decode(s)
+		if !sameResult(a, b) {
+			t.Fatalf("trial %d: dense %+v vs sparse %+v (syndrome %v)", trial, a, b, s.Ones(nil))
+		}
+	}
+}
+
+// TestConcurrencyContract pins the documented concurrency model: one engine
+// instance is NOT concurrent-safe, but independent instances sharing one
+// immutable graph/GWT are — the arrangement server pools rely on. Run under
+// -race this also proves the shared CSR and boundary-chain views are
+// read-only.
+func TestConcurrencyContract(t *testing.T) {
+	m, g, gwt := build(t, 5, 3e-3)
+	if dec := newSparse(g, gwt); decoder.IsConcurrentSafe(dec) {
+		t.Fatal("sparse-backed MWPM must not declare ConcurrencySafe: Decode reuses per-instance scratch")
+	}
+
+	// Pre-sample shared syndromes, then decode them from several goroutines
+	// with per-goroutine instances; every goroutine must see identical
+	// results.
+	rng := prng.New(3131)
+	smp := dem.NewSampler(m)
+	shots := make([]bitvec.Vec, 200)
+	for i := range shots {
+		s := bitvec.New(gwt.N)
+		smp.Sample(rng, s)
+		shots[i] = s
+	}
+	ref := newSparse(g, gwt)
+	want := make([]decoder.Result, len(shots))
+	for i, s := range shots {
+		want[i] = ref.Decode(s)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dec := newSparse(g, gwt) // one instance per goroutine
+			for i, s := range shots {
+				if got := dec.Decode(s); !sameResult(got, want[i]) {
+					errs <- "concurrent instance diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func BenchmarkDecodeD7P3(b *testing.B) {
+	m, g, gwt := build(b, 7, 1e-3)
+	d := newSparse(g, gwt)
+	rng := prng.New(1)
+	smp := dem.NewSampler(m)
+	pool := make([]bitvec.Vec, 0, 256)
+	for len(pool) < 256 {
+		s := bitvec.New(gwt.N)
+		smp.Sample(rng, s)
+		if s.Any() {
+			pool = append(pool, s)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Decode(pool[i%len(pool)])
+	}
+}
