@@ -1,0 +1,97 @@
+package astrea
+
+import (
+	"testing"
+
+	"astrea/internal/mwpm"
+	"astrea/internal/sparsemwpm"
+)
+
+// Committed steady-state allocation budgets for warm d=7 sparse decode.
+// The hotalloc analyzer forbids the constructs that put allocations on the
+// per-shot path statically; this test is the dynamic side of the same
+// gate. Budgets are exact ceilings, not targets — lowering them is free,
+// raising one is a regression that needs a reviewed justification.
+const (
+	// sparseMatchAllocBudget bounds Engine.Match on a warm engine: all
+	// scratch (regions, labels, heaps, component solver state) is
+	// engine-owned and amortised, so steady state adds nothing.
+	sparseMatchAllocBudget = 0.0
+	// sparseDecodeAllocBudget bounds the full adapter Decode: Match plus
+	// the Result's caller-owned Pairs copy (one make per decode).
+	sparseDecodeAllocBudget = 1.0
+)
+
+// TestSparseDecodeAllocBudget pins steady-state sparse decode (warm
+// environment, d=7, the strata d=7 populates) to the committed allocs/op
+// budget via testing.AllocsPerRun. CI runs this as a named step so a
+// regression names the offending path.
+func TestSparseDecodeAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a d=7 Monte-Carlo environment")
+	}
+	cell := matchingCell{D: 7, P: 3e-3, LoHW: 2, HiHW: 14}
+	env, pool := matchingPool(t, cell, 200)
+	eng := sparsemwpm.New(env.Graph)
+	dec := mwpm.NewWithEngine(env.GWT, eng)
+
+	// Flagged-index views for the Engine.Match measurement (Match takes
+	// positions, the adapter extracts them from the syndrome).
+	flagged := make([][]int, 0, len(pool))
+	for _, s := range pool {
+		if ones := s.Ones(nil); len(ones) >= 2 {
+			flagged = append(flagged, ones)
+		}
+	}
+	if len(flagged) < 20 {
+		t.Fatalf("only %d multi-defect syndromes in the pool", len(flagged))
+	}
+
+	// Warm every scratch buffer: the budget is a steady-state contract,
+	// first-touch growth is amortised setup.
+	for _, s := range pool {
+		dec.Decode(s)
+	}
+
+	i := 0
+	got := testing.AllocsPerRun(4*len(flagged), func() {
+		eng.Match(flagged[i%len(flagged)])
+		i++
+	})
+	if got > sparseMatchAllocBudget {
+		t.Errorf("warm sparsemwpm Engine.Match: %.2f allocs/op, budget %.0f — a per-shot allocation crept into the hot loop", got, sparseMatchAllocBudget)
+	}
+
+	j := 0
+	got = testing.AllocsPerRun(4*len(pool), func() {
+		dec.Decode(pool[j%len(pool)])
+		j++
+	})
+	if got > sparseDecodeAllocBudget {
+		t.Errorf("warm sparse Decode: %.2f allocs/op, budget %.0f (Match + the Result.Pairs copy)", got, sparseDecodeAllocBudget)
+	}
+}
+
+// TestDenseDecodeAllocBudget holds the dense adapter to the same
+// discipline on its own engine, so the comparison baseline stays honest.
+func TestDenseDecodeAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a d=7 Monte-Carlo environment")
+	}
+	cell := matchingCell{D: 7, P: 3e-3, LoHW: 2, HiHW: 14}
+	env, pool := matchingPool(t, cell, 200)
+	dec := mwpm.New(env.GWT)
+	for _, s := range pool {
+		dec.Decode(s)
+	}
+	j := 0
+	got := testing.AllocsPerRun(4*len(pool), func() {
+		dec.Decode(pool[j%len(pool)])
+		j++
+	})
+	// The dense engine allocates its per-call matrix views lazily but
+	// reuses them warm; the adapter adds the Pairs copy.
+	if got > 1.0 {
+		t.Errorf("warm dense Decode: %.2f allocs/op, budget 1 (the Result.Pairs copy)", got)
+	}
+}

@@ -52,9 +52,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			if pkg != nil {
-				pkgs = append(pkgs, pkg)
-			}
+			pkgs = append(pkgs, pkg)
 		}
 	}
 	findings := 0
@@ -98,5 +96,14 @@ func loadArg(loader *lint.Loader, root, arg string) (*lint.Package, error) {
 	if rel != "." {
 		path = modPath + "/" + rel
 	}
-	return loader.LoadDir(dir, path, rel)
+	pkg, err := loader.LoadDir(dir, path, rel)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		// Skipping silently here would let a typo'd CI argument gate on
+		// nothing and report success.
+		return nil, fmt.Errorf("%s contains no Go files; pass a package directory (e.g. ./internal/server) or ./... for the whole module", arg)
+	}
+	return pkg, nil
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunNoGoFiles pins the argument-validation contract: a directory that
+// exists but holds no Go files is an error with a usage hint, not a silent
+// success. (A typo'd CI argument used to gate on nothing and exit 0.)
+func TestRunNoGoFiles(t *testing.T) {
+	err := run([]string{"testdata/nogo"})
+	if err == nil {
+		t.Fatal("run on a directory with no Go files succeeded; want an error")
+	}
+	if !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("error does not name the problem: %v", err)
+	}
+	if !strings.Contains(err.Error(), "./...") {
+		t.Errorf("error carries no usage hint: %v", err)
+	}
+}
+
+// TestRunMissingDir keeps nonexistent paths an error too.
+func TestRunMissingDir(t *testing.T) {
+	if err := run([]string{"./no-such-dir"}); err == nil {
+		t.Fatal("run on a nonexistent directory succeeded; want an error")
+	}
+}
+
+// TestRunOutsideModule keeps out-of-module paths an error.
+func TestRunOutsideModule(t *testing.T) {
+	err := run([]string{"/"})
+	if err == nil {
+		t.Fatal("run on a path outside the module succeeded; want an error")
+	}
+	if !strings.Contains(err.Error(), "outside the module") {
+		t.Errorf("error does not name the problem: %v", err)
+	}
+}
+
+// TestRunSelf runs the real pass over this package: explicit-directory
+// loading end to end, and cmd/astrea-vet stays clean under its own
+// analyzers.
+func TestRunSelf(t *testing.T) {
+	if err := run([]string{"."}); err != nil {
+		t.Fatalf("run on cmd/astrea-vet: %v", err)
+	}
+}

@@ -103,6 +103,7 @@ func HW6Path(gwt *decodegraph.GWT, flagged []int) decoder.Result {
 
 	// weight/obs between slot values a, b in [0, n); index >= len(flagged)
 	// is the boundary bit.
+	//lint:allow hotalloc local closures are inlined at every call site and never materialise (go build -gcflags=-m: "can inline HW6Path.funcN", no escape)
 	wOf := func(a, b int) (int, uint64) {
 		if b < a {
 			a, b = b, a
@@ -122,6 +123,7 @@ func HW6Path(gwt *decodegraph.GWT, flagged []int) decoder.Result {
 	// with padding slots (value -1) free among themselves and forbidden
 	// against real slots.
 	var hw hw6Weights
+	//lint:allow hotalloc local closures are inlined at every call site and never materialise (go build -gcflags=-m: "can inline HW6Path.funcN", no escape)
 	fill := func(vals *[6]int) {
 		for a := 0; a < 6; a++ {
 			for b := a + 1; b < 6; b++ {
@@ -142,6 +144,7 @@ func HW6Path(gwt *decodegraph.GWT, flagged []int) decoder.Result {
 		}
 	}
 
+	//lint:allow hotalloc local closures are inlined at every call site and never materialise (go build -gcflags=-m: "can inline HW6Path.funcN", no escape)
 	toPairs := func(vals *[6]int, slotPairs [3][2]int, dst [][2]int) [][2]int {
 		for _, pr := range slotPairs {
 			va, vb := vals[pr[0]], vals[pr[1]]

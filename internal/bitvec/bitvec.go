@@ -73,10 +73,17 @@ func (v Vec) Reset() {
 	}
 }
 
+// lengthMismatch keeps the panic's fmt call out of the hot methods: the
+// format machinery boxes its operands and bloats the caller past the
+// inlining budget even when the branch never runs.
+func lengthMismatch(a, b int) {
+	panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", a, b))
+}
+
 // XorWith xors other into v in place. The vectors must have equal length.
 func (v Vec) XorWith(other Vec) {
 	if v.n != other.n {
-		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, other.n))
+		lengthMismatch(v.n, other.n)
 	}
 	for i := range v.words {
 		v.words[i] ^= other.words[i]
@@ -86,7 +93,7 @@ func (v Vec) XorWith(other Vec) {
 // CopyFrom overwrites v with the contents of other. Lengths must match.
 func (v Vec) CopyFrom(other Vec) {
 	if v.n != other.n {
-		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, other.n))
+		lengthMismatch(v.n, other.n)
 	}
 	copy(v.words, other.words)
 }

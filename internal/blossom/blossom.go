@@ -41,7 +41,11 @@ type Solver struct {
 	vis   []int
 	fl    [][]int
 	q     []int
+	qh    int // q head index: popping by re-slicing would leak capacity
 	t     int
+
+	orig []int64 // MinWeightPerfect scratch: caller weights before shifting
+	mate []int   // MinWeightPerfect scratch: the returned matching
 }
 
 func (sv *Solver) eDelta(e edge) int64 {
@@ -255,7 +259,7 @@ func (sv *Solver) matching() bool {
 		sv.s[i] = -1
 		sv.slack[i] = 0
 	}
-	sv.q = sv.q[:0]
+	sv.q, sv.qh = sv.q[:0], 0
 	for x := 1; x <= sv.nx; x++ {
 		if sv.st[x] == x && sv.match[x] == 0 {
 			sv.pa[x] = 0
@@ -267,9 +271,9 @@ func (sv *Solver) matching() bool {
 		return false
 	}
 	for {
-		for len(sv.q) > 0 {
-			u := sv.q[0]
-			sv.q = sv.q[1:]
+		for sv.qh < len(sv.q) {
+			u := sv.q[sv.qh]
+			sv.qh++
 			if sv.s[sv.st[u]] == 1 {
 				continue
 			}
@@ -329,7 +333,7 @@ func (sv *Solver) matching() bool {
 				}
 			}
 		}
-		sv.q = sv.q[:0]
+		sv.q, sv.qh = sv.q[:0], 0
 		for x := 1; x <= sv.nx; x++ {
 			if sv.st[x] == x && sv.slack[x] != 0 && sv.st[sv.slack[x]] != x &&
 				sv.eDelta(sv.g[sv.slack[x]][x]) == 0 {
@@ -411,14 +415,24 @@ func (sv *Solver) maxWeightMatching() {
 // MinWeightPerfect computes a minimum-weight perfect matching of the
 // complete graph on n vertices (0-based) with the given non-negative weight
 // function. It returns mate (mate[i] = j) and the total weight. n must be
-// even and positive.
+// even and positive. The returned mate slice is solver-owned scratch and is
+// overwritten by the next MinWeightPerfect call on this Solver — copy it if
+// it must outlive the call.
 func (sv *Solver) MinWeightPerfect(n int, weight func(i, j int) int64) ([]int, int64, error) {
 	if n <= 0 || n%2 != 0 {
 		return nil, 0, fmt.Errorf("blossom: n must be positive and even, got %d", n)
 	}
 	sv.reset(n)
 	var wMax int64
-	orig := make([]int64, (n+1)*(n+1))
+	if need := (n + 1) * (n + 1); cap(sv.orig) < need {
+		sv.orig = make([]int64, need)
+	} else {
+		sv.orig = sv.orig[:need]
+		for i := range sv.orig {
+			sv.orig[i] = 0
+		}
+	}
+	orig := sv.orig
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			w := weight(i, j)
@@ -446,7 +460,10 @@ func (sv *Solver) MinWeightPerfect(n int, weight func(i, j int) int64) ([]int, i
 	}
 	sv.maxWeightMatching()
 
-	mate := make([]int, n)
+	if cap(sv.mate) < n {
+		sv.mate = make([]int, n)
+	}
+	mate := sv.mate[:n]
 	var total int64
 	for i := 1; i <= n; i++ {
 		m := sv.match[i]

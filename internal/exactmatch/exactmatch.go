@@ -33,8 +33,6 @@
 package exactmatch
 
 import (
-	"sort"
-
 	"astrea/internal/decodegraph"
 	"astrea/internal/decoder"
 )
@@ -114,13 +112,22 @@ func LiftBoundary(gwt *decodegraph.GWT, i, k int) int64 {
 // whatever order their formulation produces; the adapter sorts before
 // scoring so float accumulation order — and therefore the reported weight
 // — is a function of the matching alone.
+// Insertion sort: a matching holds at most HW/2 pairs (a handful at the
+// distances served), and sort.Slice's closure-through-interface would cost
+// two heap allocations on every decode.
 func SortPairs(pairs [][2]int) {
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a][0] != pairs[b][0] {
-			return pairs[a][0] < pairs[b][0]
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairLess(pairs[j], pairs[j-1]); j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
 		}
-		return pairs[a][1] < pairs[b][1]
-	})
+	}
+}
+
+func pairLess(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
 }
 
 // Score accumulates the reported float weight and observable mask of a

@@ -56,9 +56,10 @@ var nondetImports = map[string]bool{
 // map produces a different byte order every run unless the destination is
 // sorted afterwards.
 var Determinism = &Analyzer{
-	Name: "determinism",
-	Doc:  "forbid nondeterministic inputs and map-iteration-ordered output in compile/decode packages",
-	Run:  runDeterminism,
+	Name:  "determinism",
+	Doc:   "forbid nondeterministic inputs and map-iteration-ordered output in compile/decode packages",
+	Scope: deterministicPkgs,
+	Run:   runDeterminism,
 }
 
 func runDeterminism(pkg *Package) []Diagnostic {

@@ -15,9 +15,10 @@ var endianPkgs = map[string]bool{
 // Endian forbids binary.BigEndian (and any non-LittleEndian byte order
 // passed to binary.Read/binary.Write) in the wire and artifact packages.
 var Endian = &Analyzer{
-	Name: "endian",
-	Doc:  "wire and artifact layers are little-endian everywhere",
-	Run:  runEndian,
+	Name:  "endian",
+	Doc:   "wire and artifact layers are little-endian everywhere",
+	Scope: endianPkgs,
+	Run:   runEndian,
 }
 
 func runEndian(pkg *Package) []Diagnostic {

@@ -25,7 +25,9 @@ var droppedErrPkgs = map[string]bool{
 var Errwrap = &Analyzer{
 	Name: "errwrap",
 	Doc:  "errors.Is for sentinels, %w for wrapping, no silent drops in service I/O",
-	Run:  runErrwrap,
+	// The %w/errors.Is rules apply module-wide; only the dropped-error rule
+	// scopes to droppedErrPkgs, so Scope stays nil here.
+	Run: runErrwrap,
 }
 
 func runErrwrap(pkg *Package) []Diagnostic {

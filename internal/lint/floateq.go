@@ -31,9 +31,10 @@ var floatPkgs = map[string]bool{
 // Floateq forbids == and != on floating-point operands in the weight and
 // decoder packages.
 var Floateq = &Analyzer{
-	Name: "floateq",
-	Doc:  "no floating-point equality in weight/decoder code",
-	Run:  runFloateq,
+	Name:  "floateq",
+	Doc:   "no floating-point equality in weight/decoder code",
+	Scope: floatPkgs,
+	Run:   runFloateq,
 }
 
 func runFloateq(pkg *Package) []Diagnostic {

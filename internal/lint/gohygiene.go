@@ -26,9 +26,10 @@ var goLaunchHelpers = map[string]bool{}
 // sit inside an allowlisted launcher helper), so Close/Wait can always
 // account for it.
 var Gohygiene = &Analyzer{
-	Name: "gohygiene",
-	Doc:  "no untracked goroutines in server/cluster: WaitGroup.Add must be visible in the launching function",
-	Run:  runGohygiene,
+	Name:  "gohygiene",
+	Doc:   "no untracked goroutines in server/cluster: WaitGroup.Add must be visible in the launching function",
+	Scope: goPkgs,
+	Run:   runGohygiene,
 }
 
 func runGohygiene(pkg *Package) []Diagnostic {

@@ -45,7 +45,12 @@ func (d Diagnostic) String() string {
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Package) []Diagnostic
+	// Scope, when non-nil, names the module-relative package paths the
+	// analyzer confines itself to. It is advisory metadata for tooling and
+	// tests (the scope registry check in load_test.go walks it); Run still
+	// performs its own inScope gate.
+	Scope map[string]bool
+	Run   func(*Package) []Diagnostic
 }
 
 // Package is one loaded, type-checked package as the analyzers see it.
@@ -67,6 +72,9 @@ var Analyzers = []*Analyzer{
 	Exhaustive,
 	Floateq,
 	Gohygiene,
+	Hotalloc,
+	Lockorder,
+	Wiresym,
 }
 
 // allowDirective is one parsed //lint:allow comment.

@@ -31,6 +31,12 @@ var fixtureLoads = []fixtureLoad{
 	{dir: "floateq", rel: "internal/blossom"},
 	{dir: "gohygiene", rel: "internal/cluster"},
 	{dir: "allowlist", rel: "internal/blossom"},
+	{dir: "lockorder", rel: "internal/cluster"},
+	{dir: "lockorder_allow", rel: "internal/cluster"},
+	{dir: "hotalloc", rel: "internal/bitvec"},
+	{dir: "hotalloc_allow", rel: "internal/bitvec"},
+	{dir: "wiresym", rel: "internal/server"},
+	{dir: "wiresym_allow", rel: "internal/server"},
 
 	// Scope negatives: identical sources, out-of-scope rel.
 	{dir: "determinism", rel: "internal/realtime", zero: true},
@@ -38,6 +44,9 @@ var fixtureLoads = []fixtureLoad{
 	{dir: "errwrap_scope", rel: "internal/dem", zero: true},
 	{dir: "floateq", rel: "internal/report", zero: true},
 	{dir: "gohygiene", rel: "internal/realtime", zero: true},
+	{dir: "lockorder", rel: "internal/report", zero: true},
+	{dir: "hotalloc", rel: "internal/report", zero: true},
+	{dir: "wiresym", rel: "internal/compress", zero: true},
 }
 
 // TestFixtures runs the full analyzer set over each fixture package and

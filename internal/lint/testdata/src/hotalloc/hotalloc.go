@@ -1,0 +1,62 @@
+// Fixture for the hotalloc analyzer, loaded under rel "internal/bitvec"
+// (in scope; the function names below are on bitvec's hot list) and rel
+// "internal/report" (out of scope, expecting silence).
+package fixture
+
+import "fmt"
+
+func sink(v interface{}) { _ = v }
+
+// Ones is hot: the closure and the boxed argument are flagged.
+func Ones(xs []int) int {
+	f := func(x int) int { return x + 1 } // want `closure in hot function Ones`
+	n := 0
+	for _, x := range xs {
+		n += f(x)
+	}
+	sink(n) // want `int boxed into an interface argument in hot function Ones`
+	return n
+}
+
+// Set is hot: fmt allocates, and its non-constant operands box.
+func Set(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt.Sprintf in hot function Set` `int boxed into an interface argument in hot function Set`
+}
+
+// XorWith is hot: the un-preallocated append grows on every call.
+func XorWith(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append in a loop to out, declared without capacity, in hot function XorWith`
+	}
+	return out
+}
+
+// CopyFrom is hot but clean: preallocated append, scratch rebind, constant
+// panic, and pointer arguments all stay silent.
+func CopyFrom(xs []int, scratch []int) []int {
+	if xs == nil {
+		panic("fixture: nil input")
+	}
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	buf := scratch[:0]
+	for _, x := range out {
+		buf = append(buf, x)
+	}
+	sink(&buf)
+	return buf
+}
+
+// notHot uses every flagged construct outside the hot list: silence.
+func notHot(xs []int) string {
+	f := func(x int) int { return x * 2 }
+	var out []int
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	sink(len(out))
+	return fmt.Sprint(len(out))
+}

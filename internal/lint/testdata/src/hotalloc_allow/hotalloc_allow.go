@@ -1,0 +1,20 @@
+// Allow-mechanics fixture for the hotalloc analyzer, loaded under rel
+// "internal/bitvec" (in scope; Reset is on bitvec's hot list): the
+// justified suppression stays silent and a stale directive is itself
+// reported.
+package fixture
+
+func Reset(xs []int) int {
+	//lint:allow hotalloc fixture: closure is inlined at every call site
+	f := func(x int) int { return x - 1 }
+	n := 0
+	for _, x := range xs {
+		n += f(x)
+	}
+	return n
+}
+
+//lint:allow hotalloc this directive suppresses nothing and must be flagged // want `suppresses nothing; delete it`
+func notHot(x int) int {
+	return x + 1
+}

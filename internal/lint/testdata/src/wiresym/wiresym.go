@@ -1,0 +1,111 @@
+// Fixture for the wiresym analyzer, loaded under rel "internal/server"
+// (in scope) and rel "internal/compress" (out of scope, expecting
+// silence). Boolean-tag switches and if-dispatch stand in for the real
+// frame loop so the exhaustive analyzer has no constant-typed tag to
+// inspect.
+package fixture
+
+import "io"
+
+type FrameType uint8
+
+const (
+	FrameGood  FrameType = 1
+	FrameNoEnc FrameType = 2 // want `frame opcode FrameNoEnc is never encoded`
+	FrameNoDec FrameType = 3 // want `frame opcode FrameNoDec is never decoded`
+)
+
+const (
+	FeatureAux  uint32 = 1 << 0
+	FeatureSkew uint32 = 1 << 1
+)
+
+func writeFrame(w io.Writer, t FrameType, payload []byte) error {
+	_, err := w.Write(append([]byte{byte(t)}, payload...))
+	return err
+}
+
+// emit gives FrameGood and FrameNoDec their encode arms.
+func emit(w io.Writer) error {
+	if err := writeFrame(w, FrameGood, nil); err != nil {
+		return err
+	}
+	return writeFrame(w, FrameNoDec, nil)
+}
+
+// dispatch gives FrameGood and FrameNoEnc their decode arms.
+func dispatch(t FrameType) string {
+	switch {
+	case t == FrameGood:
+		return "good"
+	}
+	if t != FrameNoEnc {
+		return "unknown"
+	}
+	return "noenc"
+}
+
+// Good round-trips: encoder and decoder both present, both feature-blind.
+type Good struct{ V uint8 }
+
+func (g Good) AppendTo(dst []byte) []byte { return append(dst, g.V) }
+
+func ParseGood(b []byte) (Good, error) { return Good{V: b[0]}, nil }
+
+// NoParse has an encoder and no decoder.
+type NoParse struct{}
+
+func (n NoParse) AppendTo(dst []byte) []byte { return dst } // want `NoParse.AppendTo has no matching ParseNoParse`
+
+// Orphan has a decoder and no encoder.
+type Orphan struct{}
+
+func ParseOrphan(b []byte) (Orphan, error) { return Orphan{}, nil } // want `ParseOrphan has no matching encoder`
+
+// ParseHeader decodes something that is not a wire type in this package:
+// no pairing demanded.
+func ParseHeader(b []byte) int { return len(b) }
+
+// Probe's extended form guards the extra byte on FeatureAux on both sides:
+// symmetric, silent.
+type Probe struct {
+	Features uint32
+	Aux      uint8
+}
+
+func (p Probe) AppendToExt(dst []byte) []byte {
+	if p.Features&FeatureAux != 0 {
+		dst = append(dst, p.Aux)
+	}
+	return dst
+}
+
+func ParseProbeExt(b []byte) (Probe, error) {
+	var p Probe
+	if p.Features&FeatureAux != 0 && len(b) > 0 {
+		p.Aux = b[0]
+	}
+	return p, nil
+}
+
+// Skewed guards the encode side on FeatureSkew but decodes unconditionally:
+// the layouts desynchronise.
+type Skewed struct {
+	Features uint32
+	Tail     uint8
+}
+
+func (s Skewed) AppendToExt(dst []byte) []byte { // want `AppendToExt guards encoding on FeatureSkew but ParseSkewedExt never consults it`
+	if s.Features&FeatureSkew != 0 {
+		dst = append(dst, s.Tail)
+	}
+	return dst
+}
+
+func ParseSkewedExt(b []byte) (Skewed, error) {
+	var s Skewed
+	if len(b) > 0 {
+		s.Tail = b[0]
+	}
+	return s, nil
+}

@@ -1,0 +1,16 @@
+// Allow-mechanics fixture for the wiresym analyzer, loaded under rel
+// "internal/server" (in scope): a justified missing decoder stays silent
+// and a stale directive is itself reported.
+package fixture
+
+type Quiet struct{}
+
+//lint:allow wiresym fixture: the decoder lives in a sibling package under test
+func (q Quiet) AppendTo(dst []byte) []byte { return dst }
+
+type Loud struct{}
+
+func (l Loud) AppendTo(dst []byte) []byte { return dst } // want `Loud.AppendTo has no matching ParseLoud`
+
+//lint:allow wiresym this directive suppresses nothing and must be flagged // want `suppresses nothing; delete it`
+func helper() {}

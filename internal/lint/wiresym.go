@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var wiresymScope = map[string]bool{
+	"internal/server": true,
+}
+
+// Wiresym checks the wire layer's encode/decode symmetry — the class of
+// bug the v2 endianness split was, where one side of the protocol moved
+// and the other silently kept the old layout:
+//
+//   - every constant of the package's FrameType has both an encode arm
+//     (the opcode is passed to a frame-writing call) and a decode arm
+//     (the opcode appears in a switch case or an ==/!= dispatch) — an
+//     opcode with only one side is a frame the peer can never round-trip;
+//   - every AppendTo/AppendToExt method has the matching ParseT/ParseTExt
+//     function and vice versa, and package-level Append<X> helpers pair
+//     with Parse<X> — a payload with a writer and no reader (or the
+//     reverse) is dead wire format waiting to desynchronise;
+//   - within each Append/Parse pair, the set of Feature* bits consulted
+//     is identical on both sides — a field guarded by FeatureX on encode
+//     but read unconditionally on decode shifts every later field for
+//     peers that did not negotiate X.
+var Wiresym = &Analyzer{
+	Name:  "wiresym",
+	Doc:   "wire frames have matching encode/decode arms and symmetric feature-bit guards",
+	Scope: wiresymScope,
+	Run:   runWiresym,
+}
+
+func runWiresym(pkg *Package) []Diagnostic {
+	if !inScope(pkg, wiresymScope) {
+		return nil
+	}
+	var diags []Diagnostic
+	diags = append(diags, wiresymOpcodes(pkg)...)
+	diags = append(diags, wiresymPairs(pkg)...)
+	return diags
+}
+
+// wiresymOpcodes checks every FrameType constant for encode and decode
+// uses anywhere in the package.
+func wiresymOpcodes(pkg *Package) []Diagnostic {
+	ftObj, ok := pkg.Types.Scope().Lookup("FrameType").(*types.TypeName)
+	if !ok {
+		return nil // no wire layer in this package shape
+	}
+	ft := ftObj.Type()
+	type useSet struct {
+		decl           ast.Node
+		encode, decode bool
+	}
+	ops := map[*types.Const]*useSet{}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), ft) {
+			ops[c] = &useSet{}
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	constOf := func(x ast.Expr) *types.Const {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			c, _ := pkg.Info.Uses[e].(*types.Const)
+			if u, ok := ops[c]; ok && u != nil {
+				return c
+			}
+		case *ast.SelectorExpr:
+			c, _ := pkg.Info.Uses[e.Sel].(*types.Const)
+			if _, ok := ops[c]; ok {
+				return c
+			}
+		}
+		return nil
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.ValueSpec:
+				for i, name := range e.Names {
+					if c, ok := pkg.Info.Defs[name].(*types.Const); ok {
+						if u, ok := ops[c]; ok && u.decl == nil {
+							u.decl = e.Names[i]
+						}
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range e.Args {
+					if c := constOf(arg); c != nil {
+						ops[c].encode = true
+					}
+				}
+			case *ast.CaseClause:
+				for _, x := range e.List {
+					if c := constOf(x); c != nil {
+						ops[c].decode = true
+					}
+					// Switches with boolean tags dispatch via
+					// `case t == FrameX:` expressions.
+					if be, ok := ast.Unparen(x).(*ast.BinaryExpr); ok {
+						if c := constOf(be.X); c != nil {
+							ops[c].decode = true
+						}
+						if c := constOf(be.Y); c != nil {
+							ops[c].decode = true
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if e.Op == token.EQL || e.Op == token.NEQ {
+					if c := constOf(e.X); c != nil {
+						ops[c].decode = true
+					}
+					if c := constOf(e.Y); c != nil {
+						ops[c].decode = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	var diags []Diagnostic
+	ordered := make([]*types.Const, 0, len(ops))
+	for c := range ops {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name() < ordered[j].Name() })
+	for _, c := range ordered {
+		u := ops[c]
+		if u.decl == nil {
+			continue // declared in another file shape we did not see
+		}
+		if !u.encode {
+			diags = append(diags, diag(pkg, "wiresym", u.decl,
+				"frame opcode %s is never encoded (not passed to any frame-writing call): a frame the peer can never receive", c.Name()))
+		}
+		if !u.decode {
+			diags = append(diags, diag(pkg, "wiresym", u.decl,
+				"frame opcode %s is never decoded (no switch case or == dispatch): a frame the peer can never act on", c.Name()))
+		}
+	}
+	return diags
+}
+
+// wiresymPairs checks AppendTo/Parse pairing and per-pair feature-guard
+// symmetry.
+func wiresymPairs(pkg *Package) []Diagnostic {
+	scope := pkg.Types.Scope()
+	// funcDecls maps "T.AppendTo", "T.AppendToExt", and package function
+	// names to their declarations.
+	funcDecls := map[string]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil {
+				funcDecls[fd.Name.Name] = fd
+				continue
+			}
+			if rt := recvTypeName(fd.Recv); rt != "" {
+				funcDecls[rt+"."+fd.Name.Name] = fd
+			}
+		}
+	}
+	var diags []Diagnostic
+	// Encode → decode: every AppendTo/AppendToExt method needs its Parse.
+	names := make([]string, 0, len(funcDecls))
+	for name := range funcDecls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type pair struct {
+		enc, dec *ast.FuncDecl
+		label    string
+	}
+	var pairs []pair
+	for _, name := range names {
+		fd := funcDecls[name]
+		ti := strings.IndexByte(name, '.')
+		if ti >= 0 {
+			typeName, method := name[:ti], name[ti+1:]
+			var want string
+			switch method {
+			case "AppendTo":
+				want = "Parse" + typeName
+			case "AppendToExt":
+				want = "Parse" + typeName + "Ext"
+			default:
+				continue
+			}
+			dec, ok := funcDecls[want]
+			if !ok {
+				diags = append(diags, diag(pkg, "wiresym", fd.Name,
+					"%s.%s has no matching %s: an encoder with no decoder is dead wire format", typeName, method, want))
+				continue
+			}
+			pairs = append(pairs, pair{enc: fd, dec: dec, label: name + "/" + want})
+			continue
+		}
+		// Package-level Append<X> helpers.
+		if x, ok := strings.CutPrefix(name, "Append"); ok && x != "" && ast.IsExported(name) && x != "To" {
+			want := "Parse" + x
+			dec, ok := funcDecls[want]
+			if !ok {
+				diags = append(diags, diag(pkg, "wiresym", fd.Name,
+					"%s has no matching %s: an encoder with no decoder is dead wire format", name, want))
+				continue
+			}
+			pairs = append(pairs, pair{enc: fd, dec: dec, label: name + "/" + want})
+		}
+	}
+	// Decode → encode: every Parse<X> needs a writer for X.
+	for _, name := range names {
+		fd := funcDecls[name]
+		if fd.Recv != nil || strings.IndexByte(name, '.') >= 0 {
+			continue
+		}
+		x, ok := strings.CutPrefix(name, "Parse")
+		if !ok || x == "" || !ast.IsExported(name) {
+			continue
+		}
+		switch {
+		case funcDecls["Append"+x] != nil:
+		case funcDecls[x+".AppendTo"] != nil:
+		case strings.HasSuffix(x, "Ext") && funcDecls[strings.TrimSuffix(x, "Ext")+".AppendToExt"] != nil:
+		default:
+			// Only complain when X (or its Ext base) names a type in this
+			// package, so Parse helpers over non-frame inputs stay legal.
+			base := strings.TrimSuffix(x, "Ext")
+			if _, isType := scope.Lookup(base).(*types.TypeName); isType {
+				diags = append(diags, diag(pkg, "wiresym", fd.Name,
+					"%s has no matching encoder (Append%s or %s.AppendTo): a decoder with no encoder is dead wire format", name, x, base))
+			}
+		}
+	}
+	// Feature-guard symmetry per pair.
+	for _, p := range pairs {
+		enc, dec := featureBits(pkg, p.enc), featureBits(pkg, p.dec)
+		for _, bit := range sortedKeys(enc) {
+			if !dec[bit] {
+				diags = append(diags, diag(pkg, "wiresym", p.enc.Name,
+					"%s guards encoding on %s but %s never consults it: the layouts desynchronise for peers without the feature", p.enc.Name.Name, bit, p.dec.Name.Name))
+			}
+		}
+		for _, bit := range sortedKeys(dec) {
+			if !enc[bit] {
+				diags = append(diags, diag(pkg, "wiresym", p.dec.Name,
+					"%s guards decoding on %s but %s never consults it: the layouts desynchronise for peers without the feature", p.dec.Name.Name, bit, p.enc.Name.Name))
+			}
+		}
+	}
+	return diags
+}
+
+// recvTypeName extracts the receiver's base type name.
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := ast.Unparen(t).(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// featureBits collects the Feature* constants consulted in a function body.
+func featureBits(pkg *Package, fd *ast.FuncDecl) map[string]bool {
+	bits := map[string]bool{}
+	if fd.Body == nil {
+		return bits
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || !strings.HasPrefix(id.Name, "Feature") {
+			return true
+		}
+		if _, ok := pkg.Info.Uses[id].(*types.Const); ok {
+			bits[id.Name] = true
+		}
+		return true
+	})
+	return bits
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

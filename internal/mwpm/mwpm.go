@@ -48,7 +48,9 @@ type Decoder struct {
 // New returns an MWPM decoder over the given weight table, backed by the
 // dense complete-graph blossom engine.
 func New(gwt *decodegraph.GWT) *Decoder {
-	return NewWithEngine(gwt, &denseEngine{gwt: gwt})
+	e := &denseEngine{gwt: gwt}
+	e.weightFn = e.liftedWeight
+	return NewWithEngine(gwt, e)
 }
 
 // NewWithEngine returns an MWPM decoder whose matchings come from the given
@@ -112,6 +114,12 @@ type denseEngine struct {
 
 	liftBnd []int64
 	out     [][2]int
+
+	// Current Match call's inputs plus the weight callback bound once as a
+	// method value, so the per-shot path never allocates a closure.
+	nodes    []int
+	k        int
+	weightFn func(a, b int) int64
 }
 
 // Name implements exactmatch.Engine.
@@ -132,6 +140,19 @@ func (e *denseEngine) liftedPair(nodes []int, a, b, k int) (int64, bool) {
 	return via, false
 }
 
+// liftedWeight is the solver's weight callback over the current Match
+// call's nodes; see weightFn.
+func (e *denseEngine) liftedWeight(a, b int) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b < e.k {
+		w, _ := e.liftedPair(e.nodes, a, b, e.k)
+		return w
+	}
+	return e.liftBnd[a]
+}
+
 // Match implements exactmatch.Engine.
 func (e *denseEngine) Match(nodes []int) [][2]int {
 	k := len(nodes)
@@ -143,17 +164,8 @@ func (e *denseEngine) Match(nodes []int) [][2]int {
 	for _, i := range nodes {
 		e.liftBnd = append(e.liftBnd, exactmatch.LiftBoundary(e.gwt, i, k))
 	}
-	weight := func(a, b int) int64 {
-		if a > b {
-			a, b = b, a
-		}
-		if b < k {
-			w, _ := e.liftedPair(nodes, a, b, k)
-			return w
-		}
-		return e.liftBnd[a]
-	}
-	mate, _, err := e.sv.MinWeightPerfect(n, weight)
+	e.nodes, e.k = nodes, k
+	mate, _, err := e.sv.MinWeightPerfect(n, e.weightFn)
 	if err != nil {
 		// The complete graph always admits a perfect matching; an error here
 		// is a programming bug, not a data condition.

@@ -242,6 +242,7 @@ func (c *Client) Send(seq, deadlineNs uint64, s bitvec.Vec) error {
 	if err := c.writeFrame(FrameDecode, req.AppendTo(nil)); err != nil {
 		return err
 	}
+	//lint:allow lockorder wmu exists to serialise whole frames onto the conn; the write deadline bounds a wedged peer
 	return c.bw.Flush()
 }
 

@@ -259,6 +259,7 @@ func (s *Stream) sendBatch(rows []bitvec.Vec) error {
 	if err := c.writeFrame(FrameStreamRounds, frame.AppendTo(nil)); err != nil {
 		return err
 	}
+	//lint:allow lockorder wmu exists to serialise whole frames onto the conn; the write deadline bounds a wedged peer
 	if err := c.bw.Flush(); err != nil {
 		return err
 	}
@@ -286,6 +287,7 @@ func (s *Stream) CloseSend() error {
 	if err := c.writeFrame(FrameStreamClose, nil); err != nil {
 		return err
 	}
+	//lint:allow lockorder wmu exists to serialise whole frames onto the conn; the write deadline bounds a wedged peer
 	return c.bw.Flush()
 }
 

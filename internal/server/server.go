@@ -336,8 +336,10 @@ func (c *conn) writeFrame(t FrameType, payload []byte) error {
 	}
 	if err == nil {
 		if c.features&FeatureChecksum != 0 {
+			//lint:allow lockorder wmu exists to serialise whole frames onto the conn; the write deadline above bounds a wedged peer
 			err = WriteFrameChecked(c.Conn, t, payload)
 		} else {
+			//lint:allow lockorder wmu exists to serialise whole frames onto the conn; the write deadline above bounds a wedged peer
 			err = WriteFrame(c.Conn, t, payload)
 		}
 	}

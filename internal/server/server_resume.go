@@ -221,6 +221,7 @@ func (s *Server) serveStreamResume(c *conn, codec compress.Codec, payload []byte
 			//lint:allow errwrap forced detach; the old read loop observes the close and parks the session
 			old.Conn.Close()
 		}
+		//lint:allow lockorder Cond.Wait atomically releases sess.mu while parked; nothing is held across the block
 		sess.cond.Wait()
 	}
 	if sess.state == sessionDone {

@@ -88,7 +88,6 @@ package sparsemwpm
 
 import (
 	"math"
-	"sort"
 
 	"astrea/internal/blossom"
 	"astrea/internal/decodegraph"
@@ -230,6 +229,9 @@ type Engine struct {
 	members    [][]int32
 	compEdge   [][]int32
 	matw       []int64
+	wms        []int32 // current component's members, read by foldedWeight
+	wm         int     // current component's real-vertex count
+	weightFn   func(int, int) int64
 	sv         blossom.Solver
 	enumW      [100]int64 // tiny-component weight matrix, n ≤ 10
 	enumCur    [10]int8   // tiny enumeration: current pairing
@@ -258,6 +260,10 @@ func New(g *decodegraph.Graph) *Engine {
 	for i := 0; i < g.N; i++ {
 		e.bndBase[i] = exactmatch.Base(bndW[i])
 	}
+	// Bind the folded-weight method value once: handing MinWeightPerfect a
+	// fresh closure per component would heap-allocate on every shot.
+	e.weightFn = e.foldedWeight
+
 	sum := 0.0
 	for _, w := range csr.W {
 		sum += w
@@ -505,6 +511,17 @@ func withinHorizon(bound, rhoSum float64) bool {
 	return bound <= rhoSum+rhoSum*1e-9+1e-12
 }
 
+// pendLess orders pending candidate indices by (lower region, partner) so
+// resolve batches all candidates sharing a source region into one extended
+// Dijkstra run.
+func (e *Engine) pendLess(x, y int32) bool {
+	cx, cy := &e.cands[x], &e.cands[y]
+	if cx.a != cy.a {
+		return cx.a < cy.a
+	}
+	return cx.b < cy.b
+}
+
 // resolve exactifies every candidate inside the discovery horizon: the
 // left-associated Dijkstra distance from the lower-indexed detector, read
 // off its region's label when the partner was settled, otherwise via one
@@ -537,13 +554,16 @@ func (e *Engine) resolve(flagged []int) {
 		}
 		e.pend = append(e.pend, int32(ci))
 	}
-	sort.Slice(e.pend, func(x, y int) bool {
-		cx, cy := &e.cands[e.pend[x]], &e.cands[e.pend[y]]
-		if cx.a != cy.a {
-			return cx.a < cy.a
+	// Insertion sort instead of sort.Slice: only candidates whose error
+	// interval straddles a quantisation base survive to pend (odds ~1e-6
+	// each), so the slice is almost always empty or a handful — and
+	// sort.Slice's closure-through-interface would put two heap
+	// allocations on the per-shot path.
+	for i := 1; i < len(e.pend); i++ {
+		for j := i; j > 0 && e.pendLess(e.pend[j], e.pend[j-1]); j-- {
+			e.pend[j], e.pend[j-1] = e.pend[j-1], e.pend[j]
 		}
-		return cx.b < cy.b
-	})
+	}
 	for lo := 0; lo < len(e.pend); {
 		a := e.cands[e.pend[lo]].a
 		hi := lo
@@ -601,6 +621,26 @@ func (e *Engine) enumRec(n int, mask uint32, total int64) {
 
 // solveTiny is the n ≤ 10 replacement for the blossom call in solve: same
 // folded component formulation, same mate-array contract.
+// foldedWeight is the per-component pair weight solve hands the dense
+// solver: the structural edge when one survived (strictly below the
+// boundary sum by construction) and the through-boundary fold otherwise,
+// with index e.wm the explicit boundary vertex. The component's state
+// rides in e.wms/e.wm/e.matw so the method value bound once in New
+// (e.weightFn) carries no per-call closure allocation.
+func (e *Engine) foldedWeight(x, y int) int64 {
+	if x > y {
+		x, y = y, x
+	}
+	m := e.wm
+	if y < m {
+		if w := e.matw[x*m+y]; w >= 0 {
+			return w
+		}
+		return e.liftBnd[e.wms[x]] + e.liftBnd[e.wms[y]]
+	}
+	return e.liftBnd[e.wms[x]] // the explicit boundary vertex
+}
+
 func (e *Engine) solveTiny(n, m int, ms []int32) []int {
 	for x := 0; x < n; x++ {
 		for y := x + 1; y < n; y++ {
@@ -728,24 +768,13 @@ func (e *Engine) solve(flagged []int) {
 		if m%2 == 1 {
 			n++
 		}
-		weight := func(x, y int) int64 {
-			if x > y {
-				x, y = y, x
-			}
-			if y < m {
-				if w := e.matw[x*m+y]; w >= 0 {
-					return w
-				}
-				return e.liftBnd[ms[x]] + e.liftBnd[ms[y]]
-			}
-			return e.liftBnd[ms[x]] // the explicit boundary vertex
-		}
+		e.wms, e.wm = ms, m
 		var mate []int
 		if n <= 10 {
 			mate = e.solveTiny(n, m, ms)
 		} else {
 			var err error
-			mate, _, err = e.sv.MinWeightPerfect(n, weight)
+			mate, _, err = e.sv.MinWeightPerfect(n, e.weightFn)
 			if err != nil {
 				// The folded component graph is complete, so a perfect matching
 				// always exists; an error here is a programming bug, not a data

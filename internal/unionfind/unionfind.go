@@ -43,6 +43,7 @@ type Decoder struct {
 	grown   []bool
 	visited []bool
 	order   []int
+	queue   []int // peelBFS frontier, reused across decodes
 	treePar []int
 	treeObs []uint64
 	flag    []bool
@@ -203,48 +204,26 @@ func (d *Decoder) Decode(syndrome bitvec.Vec) decoder.Result {
 // hangs below it.
 func (d *Decoder) peel() uint64 {
 	// Adjacency over grown edges.
-	type arc struct {
-		to  int
-		obs uint64
-	}
-	adj := make([][]arc, d.n+1)
+	adj := make([][]peelArc, d.n+1)
 	for ei := range d.edges {
 		if !d.grown[ei] {
 			continue
 		}
 		e := &d.edges[ei]
-		adj[e.u] = append(adj[e.u], arc{to: e.v, obs: e.obs})
-		adj[e.v] = append(adj[e.v], arc{to: e.u, obs: e.obs})
+		adj[e.u] = append(adj[e.u], peelArc{to: e.v, obs: e.obs})
+		adj[e.v] = append(adj[e.v], peelArc{to: e.u, obs: e.obs})
 	}
 	for i := 0; i <= d.n; i++ {
 		d.visited[i] = false
 	}
 	d.order = d.order[:0]
 
-	bfs := func(root int) {
-		d.visited[root] = true
-		d.treePar[root] = -1
-		queue := []int{root}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			d.order = append(d.order, u)
-			for _, a := range adj[u] {
-				if !d.visited[a.to] {
-					d.visited[a.to] = true
-					d.treePar[a.to] = u
-					d.treeObs[a.to] = a.obs
-					queue = append(queue, a.to)
-				}
-			}
-		}
-	}
 	// Root at the boundary first so boundary-connected clusters absorb
 	// their residual flag there; then cover remaining components.
-	bfs(d.n)
+	d.peelBFS(d.n, adj)
 	for i := 0; i < d.n; i++ {
 		if !d.visited[i] {
-			bfs(i)
+			d.peelBFS(i, adj)
 		}
 	}
 
@@ -268,4 +247,32 @@ func (d *Decoder) peel() uint64 {
 		}
 	}
 	return obs
+}
+
+// peelArc is one grown-edge adjacency entry for the peeling forest.
+type peelArc struct {
+	to  int
+	obs uint64
+}
+
+// peelBFS grows one spanning tree of the peeling forest from root,
+// appending vertices to d.order in visit order. A method with a reused
+// queue scratch rather than a closure in peel: peel runs once per shot and
+// a closure capturing the decoder would heap-allocate on every call.
+func (d *Decoder) peelBFS(root int, adj [][]peelArc) {
+	d.visited[root] = true
+	d.treePar[root] = -1
+	d.queue = append(d.queue[:0], root)
+	for head := 0; head < len(d.queue); head++ {
+		u := d.queue[head]
+		d.order = append(d.order, u)
+		for _, a := range adj[u] {
+			if !d.visited[a.to] {
+				d.visited[a.to] = true
+				d.treePar[a.to] = u
+				d.treeObs[a.to] = a.obs
+				d.queue = append(d.queue, a.to)
+			}
+		}
+	}
 }
